@@ -1,0 +1,214 @@
+// Package automed is a Go implementation of the intersection-schema
+// dataspace integration technique of Brownlow & Poulovassilis (EDBT
+// 2014), built on a from-scratch reimplementation of the AutoMed
+// heterogeneous data integration system: the HDM common data model, the
+// IQL functional query language, bidirectional (BAV) schema
+// transformation pathways, a GAV/LAV/BAV query processor, data source
+// wrappers and a schema matcher.
+//
+// The entry point is the System: wrap data sources, federate them
+// (immediate querying, zero integration effort), then iteratively
+// assert semantic intersections between sources through mappings
+// tables. After every iteration a new global schema is available and
+// IQL queries run against it; concepts never integrated remain
+// reachable in their federated (prefixed) form. This is the paper's
+// pay-as-you-go workflow.
+//
+//	lib, _ := automed.OpenCSVDir("Library", "testdata/library")
+//	shop, _ := automed.OpenCSVDir("Shop", "testdata/shop")
+//	sys, _ := automed.New(lib, shop)
+//	sys.Federate("F")
+//	sys.Intersect("I1", []automed.Mapping{
+//	    automed.Entity("<<UBook>>",
+//	        automed.From("Library", "[{'LIB', k} | k <- <<books>>]"),
+//	        automed.From("Shop", "[{'SHOP', k} | k <- <<items>>]"),
+//	    ),
+//	})
+//	res, _ := sys.Query("count(<<UBook>>)")
+package automed
+
+import (
+	"io"
+
+	"github.com/dataspace/automed/internal/core"
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/match"
+	"github.com/dataspace/automed/internal/query"
+	"github.com/dataspace/automed/internal/repo"
+	"github.com/dataspace/automed/internal/wrapper"
+)
+
+// Re-exported workflow types. These are aliases so that values returned
+// by the System interoperate with the underlying packages.
+type (
+	// Mapping is one row group of an intersection's mappings table.
+	Mapping = core.Mapping
+	// SourceQuery is a per-source forward derivation.
+	SourceQuery = core.SourceQuery
+	// ReverseQuery is an explicit reverse (delete-direction) mapping.
+	ReverseQuery = core.ReverseQuery
+	// Intersection describes a created intersection schema.
+	Intersection = core.Intersection
+	// Iteration is one recorded workflow step.
+	Iteration = core.Iteration
+	// Report summarises a session's iterations and effort.
+	Report = core.Report
+	// StepCounts tallies manual and automatic transformations.
+	StepCounts = core.StepCounts
+	// Result is a query answer plus incompleteness warnings.
+	Result = core.Result
+	// Schema is a set of schema objects.
+	Schema = hdm.Schema
+	// Scheme identifies a schema object.
+	Scheme = hdm.Scheme
+	// Value is an IQL runtime value.
+	Value = iql.Value
+	// Wrapper exposes a data source as schema plus extents.
+	Wrapper = wrapper.Wrapper
+	// Correspondence is a schema-matcher suggestion.
+	Correspondence = match.Correspondence
+)
+
+// Entity builds an entity (nodal) mapping.
+func Entity(target string, forward ...SourceQuery) Mapping {
+	return core.Entity(target, forward...)
+}
+
+// Attribute builds an attribute (link) mapping.
+func Attribute(target string, forward ...SourceQuery) Mapping {
+	return core.Attribute(target, forward...)
+}
+
+// From builds a forward derivation over the named source.
+func From(source, iqlQuery string) SourceQuery { return core.From(source, iqlQuery) }
+
+// Derived builds a forward derivation over already-integrated objects.
+func Derived(iqlQuery string) SourceQuery { return core.Derived(iqlQuery) }
+
+// ParseScheme parses "<<a, b>>" or "a, b".
+func ParseScheme(s string) (Scheme, error) { return hdm.ParseScheme(s) }
+
+// ParseIQL parses IQL source text (for validation and tooling).
+func ParseIQL(src string) (iql.Expr, error) { return iql.Parse(src) }
+
+// FormatIQL normalises IQL source text.
+func FormatIQL(src string) (string, error) { return iql.FormatQuery(src) }
+
+// System is the facade over an intersection-schema integration session.
+type System struct {
+	ig *core.Integrator
+}
+
+// New builds a system over wrapped data sources.
+func New(sources ...Wrapper) (*System, error) {
+	ig, err := core.New(sources...)
+	if err != nil {
+		return nil, err
+	}
+	return &System{ig: ig}, nil
+}
+
+// OpenCSVDir wraps a directory of typed-header CSV files as a source.
+func OpenCSVDir(name, dir string) (Wrapper, error) {
+	return wrapper.NewCSVDir(name, dir)
+}
+
+// OpenXML wraps an XML document as a source.
+func OpenXML(name string, r io.Reader) (Wrapper, error) {
+	return wrapper.NewXML(name, r)
+}
+
+// SetAutoDrop controls redundant-object dropping in the automatically
+// rebuilt global schemas (workflow step 5's optional election).
+func (s *System) SetAutoDrop(drop bool) { s.ig.SetAutoDrop(drop) }
+
+// Federate builds the federated schema — the first, zero-effort global
+// schema (workflow step 2).
+func (s *System) Federate(name string) (*Schema, error) { return s.ig.Federate(name) }
+
+// Intersect creates an intersection schema from a mappings table
+// (workflow steps 3-5) and rebuilds the global schema.
+func (s *System) Intersect(name string, mappings []Mapping, enables ...string) (*Intersection, error) {
+	return s.ig.Intersect(name, mappings, enables...)
+}
+
+// Refine applies an ad-hoc single-schema transformation (paper
+// footnote 8).
+func (s *System) Refine(name string, m Mapping, enables ...string) error {
+	return s.ig.Refine(name, m, enables...)
+}
+
+// BuildGlobal explicitly rebuilds the global schema, optionally
+// dropping redundant source objects.
+func (s *System) BuildGlobal(dropRedundant bool) (*Schema, error) {
+	return s.ig.BuildGlobal(dropRedundant)
+}
+
+// Query answers an IQL query over the current global schema (workflow
+// step 6).
+func (s *System) Query(iqlSrc string) (Result, error) { return s.ig.Query(iqlSrc) }
+
+// Extent returns the extent of one global schema object.
+func (s *System) Extent(scheme string) (Value, error) { return s.ig.Extent(scheme) }
+
+// Global returns the current global schema.
+func (s *System) Global() *Schema { return s.ig.Global() }
+
+// Federated returns the federated schema.
+func (s *System) Federated() *Schema { return s.ig.Federated() }
+
+// Report summarises the session.
+func (s *System) Report() Report { return s.ig.Report() }
+
+// Intersections lists the intersections created so far.
+func (s *System) Intersections() []*Intersection { return s.ig.Intersections() }
+
+// Suggest runs the schema matcher between two of the system's sources
+// and returns ranked correspondence suggestions to seed a mappings
+// table (paper workflow step 4).
+func (s *System) Suggest(sourceA, sourceB string, minScore float64) []Correspondence {
+	wa, wb := s.sourceByName(sourceA), s.sourceByName(sourceB)
+	if wa == nil || wb == nil {
+		return nil
+	}
+	m := match.New(match.DefaultConfig())
+	return m.Best(wa.Schema(), wb.Schema(),
+		extentsOf(wa), extentsOf(wb), minScore)
+}
+
+func (s *System) sourceByName(name string) Wrapper {
+	for _, w := range s.sources() {
+		if w.SchemaName() == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// sources reconstructs the wrapper list from the integrator.
+func (s *System) sources() []Wrapper { return s.ig.Sources() }
+
+func extentsOf(w Wrapper) match.ExtentSource {
+	return extentFunc(func(parts []string) (iql.Value, error) { return w.Extent(parts) })
+}
+
+type extentFunc func(parts []string) (iql.Value, error)
+
+func (f extentFunc) Extent(parts []string) (iql.Value, error) { return f(parts) }
+
+// Repo exposes the underlying schemas & transformations repository.
+func (s *System) Repo() *repo.Repository { return s.ig.Repo() }
+
+// Processor exposes the underlying query processor.
+func (s *System) Processor() *query.Processor { return s.ig.Processor() }
+
+// ReverseProcessor materialises the global schema and answers
+// source-schema queries from it via reversed pathways (the BAV/LAV
+// direction).
+func (s *System) ReverseProcessor() (*query.Processor, error) {
+	return s.ig.ReverseProcessor()
+}
+
+// SaveRepo writes the repository (schemas and pathways) as JSON.
+func (s *System) SaveRepo(w io.Writer) error { return s.ig.Repo().Save(w) }

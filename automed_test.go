@@ -1,0 +1,235 @@
+package automed
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildSources(t *testing.T) (Wrapper, Wrapper) {
+	t.Helper()
+	lib, err := NewSource("Library").
+		Table("books", "id:int", "isbn", "title", "shelf").
+		Insert("books", int64(1), "978-1", "Dataspaces", "A1").
+		Insert("books", int64(2), "978-2", "Schema Matching", "A2").
+		Wrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shop, err := NewSource("Shop").
+		Table("items", "sku", "barcode", "name", "price:float").
+		Insert("items", "S1", "978-2", "Schema Matching", 30.0).
+		Insert("items", "S2", "978-4", "Data Integration", 40.0).
+		Wrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, shop
+}
+
+func integratedSystem(t *testing.T) *System {
+	t.Helper()
+	lib, shop := buildSources(t)
+	sys, err := New(lib, shop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Federate("F"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Intersect("I1", []Mapping{
+		Entity("<<UBook>>",
+			From("Library", "[{'LIB', k} | k <- <<books>>]"),
+			From("Shop", "[{'SHOP', k} | k <- <<items>>]"),
+		),
+		Attribute("<<UBook, isbn>>",
+			From("Library", "[{'LIB', k, x} | {k, x} <- <<books, isbn>>]"),
+			From("Shop", "[{'SHOP', k, x} | {k, x} <- <<items, barcode>>]"),
+		),
+	}, "Q1"); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestFacadeWorkflow(t *testing.T) {
+	sys := integratedSystem(t)
+	res, err := sys.Query("count(<<UBook>>)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.String() != "4" {
+		t.Errorf("count(UBook) = %s", res.Value)
+	}
+	// Extent access.
+	v, err := sys.Extent("<<UBook, isbn>>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 4 {
+		t.Errorf("extent = %s", v)
+	}
+	// Report and intersections.
+	if sys.Report().TotalManual() != 4 {
+		t.Errorf("manual = %d", sys.Report().TotalManual())
+	}
+	if len(sys.Intersections()) != 1 {
+		t.Error("intersection not recorded")
+	}
+	if sys.Global() == nil || sys.Federated() == nil {
+		t.Error("schemas missing")
+	}
+}
+
+func TestFacadeSourceBuilderErrors(t *testing.T) {
+	// Deferred error surfaces at Wrap.
+	_, err := NewSource("X").Table("t", "id:bogus").Wrap()
+	if err == nil {
+		t.Error("bad column type accepted")
+	}
+	_, err = NewSource("X").Table("t", "id:int").Insert("missing", int64(1)).Wrap()
+	if err == nil {
+		t.Error("insert into missing table accepted")
+	}
+	_, err = NewSource("X").Table("t", "id:int").Insert("t", "wrong").Wrap()
+	if err == nil {
+		t.Error("wrongly typed insert accepted")
+	}
+	// Explicit pk marker and fk validation.
+	_, err = NewSource("X").
+		Table("a", "name", "id:int!pk").
+		Insert("a", "n", int64(1)).
+		Table("b", "id:int", "aid:int").
+		Insert("b", int64(1), int64(1)).
+		ForeignKey("b", "aid", "a").
+		Wrap()
+	if err != nil {
+		t.Errorf("valid source rejected: %v", err)
+	}
+}
+
+func TestFacadeCSVExportAndOpen(t *testing.T) {
+	dir := t.TempDir()
+	b := NewSource("Lib").
+		Table("books", "id:int", "isbn").
+		Insert("books", int64(1), "978-1")
+	if err := b.ExportCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenCSVDir("Lib", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Federate("F"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query("count(<<lib_books>>)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.String() != "1" {
+		t.Errorf("count = %s", res.Value)
+	}
+}
+
+func TestFacadeXMLSource(t *testing.T) {
+	xml := `<catalog><entry code="978-2"><label>Schema Matching</label></entry></catalog>`
+	w, err := OpenXML("Catalog", strings.NewReader(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, _ := buildSources(t)
+	sys, err := New(lib, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Federate("F"); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-model intersection: relational books ∩ XML entries, joined
+	// on ISBN/code through the common data model.
+	if _, err := sys.Intersect("I1", []Mapping{
+		Entity("<<UBook>>",
+			From("Library", "[{'LIB', k} | k <- <<books>>]"),
+			From("Catalog", "[{'XML', k} | k <- <<entry>>]"),
+		),
+		Attribute("<<UBook, isbn>>",
+			From("Library", "[{'LIB', k, x} | {k, x} <- <<books, isbn>>]"),
+			From("Catalog", "[{'XML', k, x} | {k, x} <- <<entry, @code>>]"),
+		),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query("[{s, k} | {s, k, x} <- <<UBook, isbn>>; x = '978-2']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.Len() != 2 {
+		t.Errorf("cross-model join = %s", res.Value)
+	}
+}
+
+func TestFacadeSuggest(t *testing.T) {
+	lib, shop := buildSources(t)
+	sys, err := New(lib, shop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sys.Suggest("Library", "Shop", 0.1)
+	if len(out) == 0 {
+		t.Error("no suggestions")
+	}
+	if out := sys.Suggest("Library", "Missing", 0.1); out != nil {
+		t.Error("suggestions for unknown source")
+	}
+}
+
+func TestFacadeSaveRepo(t *testing.T) {
+	sys := integratedSystem(t)
+	var buf bytes.Buffer
+	if err := sys.SaveRepo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "UBook") {
+		t.Error("saved repository missing intersection objects")
+	}
+}
+
+func TestFacadeReverseProcessor(t *testing.T) {
+	sys := integratedSystem(t)
+	if _, err := sys.BuildGlobal(true); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := sys.ReverseProcessor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rp.Query("count(<<books>>)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "2" {
+		t.Errorf("reverse count = %s", v)
+	}
+}
+
+func TestFacadeIQLHelpers(t *testing.T) {
+	if _, err := ParseIQL("[k | k <- <<t>>]"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseIQL("[bad"); err == nil {
+		t.Error("bad IQL accepted")
+	}
+	s, err := FormatIQL("[ k|k <- <<t>> ]")
+	if err != nil || s != "[k | k <- <<t>>]" {
+		t.Errorf("FormatIQL = %q %v", s, err)
+	}
+	sc, err := ParseScheme("<<a, b>>")
+	if err != nil || sc.Arity() != 2 {
+		t.Errorf("ParseScheme = %v %v", sc, err)
+	}
+}

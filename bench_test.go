@@ -1,0 +1,398 @@
+package automed
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/dataspace/automed/internal/classical"
+	"github.com/dataspace/automed/internal/core"
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/ispider"
+	"github.com/dataspace/automed/internal/match"
+	"github.com/dataspace/automed/internal/transform"
+)
+
+// Benchmark harness for the paper's evaluation artefacts (see
+// EXPERIMENTS.md): E1 = Table 1 queries, E2 = effort comparison,
+// E3 = pay-as-you-go curve, F1-F4 = the construction figures, plus
+// ablation micro-benchmarks for the substrates.
+
+var (
+	benchOnce sync.Once
+	benchIG   *core.Integrator
+	benchErr  error
+)
+
+// benchIntegrator builds the case-study integration once, reused by the
+// query benchmarks (warm-path evaluation, as a deployed dataspace would
+// run).
+func benchIntegrator(b *testing.B) *core.Integrator {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchIG, benchErr = ispider.RunIntersection(ispider.BenchConfig(), false)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchIG
+}
+
+// BenchmarkTable1 runs each of the seven priority queries over the
+// integrated global schema (E1). Sub-benchmarks are named by query id.
+func BenchmarkTable1(b *testing.B) {
+	ig := benchIntegrator(b)
+	for _, q := range ispider.Table1Queries() {
+		b.Run(q.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ig.Query(q.IQL)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Value.Kind == iql.KindBag && res.Value.Len() == 0 {
+					b.Fatalf("%s returned no results", q.ID)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Q1Cold re-answers Q1 with cold extent caches every
+// iteration: the full GAV unfolding cost.
+func BenchmarkTable1Q1Cold(b *testing.B) {
+	ig := benchIntegrator(b)
+	q, _ := ispider.QueryByID("Q1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ig.Processor().InvalidateCache()
+		if _, err := ig.Query(q.IQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEffortIntersection builds the entire intersection-based
+// integration from scratch (E2, intersection side: 26 manual steps and
+// all tool-generated machinery).
+func BenchmarkEffortIntersection(b *testing.B) {
+	cfg := ispider.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		ig, err := ispider.RunIntersection(cfg, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ig.Report().TotalManual() != 26 {
+			b.Fatalf("manual = %d", ig.Report().TotalManual())
+		}
+	}
+}
+
+// BenchmarkEffortClassical builds the entire classical integration
+// (E2, baseline side: 95 counted non-trivial steps).
+func BenchmarkEffortClassical(b *testing.B) {
+	cfg := ispider.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		cb, err := ispider.RunClassical(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cb.TotalNonTrivial() != 95 {
+			b.Fatalf("non-trivial = %d", cb.TotalNonTrivial())
+		}
+	}
+}
+
+// BenchmarkPayAsYouGoCurve replays the plan step by step, probing query
+// answerability after every iteration (E3).
+func BenchmarkPayAsYouGoCurve(b *testing.B) {
+	cfg := ispider.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		pedro, gpmdb, pepseeker, err := ispider.Wrappers(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ig, err := core.New(pedro, gpmdb, pepseeker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ig.Federate("F"); err != nil {
+			b.Fatal(err)
+		}
+		answerable := 0
+		for _, step := range ispider.IntersectionPlan() {
+			switch step.Kind {
+			case "intersect":
+				if _, err := ig.Intersect(step.Name, step.Mappings); err != nil {
+					b.Fatal(err)
+				}
+			case "refine":
+				if err := ig.Refine(step.Name, step.Refinement); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, q := range ispider.Table1Queries() {
+				if _, err := ig.Query(q.IQL); err == nil {
+					answerable++
+				}
+			}
+		}
+		if answerable == 0 {
+			b.Fatal("no queries became answerable")
+		}
+	}
+}
+
+// toySources builds the three bookstore-style sources used by the
+// figure benchmarks.
+func toySources(b *testing.B) []Wrapper {
+	b.Helper()
+	lib, err := NewSource("Library").
+		Table("books", "id:int", "isbn", "title", "shelf").
+		Insert("books", int64(1), "978-1", "Dataspaces", "A1").
+		Insert("books", int64(2), "978-2", "Schema Matching", "A2").
+		Wrap()
+	if err != nil {
+		b.Fatal(err)
+	}
+	shop, err := NewSource("Shop").
+		Table("items", "sku", "barcode", "name", "price:float").
+		Insert("items", "S1", "978-2", "Schema Matching", 30.0).
+		Wrap()
+	if err != nil {
+		b.Fatal(err)
+	}
+	archive, err := NewSource("Archive").
+		Table("scans", "scan_id:int", "format").
+		Insert("scans", int64(9), "pdf").
+		Wrap()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []Wrapper{lib, shop, archive}
+}
+
+var toyMappings = []Mapping{
+	Entity("<<UBook>>",
+		From("Library", "[{'LIB', k} | k <- <<books>>]"),
+		From("Shop", "[{'SHOP', k} | k <- <<items>>]"),
+	),
+	Attribute("<<UBook, isbn>>",
+		From("Library", "[{'LIB', k, x} | {k, x} <- <<books, isbn>>]"),
+		From("Shop", "[{'SHOP', k, x} | {k, x} <- <<items, barcode>>]"),
+	),
+}
+
+// BenchmarkFigure1UnionCompatible constructs the Fig. 1 topology:
+// union-compatible schemas ident-merged into a global schema.
+func BenchmarkFigure1UnionCompatible(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ws := toySources(b)
+		cb, err := classical.New(ws...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = cb.AddStage(classical.Stage{Name: "GS1", Concepts: []classical.Concept{
+			{Object: "<<books>>", Identity: "Library",
+				Mapped: []classical.MappedFrom{{Source: "Shop", Query: "[k | k <- <<items>>]", Counted: true}}},
+			{Object: "<<books, isbn>>", Identity: "Library",
+				Mapped: []classical.MappedFrom{{Source: "Shop", Query: "[{k, x} | {k, x} <- <<items, barcode>>]", Counted: true}}},
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cb.Merge("GS"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cb.Query("count(<<books>>)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2IntersectionSchema constructs a pairwise intersection
+// schema in the canonical normal form (Fig. 2).
+func BenchmarkFigure2IntersectionSchema(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ws := toySources(b)
+		ig, err := core.New(ws...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ig.Federate("F"); err != nil {
+			b.Fatal(err)
+		}
+		in, err := ig.Intersect("I1", toyMappings)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pw := range in.PathwayBySource {
+			if err := pw.IsIntersectionForm(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3Federation builds the federated schema of all
+// sources (Fig. 3).
+func BenchmarkFigure3Federation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ig, err := core.New(toySources(b)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ig.Federate("F"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4GlobalSchema builds the global schema with redundancy
+// dropping, G = I ∪ (ES1−I) ∪ (ES2−I) ∪ ES3 (Fig. 4).
+func BenchmarkFigure4GlobalSchema(b *testing.B) {
+	ws := toySources(b)
+	ig, err := core.New(ws...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ig.Federate("F"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ig.Intersect("I1", toyMappings); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ig.BuildGlobal(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Substrate ablations ----
+
+// BenchmarkIQLParse measures the IQL front end on a Table-1-sized
+// query.
+func BenchmarkIQLParse(b *testing.B) {
+	q, _ := ispider.QueryByID("Q5")
+	for i := 0; i < b.N; i++ {
+		if _, err := iql.Parse(q.IQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIQLEval measures raw comprehension evaluation over in-memory
+// extents (a 3-generator join).
+func BenchmarkIQLEval(b *testing.B) {
+	n := 200
+	pairs := make([]iql.Value, n)
+	for i := range pairs {
+		pairs[i] = iql.Tuple(iql.Int(int64(i)), iql.Int(int64(i%17)))
+	}
+	ext := iql.ExtentsFunc(func(parts []string) (iql.Value, error) {
+		return iql.BagOf(pairs), nil
+	})
+	e := iql.MustParse("count([{a, c} | {a, x} <- <<t, u>>; {c, y} <- <<t, u>>; x = y])")
+	ev := iql.NewEvaluator(ext)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Eval(e, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathwayReversal measures automatic BAV reversal of a
+// case-study-sized pathway.
+func BenchmarkPathwayReversal(b *testing.B) {
+	ig := benchIntegrator(b)
+	var pw *transform.Pathway
+	for _, in := range ig.Intersections() {
+		for _, p := range in.PathwayBySource {
+			if pw == nil || p.Len() > pw.Len() {
+				pw = p
+			}
+		}
+	}
+	if pw == nil {
+		b.Fatal("no pathway")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rev := pw.Reverse()
+		if rev.Len() != pw.Len() {
+			b.Fatal("bad reversal")
+		}
+	}
+}
+
+// BenchmarkMatcher measures matcher throughput between the two largest
+// case-study schemas.
+func BenchmarkMatcher(b *testing.B) {
+	_, gpmdb, pepseeker, err := ispider.Wrappers(ispider.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := match.New(match.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := m.Match(gpmdb.Schema(), pepseeker.Schema(), nil, nil)
+		if len(out) == 0 {
+			b.Fatal("no correspondences")
+		}
+	}
+}
+
+// BenchmarkFederationScaling measures Federate against source schema
+// width.
+func BenchmarkFederationScaling(b *testing.B) {
+	for _, tables := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("tables=%d", tables), func(b *testing.B) {
+			sb := NewSource("Wide")
+			for t := 0; t < tables; t++ {
+				sb.Table(fmt.Sprintf("t%03d", t), "id:int", "a", "b", "c")
+			}
+			w, err := sb.Wrap()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ig, err := core.New(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ig.Federate("F"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchemeParse measures scheme parsing/printing round trips.
+func BenchmarkSchemeParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, err := hdm.ParseScheme("<<UProteinHit, dbsearch>>")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sc.String() == "" {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkReverseProcessor measures building the LAV-direction
+// processor (materialise global + reverse pathways).
+func BenchmarkReverseProcessor(b *testing.B) {
+	ig := benchIntegrator(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ig.ReverseProcessor(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Command automed is the toolbox CLI for the intersection-schema
+// integration library: it federates CSV data sources, runs IQL
+// queries, prints matcher suggestions, executes integration specs and
+// renders the repository.
+//
+// Usage:
+//
+//	automed demo                         run the built-in bookstore demo
+//	automed query  -src name=dir … 'IQL' federate sources, run a query
+//	automed match  -src a=dir -src b=dir suggest correspondences
+//	automed schema -src name=dir         print a wrapped source schema
+//	automed integrate -spec spec.json    run an integration spec
+//	automed render                       print Fig. 1-4 style diagrams
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dataspace/automed"
+	"github.com/dataspace/automed/internal/render"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "demo":
+		err = demo()
+	case "query":
+		err = queryCmd(args)
+	case "match":
+		err = matchCmd(args)
+	case "schema":
+		err = schemaCmd(args)
+	case "integrate":
+		err = integrateCmd(args)
+	case "render":
+		err = renderCmd()
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "automed: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "automed: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: automed <command> [flags]
+
+commands:
+  demo        run the built-in bookstore integration demo
+  query       -src name=dir ... 'IQL'   federate CSV sources and query
+  match       -src a=dir -src b=dir     schema matcher suggestions
+  schema      -src name=dir             print the wrapped source schema
+  integrate   -spec spec.json           run an integration specification
+  render      print Figure 1-4 style topology diagrams`)
+}
+
+// srcFlags collects repeated -src name=dir flags.
+type srcFlags []string
+
+func (s *srcFlags) String() string     { return strings.Join(*s, ",") }
+func (s *srcFlags) Set(v string) error { *s = append(*s, v); return nil }
+
+func openSources(specs []string) ([]automed.Wrapper, error) {
+	var out []automed.Wrapper
+	for _, spec := range specs {
+		name, dir, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -src %q (want name=dir)", spec)
+		}
+		w, err := automed.OpenCSVDir(name, dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func queryCmd(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	var srcs srcFlags
+	fs.Var(&srcs, "src", "data source as name=csvdir (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || len(srcs) == 0 {
+		return fmt.Errorf("usage: automed query -src name=dir [...] 'IQL'")
+	}
+	ws, err := openSources(srcs)
+	if err != nil {
+		return err
+	}
+	sys, err := automed.New(ws...)
+	if err != nil {
+		return err
+	}
+	if _, err := sys.Federate("F"); err != nil {
+		return err
+	}
+	res, err := sys.Query(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Value)
+	for _, w := range res.Warnings {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+	return nil
+}
+
+func matchCmd(args []string) error {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	var srcs srcFlags
+	minScore := fs.Float64("min", 0.35, "minimum score")
+	fs.Var(&srcs, "src", "data source as name=csvdir (exactly two)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(srcs) != 2 {
+		return fmt.Errorf("usage: automed match -src a=dir -src b=dir")
+	}
+	ws, err := openSources(srcs)
+	if err != nil {
+		return err
+	}
+	sys, err := automed.New(ws...)
+	if err != nil {
+		return err
+	}
+	for _, c := range sys.Suggest(ws[0].SchemaName(), ws[1].SchemaName(), *minScore) {
+		fmt.Println(c)
+	}
+	return nil
+}
+
+func schemaCmd(args []string) error {
+	fs := flag.NewFlagSet("schema", flag.ExitOnError)
+	var srcs srcFlags
+	fs.Var(&srcs, "src", "data source as name=csvdir")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ws, err := openSources(srcs)
+	if err != nil {
+		return err
+	}
+	for _, w := range ws {
+		fmt.Print(render.Schema(w.Schema()))
+	}
+	return nil
+}
+
+// Spec is the JSON integration specification for `automed integrate`.
+type Spec struct {
+	Sources []struct {
+		Name string `json:"name"`
+		Dir  string `json:"dir"`
+	} `json:"sources"`
+	Federation    string `json:"federation"`
+	DropRedundant bool   `json:"dropRedundant"`
+	Intersections []struct {
+		Name     string            `json:"name"`
+		Mappings []automed.Mapping `json:"mappings"`
+	} `json:"intersections"`
+	Queries []string `json:"queries"`
+}
+
+func integrateCmd(args []string) error {
+	fs := flag.NewFlagSet("integrate", flag.ExitOnError)
+	specPath := fs.String("spec", "", "path to integration spec JSON")
+	repoOut := fs.String("repo-out", "", "write resulting repository JSON here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("usage: automed integrate -spec spec.json")
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return fmt.Errorf("parsing spec: %w", err)
+	}
+	var ws []automed.Wrapper
+	for _, s := range spec.Sources {
+		w, err := automed.OpenCSVDir(s.Name, s.Dir)
+		if err != nil {
+			return err
+		}
+		ws = append(ws, w)
+	}
+	sys, err := automed.New(ws...)
+	if err != nil {
+		return err
+	}
+	sys.SetAutoDrop(spec.DropRedundant)
+	fed := spec.Federation
+	if fed == "" {
+		fed = "F"
+	}
+	if _, err := sys.Federate(fed); err != nil {
+		return err
+	}
+	for _, in := range spec.Intersections {
+		if _, err := sys.Intersect(in.Name, in.Mappings); err != nil {
+			return err
+		}
+		fmt.Printf("created intersection %s\n", in.Name)
+	}
+	fmt.Print(sys.Report())
+	for _, q := range spec.Queries {
+		res, err := sys.Query(q)
+		if err != nil {
+			return fmt.Errorf("query %q: %w", q, err)
+		}
+		fmt.Printf("%s\n  -> %s\n", q, res.Value)
+	}
+	if *repoOut != "" {
+		f, err := os.Create(*repoOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sys.SaveRepo(f); err != nil {
+			return err
+		}
+		fmt.Printf("repository written to %s\n", *repoOut)
+	}
+	return nil
+}
+
+func demo() error {
+	lib, err := automed.NewSource("Library").
+		Table("books", "id:int", "isbn", "title", "shelf").
+		Insert("books", int64(1), "978-1", "Dataspaces", "A1").
+		Insert("books", int64(2), "978-2", "Schema Matching", "A2").
+		Insert("books", int64(3), "978-3", "Query Rewriting", "B1").
+		Wrap()
+	if err != nil {
+		return err
+	}
+	shop, err := automed.NewSource("Shop").
+		Table("items", "sku", "barcode", "name", "price:float").
+		Insert("items", "S1", "978-2", "Schema Matching", 30.0).
+		Insert("items", "S2", "978-4", "Data Integration", 40.0).
+		Wrap()
+	if err != nil {
+		return err
+	}
+	sys, err := automed.New(lib, shop)
+	if err != nil {
+		return err
+	}
+	if _, err := sys.Federate("F"); err != nil {
+		return err
+	}
+	fmt.Println("federated schema ready; querying before any integration:")
+	res, err := sys.Query("count(<<library_books>>)")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  count(<<library_books>>) = %s\n", res.Value)
+
+	if _, err := sys.Intersect("I1", []automed.Mapping{
+		automed.Entity("<<UBook>>",
+			automed.From("Library", "[{'LIB', k} | k <- <<books>>]"),
+			automed.From("Shop", "[{'SHOP', k} | k <- <<items>>]"),
+		),
+		automed.Attribute("<<UBook, isbn>>",
+			automed.From("Library", "[{'LIB', k, x} | {k, x} <- <<books, isbn>>]"),
+			automed.From("Shop", "[{'SHOP', k, x} | {k, x} <- <<items, barcode>>]"),
+		),
+	}); err != nil {
+		return err
+	}
+	fmt.Println("\nafter intersection I1:")
+	res, err = sys.Query("[{s, k} | {s, k, x} <- <<UBook, isbn>>; x = '978-2']")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  owners of ISBN 978-2 = %s\n", res.Value)
+	fmt.Println()
+	fmt.Print(sys.Report())
+	return nil
+}
+
+func renderCmd() error {
+	fmt.Print(render.UnionCompatible([]string{"DS1", "DS2", "DS3"}, "Global"))
+	fmt.Println()
+	fmt.Print(render.IntersectionTopology("I", []string{"ES1", "ES2"}, []string{"ES3"}))
+	fmt.Println()
+	fmt.Print(render.GlobalSchema("G", "I", []string{"ES1", "ES2"}, []string{"ES3"}))
+	return nil
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dataspace/automed"
+)
+
+// writeDemoCSVs materialises two small CSV sources for CLI tests.
+func writeDemoCSVs(t *testing.T) (libDir, shopDir string) {
+	t.Helper()
+	base := t.TempDir()
+	libDir = filepath.Join(base, "library")
+	shopDir = filepath.Join(base, "shop")
+	lib := automed.NewSource("Library").
+		Table("books", "id:int", "isbn", "title").
+		Insert("books", int64(1), "978-1", "Dataspaces").
+		Insert("books", int64(2), "978-2", "Schema Matching")
+	if err := lib.ExportCSV(libDir); err != nil {
+		t.Fatal(err)
+	}
+	shop := automed.NewSource("Shop").
+		Table("items", "sku", "barcode", "name").
+		Insert("items", "S1", "978-2", "Schema Matching")
+	if err := shop.ExportCSV(shopDir); err != nil {
+		t.Fatal(err)
+	}
+	return libDir, shopDir
+}
+
+func TestDemoRuns(t *testing.T) {
+	if err := demo(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderRuns(t *testing.T) {
+	if err := renderCmd(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryCmd(t *testing.T) {
+	libDir, _ := writeDemoCSVs(t)
+	err := queryCmd([]string{"-src", "Library=" + libDir, "count(<<library_books>>)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing args.
+	if err := queryCmd([]string{}); err == nil {
+		t.Error("query without sources succeeded")
+	}
+	if err := queryCmd([]string{"-src", "bad-spec", "count(<<x>>)"}); err == nil {
+		t.Error("bad -src accepted")
+	}
+}
+
+func TestMatchCmd(t *testing.T) {
+	libDir, shopDir := writeDemoCSVs(t)
+	if err := matchCmd([]string{"-src", "A=" + libDir, "-src", "B=" + shopDir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := matchCmd([]string{"-src", "A=" + libDir}); err == nil {
+		t.Error("match with one source succeeded")
+	}
+}
+
+func TestSchemaCmd(t *testing.T) {
+	libDir, _ := writeDemoCSVs(t)
+	if err := schemaCmd([]string{"-src", "Library=" + libDir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegrateCmdSpec(t *testing.T) {
+	libDir, shopDir := writeDemoCSVs(t)
+	spec := Spec{
+		Federation:    "F",
+		DropRedundant: true,
+		Queries: []string{
+			"count(<<UBook>>)",
+			"[{s, k} | {s, k, x} <- <<UBook, isbn>>; x = '978-2']",
+		},
+	}
+	spec.Sources = []struct {
+		Name string `json:"name"`
+		Dir  string `json:"dir"`
+	}{
+		{Name: "Library", Dir: libDir},
+		{Name: "Shop", Dir: shopDir},
+	}
+	spec.Intersections = []struct {
+		Name     string            `json:"name"`
+		Mappings []automed.Mapping `json:"mappings"`
+	}{
+		{
+			Name: "I1",
+			Mappings: []automed.Mapping{
+				automed.Entity("<<UBook>>",
+					automed.From("Library", "[{'LIB', k} | k <- <<books>>]"),
+					automed.From("Shop", "[{'SHOP', k} | k <- <<items>>]"),
+				),
+				automed.Attribute("<<UBook, isbn>>",
+					automed.From("Library", "[{'LIB', k, x} | {k, x} <- <<books, isbn>>]"),
+					automed.From("Shop", "[{'SHOP', k, x} | {k, x} <- <<items, barcode>>]"),
+				),
+			},
+		},
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	repoPath := filepath.Join(dir, "repo.json")
+	if err := integrateCmd([]string{"-spec", specPath, "-repo-out", repoPath}); err != nil {
+		t.Fatal(err)
+	}
+	// The repository was written and is non-trivial.
+	info, err := os.Stat(repoPath)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("repo output missing: %v", err)
+	}
+	// Errors: missing spec, bad JSON, failing query.
+	if err := integrateCmd([]string{}); err == nil {
+		t.Error("integrate without spec succeeded")
+	}
+	badPath := filepath.Join(dir, "bad.json")
+	os.WriteFile(badPath, []byte("{"), 0o644)
+	if err := integrateCmd([]string{"-spec", badPath}); err == nil {
+		t.Error("bad spec JSON accepted")
+	}
+}

@@ -1,0 +1,140 @@
+// Command iqlshell is an interactive IQL shell over federated CSV data
+// sources. Lines are parsed and evaluated against the federation; shell
+// commands start with ':'.
+//
+//	iqlshell -src library=testdata/library -src shop=testdata/shop
+//	iql> count(<<library_books>>)
+//	iql> :schemas
+//	iql> :quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dataspace/automed"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/render"
+)
+
+type srcFlags []string
+
+func (s *srcFlags) String() string     { return strings.Join(*s, ",") }
+func (s *srcFlags) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	var srcs srcFlags
+	flag.Var(&srcs, "src", "data source as name=csvdir (repeatable)")
+	flag.Parse()
+	if len(srcs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: iqlshell -src name=csvdir [...]")
+		os.Exit(2)
+	}
+	var ws []automed.Wrapper
+	for _, spec := range srcs {
+		name, dir, ok := strings.Cut(spec, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "iqlshell: bad -src %q\n", spec)
+			os.Exit(2)
+		}
+		w, err := automed.OpenCSVDir(name, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iqlshell: %v\n", err)
+			os.Exit(1)
+		}
+		ws = append(ws, w)
+	}
+	sys, err := automed.New(ws...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iqlshell: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := sys.Federate("F"); err != nil {
+		fmt.Fprintf(os.Stderr, "iqlshell: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("federated %d source(s); :help for commands\n", len(ws))
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("iql> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		if strings.HasPrefix(line, ":") {
+			if shellCommand(sys, line) {
+				return
+			}
+			continue
+		}
+		res, err := sys.Query(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printValue(res.Value)
+		for _, w := range res.Warnings {
+			fmt.Println("warning:", w)
+		}
+	}
+}
+
+// shellCommand handles ':' commands; returns true to exit.
+func shellCommand(sys *automed.System, line string) bool {
+	cmd, arg, _ := strings.Cut(strings.TrimPrefix(line, ":"), " ")
+	switch cmd {
+	case "q", "quit", "exit":
+		return true
+	case "help":
+		fmt.Println(`commands:
+  :schemas            list global schema objects
+  :extent <<scheme>>  show one object's extent
+  :builtins           list IQL built-in functions
+  :quit               exit`)
+	case "schemas":
+		fmt.Print(render.Schema(sys.Global()))
+	case "extent":
+		v, err := sys.Extent(strings.TrimSpace(arg))
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		printValue(v)
+	case "builtins":
+		fmt.Println(strings.Join(iql.Builtins(), " "))
+	default:
+		fmt.Printf("unknown command %q; :help\n", cmd)
+	}
+	return false
+}
+
+func printValue(v automed.Value) {
+	if !v.IsCollection() {
+		fmt.Println(v)
+		return
+	}
+	sorted, err := iql.SortBag(v)
+	if err != nil {
+		fmt.Println(v)
+		return
+	}
+	els, _ := sorted.Elements()
+	const cap = 40
+	for i, e := range els {
+		if i == cap {
+			fmt.Printf("  … %d more\n", len(els)-cap)
+			break
+		}
+		fmt.Printf("  %s\n", e)
+	}
+	fmt.Printf("(%d element(s))\n", len(els))
+}

@@ -1,0 +1,59 @@
+// Pay-as-you-go: replays the case study iteration by iteration,
+// probing after each step which of the seven priority queries has
+// become answerable — the incremental-service property that motivates
+// dataspaces (paper §1, §3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dataspace/automed/internal/core"
+	"github.com/dataspace/automed/internal/ispider"
+)
+
+func main() {
+	cfg := ispider.DefaultConfig()
+	pedro, gpmdb, pepseeker, err := ispider.Wrappers(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ig, err := core.New(pedro, gpmdb, pepseeker)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ig.Federate("F"); err != nil {
+		log.Fatal(err)
+	}
+
+	probe := func(stage string, cumulative int) {
+		fmt.Printf("\nafter %-3s (cumulative manual effort: %2d):\n", stage, cumulative)
+		for _, q := range ispider.Table1Queries() {
+			res, err := ig.Query(q.IQL)
+			switch {
+			case err != nil:
+				fmt.Printf("  %s: not yet answerable\n", q.ID)
+			default:
+				fmt.Printf("  %s: %d result(s)\n", q.ID, res.Value.Len())
+			}
+		}
+	}
+
+	probe("F", 0)
+	for _, step := range ispider.IntersectionPlan() {
+		switch step.Kind {
+		case "intersect":
+			if _, err := ig.Intersect(step.Name, step.Mappings, step.Enables...); err != nil {
+				log.Fatalf("step %s: %v", step.Name, err)
+			}
+		case "refine":
+			if err := ig.Refine(step.Name, step.Refinement, step.Enables...); err != nil {
+				log.Fatalf("step %s: %v", step.Name, err)
+			}
+		}
+		probe(step.Name, ig.Report().Totals().Manual())
+	}
+
+	fmt.Println("\nevery query went live as soon as its concepts were mapped —")
+	fmt.Println("the classical baseline would have answered nothing until all 95 steps.")
+}

@@ -1,0 +1,592 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/query"
+	"github.com/dataspace/automed/internal/repo"
+	"github.com/dataspace/automed/internal/transform"
+	"github.com/dataspace/automed/internal/wrapper"
+)
+
+// Intersection records one intersection schema: its per-source pathways
+// (in the paper's canonical add/delete/contract normal form), the ident
+// steps linking the union-compatible images, and the resulting schema.
+type Intersection struct {
+	// Name is the intersection schema's name, e.g. "I1".
+	Name string
+	// Sources lists the contributing extensional schemas.
+	Sources []string
+	// Targets are the intersection schema objects (including
+	// tool-generated parent entities).
+	Targets []hdm.Scheme
+	// Derived are global-level concepts defined over already
+	// integrated objects rather than a single source.
+	Derived []hdm.Scheme
+	// PathwayBySource maps each contributing source to its pathway
+	// ES_src → I_src.
+	PathwayBySource map[string]*transform.Pathway
+	// Schema is the intersection schema I.
+	Schema *hdm.Schema
+	// DeletedBySource records, per source, the source objects removed
+	// by delete (not contract) steps: these become redundant in the
+	// global schema (the − operator's operands).
+	DeletedBySource map[string][]hdm.Scheme
+	// Counts tallies the steps generated for this intersection.
+	Counts StepCounts
+}
+
+// Integrator drives the intersection-schema workflow over a set of
+// wrapped data sources. Create one with New, call Federate, then any
+// sequence of Intersect/Refine/BuildGlobal, querying at any point.
+type Integrator struct {
+	repo    *repo.Repository
+	proc    *query.Processor
+	sources []wrapper.Wrapper
+	prefix  map[string]string // source schema name → federation prefix
+
+	fedName       string
+	fed           *hdm.Schema
+	intersections []*Intersection
+	derivedObjs   []objMeta // refinement + derived concepts, global-level
+	global        *hdm.Schema
+	globalVersion int
+	iterations    []Iteration
+	autoDrop      bool
+}
+
+// SetAutoDrop controls whether the global schemas automatically rebuilt
+// after each intersection/refinement drop redundant source objects
+// (workflow step 5's optional election). Default false.
+func (ig *Integrator) SetAutoDrop(drop bool) { ig.autoDrop = drop }
+
+type objMeta struct {
+	scheme hdm.Scheme
+	kind   hdm.ObjectKind
+}
+
+// New builds an integrator over the given wrapped sources.
+func New(sources ...wrapper.Wrapper) (*Integrator, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("core: at least one source required")
+	}
+	ig := &Integrator{
+		repo:   repo.New(),
+		proc:   query.New(),
+		prefix: make(map[string]string),
+	}
+	for _, w := range sources {
+		if err := ig.proc.AddSource(w); err != nil {
+			return nil, err
+		}
+		if err := ig.repo.AddSchema(w.Schema()); err != nil {
+			return nil, err
+		}
+		ig.sources = append(ig.sources, w)
+		ig.prefix[w.SchemaName()] = sanitizePrefix(w.SchemaName())
+	}
+	return ig, nil
+}
+
+// sanitizePrefix lower-cases a schema name and maps non-alphanumerics
+// to underscores, yielding the federation prefix.
+func sanitizePrefix(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Repo exposes the underlying schemas & transformations repository.
+func (ig *Integrator) Repo() *repo.Repository { return ig.repo }
+
+// Processor exposes the underlying query processor.
+func (ig *Integrator) Processor() *query.Processor { return ig.proc }
+
+// Sources lists the wrapped sources in registration order.
+func (ig *Integrator) Sources() []wrapper.Wrapper {
+	return append([]wrapper.Wrapper(nil), ig.sources...)
+}
+
+// SourceNames lists the wrapped sources in registration order.
+func (ig *Integrator) SourceNames() []string {
+	out := make([]string, len(ig.sources))
+	for i, w := range ig.sources {
+		out[i] = w.SchemaName()
+	}
+	return out
+}
+
+// Prefix returns the federation prefix of a source schema.
+func (ig *Integrator) Prefix(source string) string { return ig.prefix[source] }
+
+// Federate builds the federated schema F = S1 ∪ … ∪ Sn: every source
+// object under its provenance prefix, with no schema or data
+// transformation (workflow step 2). F serves as the first version of
+// the global schema, so data services run immediately.
+func (ig *Integrator) Federate(name string) (*hdm.Schema, error) {
+	if ig.fed != nil {
+		return nil, fmt.Errorf("core: already federated as %q", ig.fedName)
+	}
+	if name == "" {
+		name = "F"
+	}
+	fed := hdm.NewSchema(name)
+	var counts StepCounts
+	var pathways []*transform.Pathway
+	for _, w := range ig.sources {
+		src := w.SchemaName()
+		pfx := ig.prefix[src]
+		pw := transform.NewPathway(src, name)
+		for _, o := range w.Schema().Objects() {
+			fsc := o.Scheme.WithPrefix(pfx)
+			if err := fed.Add(o.WithScheme(fsc)); err != nil {
+				return nil, fmt.Errorf("core: federate: %w", err)
+			}
+			pw.Append(transform.NewRename(o.Scheme, fsc).WithAuto())
+			// The prefixed name is defined by the unprefixed object,
+			// scoped to its source.
+			ig.proc.Define(fsc, iql.Ref(o.Scheme.Parts()...), "federate:"+src, src)
+			counts.AutoRenames++
+		}
+		pathways = append(pathways, pw)
+	}
+	if err := ig.repo.AddSchema(fed); err != nil {
+		return nil, err
+	}
+	for _, pw := range pathways {
+		if err := ig.addPathway(pw); err != nil {
+			return nil, err
+		}
+	}
+	ig.fedName = name
+	ig.fed = fed
+	ig.global = fed
+	ig.iterations = append(ig.iterations, Iteration{
+		Name: name, Kind: "federate", Counts: counts, GlobalSchema: name,
+	})
+	return fed, nil
+}
+
+// addPathway stores a pathway without endpoint re-derivation checks
+// (endpoint schemas may be federated namespaces).
+func (ig *Integrator) addPathway(pw *transform.Pathway) error {
+	if _, ok := ig.repo.Schema(pw.Source); !ok {
+		if err := ig.repo.AddSchema(hdm.NewSchema(pw.Source)); err != nil {
+			return err
+		}
+	}
+	if _, ok := ig.repo.Schema(pw.Target); !ok {
+		if err := ig.repo.AddSchema(hdm.NewSchema(pw.Target)); err != nil {
+			return err
+		}
+	}
+	return ig.repo.AddPathway(pw, false)
+}
+
+// Federated returns the federated schema (nil before Federate).
+func (ig *Integrator) Federated() *hdm.Schema { return ig.fed }
+
+// Global returns the current global schema: the federated schema until
+// the first BuildGlobal, then the latest built version.
+func (ig *Integrator) Global() *hdm.Schema { return ig.global }
+
+// Intersections returns the intersections created so far.
+func (ig *Integrator) Intersections() []*Intersection {
+	return append([]*Intersection(nil), ig.intersections...)
+}
+
+// Intersect performs workflow steps 3-5: creates the intersection
+// schema named name from the mappings table, generating per-source
+// pathways in the canonical normal form (manual adds; auto extends for
+// non-contributing sources; auto deletes derived from simple forward
+// queries, or manual deletes from explicit ReverseQuery entries;
+// Range Void Any contracts for everything unmapped; ident steps between
+// the union-compatible images). The paper defines intersections between
+// pairs of schemas and lists k-ary intersections as future work; this
+// implementation supports any k ≥ 1 and the case study uses k = 3.
+// The enables list names workload queries first answerable after this
+// iteration.
+func (ig *Integrator) Intersect(name string, mappings []Mapping, enables ...string) (*Intersection, error) {
+	if ig.fed == nil {
+		return nil, fmt.Errorf("core: call Federate before Intersect")
+	}
+	if name == "" {
+		name = fmt.Sprintf("I%d", len(ig.intersections)+1)
+	}
+	if len(mappings) == 0 {
+		return nil, fmt.Errorf("core: intersection %q has no mappings", name)
+	}
+
+	in := &Intersection{
+		Name:            name,
+		PathwayBySource: make(map[string]*transform.Pathway),
+		DeletedBySource: make(map[string][]hdm.Scheme),
+	}
+
+	var fwds []parsedFwd
+	targetSet := make(map[string]hdm.ObjectKind)
+	var targetOrder []hdm.Scheme
+	sourceSet := make(map[string]bool)
+	derivedOnly := make(map[string]bool)
+
+	for _, m := range mappings {
+		tsc, kind, err := parseTarget(m.Target)
+		if err != nil {
+			return nil, err
+		}
+		if len(m.Forward) == 0 {
+			return nil, fmt.Errorf("core: mapping for %s has no forward queries", tsc)
+		}
+		sourced := false
+		for _, f := range m.Forward {
+			e, err := iql.Parse(f.Query)
+			if err != nil {
+				return nil, fmt.Errorf("core: forward query for %s: %w", tsc, err)
+			}
+			pf := parsedFwd{target: tsc, kind: kind, source: f.Source, expr: e}
+			if f.Source != "" {
+				sourced = true
+				if !ig.hasSource(f.Source) {
+					return nil, fmt.Errorf("core: unknown source %q in mapping for %s", f.Source, tsc)
+				}
+				sourceSet[f.Source] = true
+				if obj, rev, ok := deriveReverse(e, tsc); ok {
+					pf.consume, pf.reverse = obj, rev
+				}
+			}
+			fwds = append(fwds, pf)
+		}
+		if _, seen := targetSet[tsc.Key()]; !seen {
+			if sourced {
+				// Union-compatible image member.
+				targetSet[tsc.Key()] = kind
+				targetOrder = append(targetOrder, tsc)
+			} else {
+				// Derived concepts are global-level: they are not part
+				// of the union-compatible images.
+				derivedOnly[tsc.Key()] = true
+			}
+		}
+	}
+
+	// Tool-generated parent entities: attributes whose parent entity is
+	// neither a target of this intersection nor already integrated.
+	// The explicit-target snapshot keeps planning independent of the
+	// order parents are discovered in.
+	explicit := make(map[string]bool, len(targetSet))
+	for k := range targetSet {
+		explicit[k] = true
+	}
+	autoParents, err := ig.planAutoParents(fwds, explicit, targetSet, &targetOrder)
+	if err != nil {
+		return nil, fmt.Errorf("core: intersection %q: %w", name, err)
+	}
+	fwds = append(fwds, autoParents...)
+
+	// Explicit reverse queries, indexed source → object key.
+	explicitRev := make(map[string]iql.Expr)
+	for _, m := range mappings {
+		for _, r := range m.Reverse {
+			osc, err := hdm.ParseScheme(r.Object)
+			if err != nil {
+				return nil, fmt.Errorf("core: reverse mapping object: %w", err)
+			}
+			e, err := iql.Parse(r.Query)
+			if err != nil {
+				return nil, fmt.Errorf("core: reverse query for %s: %w", osc, err)
+			}
+			explicitRev[r.Source+"\x00"+osc.Key()] = e
+		}
+	}
+
+	// Contributing sources, in registration order.
+	var contributing []string
+	for _, w := range ig.sources {
+		if sourceSet[w.SchemaName()] {
+			contributing = append(contributing, w.SchemaName())
+		}
+	}
+	if len(contributing) == 0 {
+		return nil, fmt.Errorf("core: intersection %q has no source-backed mappings", name)
+	}
+	in.Sources = contributing
+
+	// The intersection schema I: all targets.
+	iSchema := hdm.NewSchema(name)
+	for _, tsc := range targetOrder {
+		if err := iSchema.Add(hdm.NewObject(tsc, targetSet[tsc.Key()], "", "")); err != nil {
+			return nil, err
+		}
+	}
+	in.Schema = iSchema
+	in.Targets = append([]hdm.Scheme(nil), targetOrder...)
+
+	// Build one pathway per contributing source: ES_src → I_src.
+	for _, src := range contributing {
+		imageName := name + "~" + ig.prefix[src]
+		pw := transform.NewPathway(src, imageName)
+		deleted := make(map[string]bool)
+
+		// Phase 1: adds (manual), auto parent adds, and extends for
+		// targets this source does not contribute to.
+		contributed := make(map[string]bool)
+		for _, f := range fwds {
+			if f.source != src {
+				continue
+			}
+			t := transform.NewAdd(f.target, f.expr, f.kind, "", "")
+			if f.auto() {
+				t = t.WithAuto()
+				in.Counts.AutoAdds++
+			} else {
+				in.Counts.ManualAdds++
+			}
+			pw.Append(t)
+			contributed[f.target.Key()] = true
+		}
+		for _, tsc := range targetOrder {
+			if contributed[tsc.Key()] {
+				continue
+			}
+			pw.Append(transform.NewExtend(tsc, &iql.Lit{Val: iql.Void()}, &iql.Lit{Val: iql.Any()},
+				targetSet[tsc.Key()], "", "").WithAuto())
+			in.Counts.AutoExtends++
+		}
+
+		// Phase 2: deletes — explicit reverse queries first (manual),
+		// then tool-derived reverses for simple forward mappings.
+		srcSchema := ig.sourceSchema(src)
+		for _, f := range fwds {
+			if f.source != src || f.consume == nil {
+				continue
+			}
+			obj, err := srcSchema.Resolve(f.consume)
+			if err != nil {
+				return nil, fmt.Errorf("core: intersection %q: forward query for %s consumes %v: %w",
+					name, f.target, f.consume, err)
+			}
+			key := obj.Scheme.Key()
+			if deleted[key] {
+				continue
+			}
+			if rev, ok := explicitRev[src+"\x00"+key]; ok {
+				pw.Append(transform.NewDelete(obj.Scheme, rev).
+					WithMeta(obj.Kind, obj.Model, obj.Construct))
+				in.Counts.ManualDeletes++
+			} else {
+				pw.Append(transform.NewDelete(obj.Scheme, f.reverse).WithAuto().
+					WithMeta(obj.Kind, obj.Model, obj.Construct))
+				in.Counts.AutoDeletes++
+			}
+			deleted[key] = true
+			in.DeletedBySource[src] = append(in.DeletedBySource[src], obj.Scheme)
+		}
+		// Explicit reverse queries for objects not auto-consumed.
+		for _, m := range mappings {
+			for _, r := range m.Reverse {
+				if r.Source != src {
+					continue
+				}
+				osc, _ := hdm.ParseScheme(r.Object)
+				obj, err := srcSchema.Resolve(osc.Parts())
+				if err != nil {
+					return nil, fmt.Errorf("core: intersection %q: reverse mapping: %w", name, err)
+				}
+				if deleted[obj.Scheme.Key()] {
+					continue
+				}
+				pw.Append(transform.NewDelete(obj.Scheme, explicitRev[src+"\x00"+obj.Scheme.Key()]).
+					WithMeta(obj.Kind, obj.Model, obj.Construct))
+				in.Counts.ManualDeletes++
+				deleted[obj.Scheme.Key()] = true
+				in.DeletedBySource[src] = append(in.DeletedBySource[src], obj.Scheme)
+			}
+		}
+
+		// Phase 3: contract everything else of the source schema.
+		for _, o := range srcSchema.Objects() {
+			if deleted[o.Scheme.Key()] {
+				continue
+			}
+			pw.Append(transform.NewContract(o.Scheme, nil, nil).WithAuto().
+				WithMeta(o.Kind, o.Model, o.Construct))
+			in.Counts.AutoContracts++
+		}
+
+		if err := pw.IsIntersectionForm(); err != nil {
+			return nil, fmt.Errorf("core: intersection %q: %w", name, err)
+		}
+		in.PathwayBySource[src] = pw
+		if err := ig.repo.AddSchema(iSchema.Clone(imageName)); err != nil {
+			return nil, err
+		}
+		if err := ig.addPathway(pw); err != nil {
+			return nil, err
+		}
+		if err := ig.proc.RegisterPathway(pw, src); err != nil {
+			return nil, err
+		}
+	}
+
+	// Ident steps between consecutive union-compatible images, and the
+	// designation of the first image as the intersection schema I.
+	if err := ig.repo.AddSchema(iSchema); err != nil {
+		return nil, err
+	}
+	images := make([]string, len(contributing))
+	for i, src := range contributing {
+		images[i] = name + "~" + ig.prefix[src]
+	}
+	for i := 0; i+1 < len(images); i++ {
+		a, _ := ig.repo.Schema(images[i])
+		b, _ := ig.repo.Schema(images[i+1])
+		steps, err := transform.IdentSteps(a, b)
+		if err != nil {
+			return nil, fmt.Errorf("core: intersection %q: %w", name, err)
+		}
+		idp := transform.NewPathway(images[i], images[i+1], steps...)
+		if err := ig.addPathway(idp); err != nil {
+			return nil, err
+		}
+		in.Counts.AutoIDs += len(steps)
+	}
+	if len(images) > 0 {
+		first, _ := ig.repo.Schema(images[0])
+		steps, err := transform.IdentSteps(first, iSchema)
+		if err != nil {
+			return nil, err
+		}
+		if err := ig.addPathway(transform.NewPathway(images[0], name, steps...)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Derived concepts (empty Source): defined over the integrated
+	// namespace, registered unscoped; they join the global schema but
+	// not the union-compatible images.
+	derivedSeen := make(map[string]bool)
+	for _, f := range fwds {
+		if f.source != "" {
+			continue
+		}
+		ig.proc.Define(f.target, f.expr, name+":derived", "")
+		in.Counts.ManualAdds++
+		if derivedOnly[f.target.Key()] && !derivedSeen[f.target.Key()] {
+			derivedSeen[f.target.Key()] = true
+			in.Derived = append(in.Derived, f.target)
+			ig.derivedObjs = append(ig.derivedObjs, objMeta{scheme: f.target, kind: f.kind})
+		}
+	}
+
+	ig.intersections = append(ig.intersections, in)
+	// Workflow step 5: the tool automatically creates a new global
+	// schema from the intersection and the extensional schemas.
+	if _, err := ig.rebuildGlobal(ig.autoDrop); err != nil {
+		return nil, err
+	}
+	ig.iterations = append(ig.iterations, Iteration{
+		Name: name, Kind: "intersection", Counts: in.Counts,
+		Enables: enables, GlobalSchema: ig.globalName(),
+	})
+	return in, nil
+}
+
+// parsedFwd is one parsed forward mapping entry; isAuto marks
+// tool-generated entries (parent entities).
+type parsedFwd struct {
+	target  hdm.Scheme
+	kind    hdm.ObjectKind
+	source  string
+	expr    iql.Expr
+	reverse iql.Expr // auto-derived reverse, if invertible
+	consume []string // source object consumed (when invertible)
+	isAuto  bool
+}
+
+func (f parsedFwd) auto() bool { return f.isAuto }
+
+// planAutoParents reproduces the Intersection Schema Tool behaviour of
+// creating missing parent entities implied by attribute mappings: the
+// paper's iteration 4 adds <<UProteinHit, protein>> etc. without ever
+// adding <<UProteinHit>>, so the tool derives the entity from each
+// source's first simple attribute query (counted automatic, keeping the
+// paper's manual count intact).
+func (ig *Integrator) planAutoParents(fwds []parsedFwd, explicit map[string]bool, targetSet map[string]hdm.ObjectKind, targetOrder *[]hdm.Scheme) ([]parsedFwd, error) {
+	var out []parsedFwd
+	// Parent key → source → derivation already planned?
+	planned := make(map[string]map[string]bool)
+	for _, f := range fwds {
+		if f.source == "" || f.target.Arity() < 2 {
+			continue
+		}
+		parent := hdm.NewScheme(f.target.First())
+		pk := parent.Key()
+		if explicit[pk] {
+			continue // entity mapped explicitly
+		}
+		if ig.proc.HasDefinition(parent) {
+			continue // integrated in an earlier iteration
+		}
+		if planned[pk] == nil {
+			planned[pk] = make(map[string]bool)
+		}
+		if planned[pk][f.source] {
+			continue
+		}
+		pq, ok := deriveParent(f.expr)
+		if !ok {
+			continue // only simple attribute shapes imply a parent derivation
+		}
+		planned[pk][f.source] = true
+		if _, seen := targetSet[pk]; !seen {
+			targetSet[pk] = hdm.Nodal
+			*targetOrder = append(*targetOrder, parent)
+		}
+		out = append(out, parsedFwd{
+			target: parent, kind: hdm.Nodal, source: f.source, expr: pq, isAuto: true,
+		})
+	}
+	// Every parent that ended up as a target must have at least one
+	// derivation, else queries over it cannot be answered.
+	for pk, srcs := range planned {
+		if len(srcs) == 0 {
+			return nil, fmt.Errorf("no derivation found for implied parent entity %s; add an explicit entity mapping", pk)
+		}
+	}
+	return out, nil
+}
+
+func (ig *Integrator) hasSource(name string) bool {
+	for _, w := range ig.sources {
+		if w.SchemaName() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (ig *Integrator) sourceSchema(name string) *hdm.Schema {
+	for _, w := range ig.sources {
+		if w.SchemaName() == name {
+			return w.Schema()
+		}
+	}
+	return nil
+}
+
+func (ig *Integrator) globalName() string {
+	if ig.global != nil {
+		return ig.global.Name()
+	}
+	return ""
+}

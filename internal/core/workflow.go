@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/query"
+	"github.com/dataspace/automed/internal/transform"
+	"github.com/dataspace/automed/internal/wrapper"
+)
+
+// Refine performs the paper's footnote-8 operation: an ad-hoc
+// transformation of a single schema as part of the iterative
+// integration (e.g. adding <<UProtein, description>> from Pedro alone
+// to answer query 2). Each forward entry is a manual add; derived
+// entries (empty Source) range over the integrated namespace.
+func (ig *Integrator) Refine(name string, m Mapping, enables ...string) error {
+	if ig.fed == nil {
+		return fmt.Errorf("core: call Federate before Refine")
+	}
+	tsc, kind, err := parseTarget(m.Target)
+	if err != nil {
+		return err
+	}
+	if len(m.Forward) == 0 {
+		return fmt.Errorf("core: refinement %q has no forward queries", name)
+	}
+	var counts StepCounts
+	for _, f := range m.Forward {
+		e, err := iql.Parse(f.Query)
+		if err != nil {
+			return fmt.Errorf("core: refinement %q: %w", name, err)
+		}
+		if f.Source != "" && !ig.hasSource(f.Source) {
+			return fmt.Errorf("core: refinement %q: unknown source %q", name, f.Source)
+		}
+		ig.proc.Define(tsc, e, "refine:"+name, f.Source)
+		counts.ManualAdds++
+	}
+	ig.derivedObjs = append(ig.derivedObjs, objMeta{scheme: tsc, kind: kind})
+	if _, err := ig.rebuildGlobal(ig.autoDrop); err != nil {
+		return err
+	}
+	ig.iterations = append(ig.iterations, Iteration{
+		Name: name, Kind: "refinement", Counts: counts,
+		Enables: enables, GlobalSchema: ig.globalName(),
+	})
+	return nil
+}
+
+// BuildGlobal performs workflow step 5: a new global schema version
+//
+//	G = I1 ∪ … ∪ Im ∪ (ES1 − ⋃I) ∪ … ∪ (ESn − ⋃I)
+//
+// combining every intersection schema (and refinement/derived concepts)
+// with the federated remainder of each source. When dropRedundant is
+// true, source objects removed by a delete step in some ES → I pathway
+// — whose extents are subsumed by intersection objects — are dropped
+// (the paper's − operator); otherwise the full federated schema is
+// retained alongside the intersections.
+func (ig *Integrator) BuildGlobal(dropRedundant bool) (*hdm.Schema, error) {
+	g, err := ig.rebuildGlobal(dropRedundant)
+	if err != nil {
+		return nil, err
+	}
+	ig.iterations = append(ig.iterations, Iteration{
+		Name: g.Name(), Kind: "global",
+		Counts:       StepCounts{},
+		GlobalSchema: g.Name(),
+	})
+	return g, nil
+}
+
+// rebuildGlobal constructs and installs the next global schema version
+// without recording a workflow iteration.
+func (ig *Integrator) rebuildGlobal(dropRedundant bool) (*hdm.Schema, error) {
+	if ig.fed == nil {
+		return nil, fmt.Errorf("core: call Federate before BuildGlobal")
+	}
+	ig.globalVersion++
+	name := fmt.Sprintf("GS%d", ig.globalVersion)
+	g := hdm.NewSchema(name)
+
+	// Intersection objects first.
+	for _, in := range ig.intersections {
+		for _, tsc := range in.Targets {
+			if g.Has(tsc) {
+				continue
+			}
+			obj, _ := in.Schema.Object(tsc)
+			if obj == nil {
+				obj = hdm.NewObject(tsc, hdm.Nodal, "", "")
+			}
+			if err := g.Add(obj.Clone()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Refinement and derived concepts.
+	for _, om := range ig.derivedObjs {
+		if g.Has(om.scheme) {
+			continue
+		}
+		if err := g.Add(hdm.NewObject(om.scheme, om.kind, "", "")); err != nil {
+			return nil, err
+		}
+	}
+
+	// Redundant source objects: deleted (semantically mapped) in some
+	// intersection pathway.
+	redundant := make(map[string]map[string]bool) // source → scheme key
+	if dropRedundant {
+		for _, in := range ig.intersections {
+			for src, objs := range in.DeletedBySource {
+				if redundant[src] == nil {
+					redundant[src] = make(map[string]bool)
+				}
+				for _, sc := range objs {
+					redundant[src][sc.Key()] = true
+				}
+			}
+		}
+	}
+
+	// Federated remainder per source.
+	for _, w := range ig.sources {
+		src := w.SchemaName()
+		pfx := ig.prefix[src]
+		for _, o := range w.Schema().Objects() {
+			if redundant[src] != nil && redundant[src][o.Scheme.Key()] {
+				continue
+			}
+			fsc := o.Scheme.WithPrefix(pfx)
+			if err := g.Add(o.WithScheme(fsc)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if err := ig.repo.AddSchema(g); err != nil {
+		return nil, err
+	}
+	// Derived minus-pathways ES → (ES − I), per the paper's
+	// operational rule, recorded for BAV bookkeeping.
+	if dropRedundant {
+		for _, in := range ig.intersections {
+			for src, pw := range in.PathwayBySource {
+				mp, err := transform.MinusPathway(pw, name+":"+ig.prefix[src]+"-minus")
+				if err != nil {
+					return nil, err
+				}
+				if err := ig.addPathway(mp); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	ig.global = g
+	return g, nil
+}
+
+// Result carries a query answer plus any incompleteness warnings
+// produced while unfolding extents.
+type Result struct {
+	Value    iql.Value
+	Warnings []string
+}
+
+// Query answers an IQL query over the current global schema (workflow
+// step 6). Every scheme reference must resolve (exactly or by suffix)
+// in the current global schema — objects dropped as redundant are no
+// longer queryable, exactly as in the paper's tool — and is canonical-
+// ised before evaluation.
+func (ig *Integrator) Query(src string) (Result, error) {
+	e, err := iql.Parse(src)
+	if err != nil {
+		return Result{}, err
+	}
+	return ig.QueryExpr(e)
+}
+
+// QueryExpr is Query over a parsed expression.
+func (ig *Integrator) QueryExpr(e iql.Expr) (Result, error) {
+	if ig.global == nil {
+		return Result{}, fmt.Errorf("core: no global schema; call Federate first")
+	}
+	var resolveErr error
+	canon := iql.SubstituteSchemes(e, func(parts []string) (iql.Expr, bool) {
+		obj, err := ig.global.Resolve(parts)
+		if err != nil {
+			if resolveErr == nil {
+				resolveErr = fmt.Errorf("core: query over %s: %w", ig.global.Name(), err)
+			}
+			return nil, false
+		}
+		return iql.Ref(obj.Scheme.Parts()...), true
+	})
+	if resolveErr != nil {
+		return Result{}, resolveErr
+	}
+	ig.proc.ClearWarnings()
+	v, err := ig.proc.Eval(canon)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Value: v, Warnings: ig.proc.Warnings()}, nil
+}
+
+// Extent returns the extent of one global schema object.
+func (ig *Integrator) Extent(scheme string) (iql.Value, error) {
+	sc, err := hdm.ParseScheme(scheme)
+	if err != nil {
+		return iql.Value{}, err
+	}
+	obj, err := ig.global.Resolve(sc.Parts())
+	if err != nil {
+		return iql.Value{}, err
+	}
+	return ig.proc.Extent(obj.Scheme.Parts())
+}
+
+// Report summarises the session's iterations and effort counts.
+func (ig *Integrator) Report() Report {
+	return Report{Iterations: append([]Iteration(nil), ig.iterations...)}
+}
+
+// RedundantObjects lists, per source, the objects made redundant by the
+// intersections created so far (candidates for the − operator), sorted.
+func (ig *Integrator) RedundantObjects() map[string][]hdm.Scheme {
+	out := make(map[string][]hdm.Scheme)
+	for _, in := range ig.intersections {
+		for src, objs := range in.DeletedBySource {
+			out[src] = append(out[src], objs...)
+		}
+	}
+	for src := range out {
+		sort.Slice(out[src], func(i, j int) bool {
+			return hdm.CompareSchemes(out[src][i], out[src][j]) < 0
+		})
+	}
+	return out
+}
+
+// ReverseProcessor demonstrates the BAV bidirectionality the technique
+// rests on: it materialises the current global schema and returns a new
+// query processor in which each intersection pathway is registered
+// *reversed* (I → ES), so that queries phrased against an original
+// data source schema are answered from the integrated resource. Source
+// objects that were only contracted come back as extends with unknown
+// extents (Range Void Any), surfacing as warnings rather than answers.
+func (ig *Integrator) ReverseProcessor() (*query.Processor, error) {
+	if ig.global == nil {
+		return nil, fmt.Errorf("core: no global schema")
+	}
+	mat, err := ig.proc.Materialize(ig.global)
+	if err != nil {
+		return nil, err
+	}
+	st := wrapper.NewStatic(ig.global.Name())
+	for _, o := range ig.global.Objects() {
+		if err := st.Add(o.Scheme, o.Kind, o.Model, o.Construct, mat[o.Scheme.Key()]); err != nil {
+			return nil, err
+		}
+	}
+	rp := query.New()
+	if err := rp.AddSource(st); err != nil {
+		return nil, err
+	}
+	for _, in := range ig.intersections {
+		for _, pw := range in.PathwayBySource {
+			if err := rp.RegisterPathway(pw.Reverse(), ""); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rp, nil
+}

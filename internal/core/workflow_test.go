@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/transform"
+)
+
+func TestExplicitReverseQueryCountsManual(t *testing.T) {
+	ig := newIntegrator(t)
+	if _, err := ig.Federate("F"); err != nil {
+		t.Fatal(err)
+	}
+	// A complex (non-invertible) forward query with a user-supplied
+	// reverse: the delete is manual per the paper (user input needed).
+	in, err := ig.Intersect("I1", []Mapping{
+		{
+			Target: "<<UBook>>",
+			Forward: []SourceQuery{
+				From("Library", "[{'LIB', k} | k <- <<books>>; k > 0]"),
+			},
+			Reverse: []ReverseQuery{
+				{Source: "Library", Object: "<<books>>",
+					Query: "[k | {'LIB', k} <- <<UBook>>]"},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Counts.ManualAdds != 1 || in.Counts.ManualDeletes != 1 {
+		t.Errorf("counts = %+v", in.Counts)
+	}
+	// The delete makes books redundant.
+	if len(in.DeletedBySource["Library"]) != 1 {
+		t.Errorf("deleted = %v", in.DeletedBySource)
+	}
+	// And the explicit reverse actually works.
+	if _, err := ig.BuildGlobal(true); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := ig.ReverseProcessor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rp.Query("count(<<books>>)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(iql.Int(3)) {
+		t.Errorf("reverse books = %s", v)
+	}
+}
+
+func TestGLAVStyleJoinMapping(t *testing.T) {
+	// BAV subsumes GLAV: a forward query may join several source
+	// objects (complex add). No delete is derivable, so the consumed
+	// objects contract and remain in the global schema.
+	ig := newIntegrator(t)
+	if _, err := ig.Federate("F"); err != nil {
+		t.Fatal(err)
+	}
+	in, err := ig.Intersect("I1", []Mapping{
+		{
+			Target: "<<UBookShelf>>",
+			Forward: []SourceQuery{
+				From("Library",
+					"[{'LIB', k, i, sh} | {k, i} <- <<books, isbn>>; {k2, sh} <- <<books, shelf>>; k2 = k]"),
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Counts.ManualAdds != 1 || in.Counts.AutoDeletes != 0 {
+		t.Errorf("counts = %+v", in.Counts)
+	}
+	res, err := ig.Query("count(<<UBookShelf>>)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Value.Equal(iql.Int(3)) {
+		t.Errorf("count = %s", res.Value)
+	}
+	// Nothing deleted, so with drop the source objects all survive.
+	g, err := ig.BuildGlobal(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Has(hdm.NewScheme("library_books", "isbn")) {
+		t.Error("contracted-only object was dropped")
+	}
+}
+
+func TestAutoDropRebuildsDropping(t *testing.T) {
+	ig := newIntegrator(t)
+	ig.SetAutoDrop(true)
+	if _, err := ig.Federate("F"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ig.Intersect("I1", bookMappings()); err != nil {
+		t.Fatal(err)
+	}
+	// The automatically rebuilt global schema already dropped the
+	// mapped source objects.
+	if ig.Global().Has(hdm.NewScheme("library_books")) {
+		t.Error("autoDrop did not drop redundant objects")
+	}
+	if _, err := ig.Query("count(<<library_books>>)"); err == nil {
+		t.Error("query over dropped object succeeded")
+	}
+}
+
+func TestRedundantObjectsListing(t *testing.T) {
+	ig := newIntegrator(t)
+	if _, err := ig.Federate("F"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ig.Intersect("I1", bookMappings()); err != nil {
+		t.Fatal(err)
+	}
+	red := ig.RedundantObjects()
+	if len(red["Library"]) != 3 || len(red["Shop"]) != 3 {
+		t.Errorf("redundant = %v", red)
+	}
+}
+
+func TestPrefixAndSourceNames(t *testing.T) {
+	ig := newIntegrator(t)
+	if got := ig.Prefix("Library"); got != "library" {
+		t.Errorf("Prefix = %q", got)
+	}
+	names := ig.SourceNames()
+	if len(names) != 3 || names[0] != "Library" {
+		t.Errorf("SourceNames = %v", names)
+	}
+	if len(ig.Sources()) != 3 {
+		t.Error("Sources wrong")
+	}
+	if sanitizePrefix("My DB-2") != "my_db_2" {
+		t.Errorf("sanitizePrefix = %q", sanitizePrefix("My DB-2"))
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ig := newIntegrator(t)
+	if _, err := ig.Query("count(<<x>>)"); err == nil {
+		t.Error("query before federate succeeded")
+	}
+	if _, err := ig.Federate("F"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ig.Query("[bad"); err == nil {
+		t.Error("bad IQL accepted")
+	}
+	if _, err := ig.Query("count(<<no_such_object>>)"); err == nil {
+		t.Error("unknown object accepted")
+	}
+	if _, err := ig.Extent("<<bogus scheme"); err == nil {
+		t.Error("bad scheme accepted by Extent")
+	}
+}
+
+func TestRefineErrors(t *testing.T) {
+	ig := newIntegrator(t)
+	m := Mapping{Target: "<<U, d>>", Forward: []SourceQuery{From("Library", "<<books>>")}}
+	if err := ig.Refine("r", m); err == nil {
+		t.Error("refine before federate succeeded")
+	}
+	if _, err := ig.Federate("F"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ig.Refine("r", Mapping{Target: "<<U, d>>"}); err == nil {
+		t.Error("refine without forwards succeeded")
+	}
+	if err := ig.Refine("r", Mapping{Target: "<<U, d>>",
+		Forward: []SourceQuery{From("Nope", "<<books>>")}}); err == nil {
+		t.Error("refine with unknown source succeeded")
+	}
+	if err := ig.Refine("r", Mapping{Target: "<<U, d>>",
+		Forward: []SourceQuery{From("Library", "[bad")}}); err == nil {
+		t.Error("refine with bad IQL succeeded")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	ig := newIntegrator(t)
+	if _, err := ig.Federate("F"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ig.Intersect("I1", bookMappings(), "Q1"); err != nil {
+		t.Fatal(err)
+	}
+	rep := ig.Report()
+	s := rep.String()
+	for _, want := range []string{"federate", "intersection", "Q1", "TOTAL"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	if cum := rep.CumulativeManual(); cum[len(cum)-1] != rep.TotalManual() {
+		t.Errorf("cumulative inconsistent: %v vs %d", cum, rep.TotalManual())
+	}
+	counts := rep.Totals()
+	if !strings.Contains(counts.String(), "manual=6") {
+		t.Errorf("counts string = %s", counts)
+	}
+}
+
+func TestRepoRecordsPathwaysAndSchemas(t *testing.T) {
+	ig := newIntegrator(t)
+	if _, err := ig.Federate("F"); err != nil {
+		t.Fatal(err)
+	}
+	in, err := ig.Intersect("I1", bookMappings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ig.Repo()
+	// Intersection schema and per-source images stored.
+	if _, ok := r.Schema("I1"); !ok {
+		t.Error("intersection schema not stored")
+	}
+	for _, src := range in.Sources {
+		img := "I1~" + ig.Prefix(src)
+		if _, ok := r.Schema(img); !ok {
+			t.Errorf("image schema %s not stored", img)
+		}
+	}
+	// Pathways findable: Library → I1 via image + ident.
+	p, err := r.FindPath("Library", "I1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() == 0 {
+		t.Error("empty pathway Library→I1")
+	}
+	// Applying the found pathway reproduces the intersection objects.
+	src, _ := r.Schema("Library")
+	derived, err := transform.ApplyPathway(src, p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range in.Targets {
+		if !derived.Has(sc) {
+			t.Errorf("derived schema missing %s", sc)
+		}
+	}
+}
+
+func TestManyIterationsGlobalVersioning(t *testing.T) {
+	ig := newIntegrator(t)
+	if _, err := ig.Federate("F"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ig.Intersect("I1", bookMappings()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := ig.Refine(fmt.Sprintf("r%d", i), Mapping{
+			Target: fmt.Sprintf("<<UBook, extra%d>>", i),
+			Forward: []SourceQuery{
+				From("Library", "[{'LIB', k, x} | {k, x} <- <<books, shelf>>]"),
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each iteration produced a fresh global version; all stored.
+	name := ig.Global().Name()
+	if name != "GS4" {
+		t.Errorf("global version = %q, want GS4", name)
+	}
+	for _, v := range []string{"GS1", "GS2", "GS3", "GS4"} {
+		if _, ok := ig.Repo().Schema(v); !ok {
+			t.Errorf("version %s not stored", v)
+		}
+	}
+}
+
+func TestSourceErrorPropagates(t *testing.T) {
+	// A wrapper whose extents fail mid-query surfaces the error.
+	bad := &failingWrapper{name: "Bad"}
+	ig, err := New(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ig.Federate("F"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ig.Query("count(<<bad_t>>)"); err == nil ||
+		!strings.Contains(err.Error(), "synthetic failure") {
+		t.Errorf("wrapper failure not propagated: %v", err)
+	}
+}
+
+type failingWrapper struct{ name string }
+
+func (w *failingWrapper) SchemaName() string { return w.name }
+func (w *failingWrapper) Schema() *hdm.Schema {
+	s := hdm.NewSchema(w.name)
+	s.MustAdd(hdm.NewObject(hdm.MustScheme("<<t>>"), hdm.Nodal, "", ""))
+	return s
+}
+func (w *failingWrapper) Extent(parts []string) (iql.Value, error) {
+	return iql.Value{}, fmt.Errorf("synthetic failure reading %v", parts)
+}

@@ -1,0 +1,349 @@
+package iql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Extents supplies the extent (a bag) of a schema object referenced by
+// scheme parts. Implementations include data-source wrappers and the
+// query processor's virtual-schema resolver.
+type Extents interface {
+	Extent(parts []string) (Value, error)
+}
+
+// ExtentsFunc adapts a function to the Extents interface.
+type ExtentsFunc func(parts []string) (Value, error)
+
+// Extent implements Extents.
+func (f ExtentsFunc) Extent(parts []string) (Value, error) { return f(parts) }
+
+// NoExtents is an Extents that knows no schema objects; evaluating a
+// SchemeRef against it fails.
+var NoExtents Extents = ExtentsFunc(func(parts []string) (Value, error) {
+	return Value{}, fmt.Errorf("iql: no extent source for <<%s>>", strings.Join(parts, ", "))
+})
+
+// Env is a lexically scoped variable environment.
+type Env struct {
+	vars   map[string]Value
+	parent *Env
+}
+
+// NewEnv returns an empty top-level environment.
+func NewEnv() *Env { return &Env{} }
+
+// Child returns a new scope nested in e. The scope's map is allocated
+// lazily on first Bind, keeping non-binding scopes allocation-free.
+func (e *Env) Child() *Env { return &Env{parent: e} }
+
+// Bind sets a variable in the current scope.
+func (e *Env) Bind(name string, v Value) {
+	if e.vars == nil {
+		e.vars = make(map[string]Value, 4)
+	}
+	e.vars[name] = v
+}
+
+// Lookup finds a variable in the current or any enclosing scope.
+func (e *Env) Lookup(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+// Evaluator evaluates IQL expressions against an extent source. The
+// zero-value MaxSteps disables the step limit.
+type Evaluator struct {
+	// Ext resolves scheme references. If nil, NoExtents is used.
+	Ext Extents
+	// MaxSteps bounds the number of evaluation steps as a defence
+	// against runaway comprehensions; 0 means unlimited.
+	MaxSteps int
+
+	steps int
+}
+
+// NewEvaluator returns an evaluator over the given extent source.
+func NewEvaluator(ext Extents) *Evaluator { return &Evaluator{Ext: ext} }
+
+// Eval evaluates an expression in an environment (nil for empty).
+func (ev *Evaluator) Eval(e Expr, env *Env) (Value, error) {
+	if env == nil {
+		env = NewEnv()
+	}
+	ev.steps = 0
+	return ev.eval(e, env)
+}
+
+// EvalString parses and evaluates IQL source text.
+func (ev *Evaluator) EvalString(src string) (Value, error) {
+	e, err := Parse(src)
+	if err != nil {
+		return Value{}, err
+	}
+	return ev.Eval(e, nil)
+}
+
+func (ev *Evaluator) step() error {
+	ev.steps++
+	if ev.MaxSteps > 0 && ev.steps > ev.MaxSteps {
+		return fmt.Errorf("iql: evaluation exceeded %d steps", ev.MaxSteps)
+	}
+	return nil
+}
+
+func (ev *Evaluator) eval(e Expr, env *Env) (Value, error) {
+	if err := ev.step(); err != nil {
+		return Value{}, err
+	}
+	switch n := e.(type) {
+	case *Lit:
+		return n.Val, nil
+
+	case *Var:
+		v, ok := env.Lookup(n.Name)
+		if !ok {
+			return Value{}, fmt.Errorf("iql: unbound variable %q", n.Name)
+		}
+		return v, nil
+
+	case *SchemeRef:
+		ext := ev.Ext
+		if ext == nil {
+			ext = NoExtents
+		}
+		return ext.Extent(n.Parts)
+
+	case *TupleExpr:
+		items := make([]Value, len(n.Elems))
+		for i, x := range n.Elems {
+			v, err := ev.eval(x, env)
+			if err != nil {
+				return Value{}, err
+			}
+			items[i] = v
+		}
+		return Tuple(items...), nil
+
+	case *BagExpr:
+		items := make([]Value, len(n.Elems))
+		for i, x := range n.Elems {
+			v, err := ev.eval(x, env)
+			if err != nil {
+				return Value{}, err
+			}
+			items[i] = v
+		}
+		return BagOf(items), nil
+
+	case *Comp:
+		return ev.evalComp(n, env)
+
+	case *Binary:
+		return ev.evalBinary(n, env)
+
+	case *Unary:
+		x, err := ev.eval(n.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		switch n.Op {
+		case "-":
+			switch x.Kind {
+			case KindInt:
+				return Int(-x.I), nil
+			case KindFloat:
+				return Float(-x.F), nil
+			}
+			return Value{}, fmt.Errorf("iql: unary '-' needs a number, got %s", x.Kind)
+		case "not":
+			if x.Kind != KindBool {
+				return Value{}, fmt.Errorf("iql: 'not' needs a boolean, got %s", x.Kind)
+			}
+			return Bool(!x.B), nil
+		}
+		return Value{}, fmt.Errorf("iql: unknown unary operator %q", n.Op)
+
+	case *Call:
+		return ev.evalCall(n, env)
+
+	case *RangeExpr:
+		// Evaluating a Range yields its lower bound: the certain
+		// answers. Void lowers evaluate to the empty bag.
+		lo, err := ev.eval(n.Lo, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if lo.Kind == KindVoid {
+			return Bag(), nil
+		}
+		return lo, nil
+
+	case *IfExpr:
+		c, err := ev.eval(n.Cond, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if c.Kind != KindBool {
+			return Value{}, fmt.Errorf("iql: 'if' condition must be boolean, got %s", c.Kind)
+		}
+		if c.B {
+			return ev.eval(n.Then, env)
+		}
+		return ev.eval(n.Else, env)
+
+	case *LetExpr:
+		v, err := ev.eval(n.Val, env)
+		if err != nil {
+			return Value{}, err
+		}
+		child := env.Child()
+		child.Bind(n.Name, v)
+		return ev.eval(n.Body, child)
+	}
+	return Value{}, fmt.Errorf("iql: cannot evaluate %T", e)
+}
+
+// evalComp evaluates a comprehension through a per-invocation context
+// that memoises constant generator sources and hash-indexes equi-join
+// filters (see opt.go), keeping multi-generator joins near-linear.
+func (ev *Evaluator) evalComp(c *Comp, env *Env) (Value, error) {
+	ctx := newCompCtx(ev, c)
+	var out []Value
+	if err := ctx.run(0, env, &out); err != nil {
+		return Value{}, err
+	}
+	return BagOf(out), nil
+}
+
+// bindPattern attempts to bind a pattern to a value, reporting whether
+// it matched. Arity mismatches on tuple patterns are a non-match rather
+// than an error, so heterogeneous bags can be filtered by shape.
+func bindPattern(p Pattern, v Value, env *Env) (bool, error) {
+	switch pat := p.(type) {
+	case *VarPat:
+		if pat.Name != "_" {
+			env.Bind(pat.Name, v)
+		}
+		return true, nil
+	case *LitPat:
+		return pat.Val.Equal(v), nil
+	case *TuplePat:
+		if v.Kind != KindTuple || len(v.Items) != len(pat.Elems) {
+			return false, nil
+		}
+		for i, sub := range pat.Elems {
+			ok, err := bindPattern(sub, v.Items[i], env)
+			if err != nil || !ok {
+				return ok, err
+			}
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("iql: unknown pattern %T", p)
+}
+
+func (ev *Evaluator) evalBinary(n *Binary, env *Env) (Value, error) {
+	// Short-circuit boolean operators.
+	if n.Op == "and" || n.Op == "or" {
+		l, err := ev.eval(n.L, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.Kind != KindBool {
+			return Value{}, fmt.Errorf("iql: %q needs booleans, got %s", n.Op, l.Kind)
+		}
+		if n.Op == "and" && !l.B {
+			return Bool(false), nil
+		}
+		if n.Op == "or" && l.B {
+			return Bool(true), nil
+		}
+		r, err := ev.eval(n.R, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Kind != KindBool {
+			return Value{}, fmt.Errorf("iql: %q needs booleans, got %s", n.Op, r.Kind)
+		}
+		return r, nil
+	}
+
+	l, err := ev.eval(n.L, env)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := ev.eval(n.R, env)
+	if err != nil {
+		return Value{}, err
+	}
+
+	switch n.Op {
+	case "=":
+		return Bool(l.Equal(r)), nil
+	case "<>":
+		return Bool(!l.Equal(r)), nil
+	case "<", "<=", ">", ">=":
+		c, err := l.Compare(r)
+		if err != nil {
+			return Value{}, err
+		}
+		switch n.Op {
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case "++":
+		return Union(l, r)
+	case "+", "-", "*", "/":
+		return arith(n.Op, l, r)
+	}
+	return Value{}, fmt.Errorf("iql: unknown operator %q", n.Op)
+}
+
+func arith(op string, l, r Value) (Value, error) {
+	if op == "+" && l.Kind == KindString && r.Kind == KindString {
+		return Str(l.S + r.S), nil
+	}
+	numeric := func(v Value) bool { return v.Kind == KindInt || v.Kind == KindFloat }
+	if !numeric(l) || !numeric(r) {
+		return Value{}, fmt.Errorf("iql: %q needs numbers, got %s and %s", op, l.Kind, r.Kind)
+	}
+	if l.Kind == KindInt && r.Kind == KindInt && op != "/" {
+		switch op {
+		case "+":
+			return Int(l.I + r.I), nil
+		case "-":
+			return Int(l.I - r.I), nil
+		case "*":
+			return Int(l.I * r.I), nil
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch op {
+	case "+":
+		return Float(a + b), nil
+	case "-":
+		return Float(a - b), nil
+	case "*":
+		return Float(a * b), nil
+	case "/":
+		if b == 0 {
+			return Value{}, fmt.Errorf("iql: division by zero")
+		}
+		if l.Kind == KindInt && r.Kind == KindInt && l.I%r.I == 0 {
+			return Int(l.I / r.I), nil
+		}
+		return Float(a / b), nil
+	}
+	return Value{}, fmt.Errorf("iql: unknown arithmetic operator %q", op)
+}

@@ -1,0 +1,269 @@
+package iql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Comprehension evaluation with light query optimisation, in the spirit
+// of the AutoMed query processor's optimisation phase (Jasper et al.).
+// Two rewrites are applied, both strictly semantics-preserving:
+//
+//  1. Constant-source memoisation: a generator whose source expression
+//     has no free variables (e.g. a scheme reference) is evaluated once
+//     per comprehension invocation, not once per enclosing binding.
+//
+//  2. Equi-join indexing: a generator followed by consecutive filters
+//     "v = e" (or "e = v"), where each v is bound by the generator's
+//     pattern and each e depends only on variables bound by *earlier*
+//     generators, is executed by probing a hash index on the composite
+//     of the v components instead of scanning and filtering. Equality
+//     uses the same canonical keys as the '=' operator, so results are
+//     identical.
+type compCtx struct {
+	ev   *Evaluator
+	comp *Comp
+
+	constSrc []bool  // source has no free variables
+	srcVal   []Value // memoised source value (valid when srcSet)
+	srcSet   []bool
+
+	// joins[i] lists the indexed equi-join conditions for generator i
+	// (empty = plain scan); consumed[i] is how many following filter
+	// qualifiers the index subsumes.
+	joins    [][]joinCond
+	consumed []int
+	index    []map[string][]Value
+}
+
+// joinCond pairs the tuple component of the generator-bound variable
+// (wholeElement for a bare-variable pattern) with the probe expression.
+type joinCond struct {
+	comp  int
+	probe Expr
+}
+
+const wholeElement = -1
+
+func newCompCtx(ev *Evaluator, c *Comp) *compCtx {
+	n := len(c.Quals)
+	ctx := &compCtx{
+		ev:       ev,
+		comp:     c,
+		constSrc: make([]bool, n),
+		srcVal:   make([]Value, n),
+		srcSet:   make([]bool, n),
+		joins:    make([][]joinCond, n),
+		consumed: make([]int, n),
+		index:    make([]map[string][]Value, n),
+	}
+	ctx.analyze()
+	return ctx
+}
+
+// analyze marks constant sources and joinable generator/filter runs.
+func (ctx *compCtx) analyze() {
+	bound := map[string]bool{}
+	for i, q := range ctx.comp.Quals {
+		g, isGen := q.(*Generator)
+		if !isGen {
+			continue
+		}
+		ctx.constSrc[i] = len(FreeVars(g.Src)) == 0
+		if ctx.constSrc[i] {
+			for j := i + 1; j < len(ctx.comp.Quals); j++ {
+				cond, ok := joinableFilter(g, ctx.comp.Quals[j], bound)
+				if !ok {
+					break
+				}
+				ctx.joins[i] = append(ctx.joins[i], cond)
+				ctx.consumed[i]++
+			}
+		}
+		bindPatternVars(g.Pat, bound)
+	}
+}
+
+// joinableFilter recognises "v = e" / "e = v" following generator g,
+// with v bound by g's pattern and e's free variables all bound before
+// g.
+func joinableFilter(g *Generator, next Qual, boundBefore map[string]bool) (joinCond, bool) {
+	f, isFilter := next.(*Filter)
+	if !isFilter {
+		return joinCond{}, false
+	}
+	eq, isEq := f.Cond.(*Binary)
+	if !isEq || eq.Op != "=" {
+		return joinCond{}, false
+	}
+	// Which variables does the generator bind, and where?
+	comp := func(name string) (int, bool) {
+		if name == "_" {
+			return 0, false
+		}
+		switch pat := g.Pat.(type) {
+		case *VarPat:
+			if pat.Name == name {
+				return wholeElement, true
+			}
+		case *TuplePat:
+			for i, pe := range pat.Elems {
+				if vp, ok := pe.(*VarPat); ok && vp.Name == name {
+					return i, true
+				}
+			}
+		}
+		return 0, false
+	}
+	try := func(varSide, exprSide Expr) (joinCond, bool) {
+		v, isVar := varSide.(*Var)
+		if !isVar {
+			return joinCond{}, false
+		}
+		ci, ok := comp(v.Name)
+		if !ok {
+			return joinCond{}, false
+		}
+		for _, fv := range FreeVars(exprSide) {
+			if !boundBefore[fv] {
+				return joinCond{}, false
+			}
+		}
+		return joinCond{comp: ci, probe: exprSide}, true
+	}
+	if c, ok := try(eq.L, eq.R); ok {
+		return c, true
+	}
+	if c, ok := try(eq.R, eq.L); ok {
+		return c, true
+	}
+	return joinCond{}, false
+}
+
+// source returns the generator's elements, memoised for constant
+// sources.
+func (ctx *compCtx) source(i int, g *Generator, env *Env) ([]Value, error) {
+	if ctx.constSrc[i] && ctx.srcSet[i] {
+		return ctx.srcVal[i].Elements()
+	}
+	v, err := ctx.ev.eval(g.Src, env)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := v.Elements(); err != nil {
+		return nil, fmt.Errorf("iql: generator source %s: %w", g.Src, err)
+	}
+	if ctx.constSrc[i] {
+		ctx.srcVal[i] = v
+		ctx.srcSet[i] = true
+	}
+	return v.Elements()
+}
+
+// compositeKey renders the composite index key of an element for
+// generator i; ok=false when the element's shape cannot satisfy the
+// pattern.
+func (ctx *compCtx) compositeKey(i int, el Value) (string, bool) {
+	var b strings.Builder
+	for n, jc := range ctx.joins[i] {
+		if n > 0 {
+			b.WriteByte('\x00')
+		}
+		if jc.comp == wholeElement {
+			b.WriteString(el.Key())
+			continue
+		}
+		if el.Kind != KindTuple || jc.comp >= len(el.Items) {
+			return "", false
+		}
+		b.WriteString(el.Items[jc.comp].Key())
+	}
+	return b.String(), true
+}
+
+// buildIndex hashes the generator's elements on the composite join key.
+func (ctx *compCtx) buildIndex(i int, els []Value) map[string][]Value {
+	if ctx.index[i] != nil {
+		return ctx.index[i]
+	}
+	idx := make(map[string][]Value, len(els))
+	for _, el := range els {
+		key, ok := ctx.compositeKey(i, el)
+		if !ok {
+			continue // shape mismatch: pattern would not bind anyway
+		}
+		idx[key] = append(idx[key], el)
+	}
+	ctx.index[i] = idx
+	return idx
+}
+
+// run evaluates qualifiers from position i under env, appending head
+// values for complete bindings.
+func (ctx *compCtx) run(i int, env *Env, out *[]Value) error {
+	ev := ctx.ev
+	if i == len(ctx.comp.Quals) {
+		v, err := ev.eval(ctx.comp.Head, env)
+		if err != nil {
+			return err
+		}
+		*out = append(*out, v)
+		return nil
+	}
+	switch q := ctx.comp.Quals[i].(type) {
+	case *Filter:
+		c, err := ev.eval(q.Cond, env)
+		if err != nil {
+			return err
+		}
+		if c.Kind != KindBool {
+			return fmt.Errorf("iql: filter must be boolean, got %s (%s)", c.Kind, q.Cond)
+		}
+		if !c.B {
+			return nil
+		}
+		return ctx.run(i+1, env, out)
+
+	case *Generator:
+		els, err := ctx.source(i, q, env)
+		if err != nil {
+			return err
+		}
+		next := i + 1
+		if len(ctx.joins[i]) > 0 {
+			// Indexed equi-join: probe instead of scan; the consumed
+			// filters are subsumed by the index lookup.
+			var probe strings.Builder
+			for n, jc := range ctx.joins[i] {
+				if n > 0 {
+					probe.WriteByte('\x00')
+				}
+				v, err := ev.eval(jc.probe, env)
+				if err != nil {
+					return err
+				}
+				probe.WriteString(v.Key())
+			}
+			els = ctx.buildIndex(i, els)[probe.String()]
+			next = i + 1 + ctx.consumed[i]
+		}
+		for _, el := range els {
+			if err := ev.step(); err != nil {
+				return err
+			}
+			child := env.Child()
+			ok, err := bindPattern(q.Pat, el, child)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue // non-matching elements are skipped
+			}
+			if err := ctx.run(next, child, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("iql: unknown qualifier %T", ctx.comp.Quals[i])
+}

@@ -1,0 +1,392 @@
+// Package iql implements IQL, the functional comprehension-based query
+// language of the AutoMed system (Jasper et al.), as used by the paper
+// "Intersection Schemas as a Dataspace Integration Technique" (EDBT 2014).
+//
+// IQL values are scalars (integers, floats, strings, booleans), tuples
+// written {e1, …, en}, and bags (multisets) written [e1, …, en]. Queries
+// are comprehensions [head | qual1; …; qualn] whose qualifiers are
+// generators (pattern <- collection) and filters (boolean expressions).
+// The distinguished constants Void and Any denote the empty collection
+// and the unbounded collection, and Range ql qu pairs a lower and upper
+// bound for extend/contract transformations.
+package iql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates Value representations.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNull Kind = iota // absent value (internal)
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindTuple
+	KindBag
+	KindVoid // the constant Void: the empty collection / no information
+	KindAny  // the constant Any: the unbounded collection
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindTuple:
+		return "tuple"
+	case KindBag:
+		return "bag"
+	case KindVoid:
+		return "Void"
+	case KindAny:
+		return "Any"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is an IQL runtime value. The zero Value is the null value.
+// Values are treated as immutable; Items must not be mutated after
+// construction.
+type Value struct {
+	Kind  Kind
+	B     bool
+	I     int64
+	F     float64
+	S     string
+	Items []Value // tuple components or bag elements
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// String_ returns a string value. (Named with a trailing underscore to
+// avoid colliding with the conventional String method.)
+func String_(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Str is shorthand for String_.
+func Str(s string) Value { return String_(s) }
+
+// Tuple returns a tuple value of the given components.
+func Tuple(items ...Value) Value {
+	return Value{Kind: KindTuple, Items: items}
+}
+
+// Bag returns a bag (multiset) of the given elements.
+func Bag(items ...Value) Value {
+	return Value{Kind: KindBag, Items: items}
+}
+
+// BagOf wraps an existing slice as a bag without copying.
+func BagOf(items []Value) Value { return Value{Kind: KindBag, Items: items} }
+
+// Void returns the Void constant (the empty collection).
+func Void() Value { return Value{Kind: KindVoid} }
+
+// Any returns the Any constant (the unbounded collection).
+func Any() Value { return Value{Kind: KindAny} }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// IsCollection reports whether v can be enumerated: a bag or Void.
+func (v Value) IsCollection() bool { return v.Kind == KindBag || v.Kind == KindVoid }
+
+// Elements returns the elements of a bag; Void yields nil. It is an
+// error to call Elements on a non-collection.
+func (v Value) Elements() ([]Value, error) {
+	switch v.Kind {
+	case KindBag:
+		return v.Items, nil
+	case KindVoid:
+		return nil, nil
+	case KindAny:
+		return nil, fmt.Errorf("iql: cannot enumerate Any")
+	default:
+		return nil, fmt.Errorf("iql: %s is not a collection", v.Kind)
+	}
+}
+
+// Len returns the number of elements of a bag (0 for Void) or components
+// of a tuple; -1 otherwise.
+func (v Value) Len() int {
+	switch v.Kind {
+	case KindBag, KindTuple:
+		return len(v.Items)
+	case KindVoid:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// Key returns a canonical encoding of the value such that two values are
+// Equal iff their keys are identical. Bags are canonicalised by sorting
+// element keys, so bags compare as multisets.
+func (v Value) Key() string {
+	var b strings.Builder
+	v.writeKey(&b)
+	return b.String()
+}
+
+func (v Value) writeKey(b *strings.Builder) {
+	switch v.Kind {
+	case KindNull:
+		b.WriteString("N")
+	case KindBool:
+		if v.B {
+			b.WriteString("b1")
+		} else {
+			b.WriteString("b0")
+		}
+	case KindInt:
+		b.WriteString("i")
+		b.WriteString(strconv.FormatInt(v.I, 10))
+	case KindFloat:
+		// Integral floats compare equal to ints of the same value so
+		// that numeric joins behave as users expect.
+		if v.F == math.Trunc(v.F) && !math.IsInf(v.F, 0) && math.Abs(v.F) < 1e15 {
+			b.WriteString("i")
+			b.WriteString(strconv.FormatInt(int64(v.F), 10))
+			return
+		}
+		b.WriteString("f")
+		b.WriteString(strconv.FormatFloat(v.F, 'g', -1, 64))
+	case KindString:
+		b.WriteString("s")
+		b.WriteString(strconv.Itoa(len(v.S)))
+		b.WriteString(":")
+		b.WriteString(v.S)
+	case KindTuple:
+		b.WriteString("t(")
+		for i, it := range v.Items {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			it.writeKey(b)
+		}
+		b.WriteString(")")
+	case KindBag:
+		keys := make([]string, len(v.Items))
+		for i, it := range v.Items {
+			keys[i] = it.Key()
+		}
+		sort.Strings(keys)
+		b.WriteString("B[")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(k)
+		}
+		b.WriteString("]")
+	case KindVoid:
+		b.WriteString("V")
+	case KindAny:
+		b.WriteString("A")
+	}
+}
+
+// Equal reports whether two values are equal; bags compare as multisets,
+// and integral floats equal same-valued ints. Scalar and tuple
+// comparisons take allocation-free fast paths; only bags fall back to
+// canonical keys.
+func (v Value) Equal(w Value) bool {
+	switch {
+	case v.Kind == KindInt && w.Kind == KindInt:
+		return v.I == w.I
+	case v.Kind == KindString && w.Kind == KindString:
+		return v.S == w.S
+	case v.Kind == KindBool && w.Kind == KindBool:
+		return v.B == w.B
+	case (v.Kind == KindInt || v.Kind == KindFloat) && (w.Kind == KindInt || w.Kind == KindFloat):
+		return v.AsFloat() == w.AsFloat()
+	case v.Kind == KindTuple && w.Kind == KindTuple:
+		if len(v.Items) != len(w.Items) {
+			return false
+		}
+		for i := range v.Items {
+			if !v.Items[i].Equal(w.Items[i]) {
+				return false
+			}
+		}
+		return true
+	case v.Kind != w.Kind && v.Kind != KindBag && w.Kind != KindBag:
+		// Distinct non-collection kinds (numeric cross-kind handled
+		// above) can never be equal.
+		return false
+	}
+	return v.Key() == w.Key()
+}
+
+// Compare orders two scalar values. It returns an error for incomparable
+// kinds. Numeric kinds compare numerically across int/float.
+func (v Value) Compare(w Value) (int, error) {
+	if (v.Kind == KindInt || v.Kind == KindFloat) && (w.Kind == KindInt || w.Kind == KindFloat) {
+		a, b := v.AsFloat(), w.AsFloat()
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if v.Kind == KindString && w.Kind == KindString {
+		return strings.Compare(v.S, w.S), nil
+	}
+	if v.Kind == KindBool && w.Kind == KindBool {
+		x, y := 0, 0
+		if v.B {
+			x = 1
+		}
+		if w.B {
+			y = 1
+		}
+		return x - y, nil
+	}
+	return 0, fmt.Errorf("iql: cannot compare %s with %s", v.Kind, w.Kind)
+}
+
+// AsFloat converts a numeric value to float64 (0 otherwise).
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	}
+	return 0
+}
+
+// Union returns the bag union (additive multiset union, the AutoMed
+// default) of two collections. Void acts as the identity.
+func Union(a, b Value) (Value, error) {
+	ae, err := a.Elements()
+	if err != nil {
+		return Value{}, err
+	}
+	be, err := b.Elements()
+	if err != nil {
+		return Value{}, err
+	}
+	out := make([]Value, 0, len(ae)+len(be))
+	out = append(out, ae...)
+	out = append(out, be...)
+	return BagOf(out), nil
+}
+
+// Distinct returns a bag with duplicate elements removed, preserving
+// first-occurrence order.
+func Distinct(v Value) (Value, error) {
+	els, err := v.Elements()
+	if err != nil {
+		return Value{}, err
+	}
+	seen := make(map[string]bool, len(els))
+	out := make([]Value, 0, len(els))
+	for _, e := range els {
+		k := e.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	return BagOf(out), nil
+}
+
+// SortBag returns a bag with elements in canonical key order, for
+// deterministic display.
+func SortBag(v Value) (Value, error) {
+	els, err := v.Elements()
+	if err != nil {
+		return Value{}, err
+	}
+	out := append([]Value(nil), els...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return BagOf(out), nil
+}
+
+// stringEscaper escapes backslashes and quotes in string literals so
+// that rendering is injective and re-parseable.
+var stringEscaper = strings.NewReplacer(`\`, `\\`, `'`, `\'`)
+
+// String renders the value in IQL source syntax (strings single-quoted,
+// tuples braced, bags bracketed).
+func (v Value) String() string {
+	var b strings.Builder
+	v.write(&b)
+	return b.String()
+}
+
+func (v Value) write(b *strings.Builder) {
+	switch v.Kind {
+	case KindNull:
+		b.WriteString("null")
+	case KindBool:
+		if v.B {
+			b.WriteString("True")
+		} else {
+			b.WriteString("False")
+		}
+	case KindInt:
+		b.WriteString(strconv.FormatInt(v.I, 10))
+	case KindFloat:
+		s := strconv.FormatFloat(v.F, 'g', -1, 64)
+		b.WriteString(s)
+		if !strings.ContainsAny(s, ".eE") {
+			b.WriteString(".0")
+		}
+	case KindString:
+		b.WriteByte('\'')
+		b.WriteString(stringEscaper.Replace(v.S))
+		b.WriteByte('\'')
+	case KindTuple:
+		b.WriteByte('{')
+		for i, it := range v.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			it.write(b)
+		}
+		b.WriteByte('}')
+	case KindBag:
+		b.WriteByte('[')
+		for i, it := range v.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			it.write(b)
+		}
+		b.WriteByte(']')
+	case KindVoid:
+		b.WriteString("Void")
+	case KindAny:
+		b.WriteString("Any")
+	}
+}

@@ -1,0 +1,115 @@
+package ispider
+
+// CaseQuery is one of the case study's seven priority queries (paper
+// §3, Table 1), expressed in IQL over the integrated global schema.
+type CaseQuery struct {
+	// ID is the paper's query number, "Q1" … "Q7".
+	ID string
+	// Description paraphrases the paper's query statement.
+	Description string
+	// IQL is the query text over the global schema.
+	IQL string
+	// After names the plan iteration after which the query is first
+	// answerable ("F" = already answerable over the bare federation).
+	After string
+}
+
+// Table1Queries returns the seven priority queries. Q7 needs no
+// integrated concepts at all — ion information lives only in PepSeeker,
+// so it runs over the federated remainder, which is the paper's point
+// about pay-as-you-go reachability of un-integrated data.
+func Table1Queries() []CaseQuery {
+	return []CaseQuery{
+		{
+			ID:          "Q1",
+			Description: "all protein identifications for a given protein accession number",
+			After:       "I1",
+			IQL:         "[{s, k} | {s, k, x} <- <<UProtein, accession_num>>; x = '" + SharedAccession + "']",
+		},
+		{
+			ID:          "Q2",
+			Description: "all protein identifications for a given group of proteins",
+			After:       "R2",
+			IQL:         "[{s, k, d} | {s, k, d} <- <<UProtein, description>>; contains(d, '" + GroupKeyword + "')]",
+		},
+		{
+			ID:          "Q3",
+			Description: "all protein identifications for a given organism",
+			After:       "R3",
+			IQL:         "[{s, k} | {s, k, o} <- <<UProtein, organism>>; o = '" + SharedOrganism + "']",
+		},
+		{
+			ID:          "Q4",
+			Description: "all protein identifications given a certain peptide, and their related amino acid information",
+			After:       "I4",
+			IQL: "{" +
+				"[{s, k2} | {s, k1, sq} <- <<UPeptideHit, sequence>>; sq = '" + SharedPeptide + "'; " +
+				"{s2, k1b, k2} <- <<uPeptideHitToProteinHit_mm>>; s2 = s; k1b = k1], " +
+				"[{pid, t, pos} | {k, sq2} <- <<gpmdb_peptide, seq>>; sq2 = '" + SharedPeptide + "'; " +
+				"{ak, pid} <- <<gpmdb_aa, peptideid>>; pid = k; " +
+				"{ak2, t} <- <<gpmdb_aa, aatype>>; ak2 = ak; " +
+				"{ak3, pos} <- <<gpmdb_aa, at_position>>; ak3 = ak]" +
+				"}",
+		},
+		{
+			ID:          "Q5",
+			Description: "all identifications of a given protein given a certain peptide",
+			After:       "I4",
+			IQL: "[{s, k2} | {s, k1, sq} <- <<UPeptideHit, sequence>>; sq = '" + SharedPeptide + "'; " +
+				"{s2, k1b, k2} <- <<uPeptideHitToProteinHit_mm>>; s2 = s; k1b = k1; " +
+				"{s3, k2b, pr} <- <<UProteinHit, protein>>; s3 = s; k2b = k2; " +
+				"{s4, p, acc} <- <<UProtein, accession_num>>; s4 = s; p = pr; acc = '" + SharedAccession + "']",
+		},
+		{
+			ID:          "Q6",
+			Description: "all peptide-related information for a given protein identification",
+			After:       "I5",
+			IQL: "[{k1, sq, pb} | {s, k1, k2} <- <<uPeptideHitToProteinHit_mm>>; s = 'PEDRO'; k2 = 5000; " +
+				"{s2, k1b, sq} <- <<UPeptideHit, sequence>>; s2 = s; k1b = k1; " +
+				"{s3, k1c, pb} <- <<UPeptideHit, probability>>; s3 = s; k1c = k1]",
+		},
+		{
+			ID:          "Q7",
+			Description: "all ion related information",
+			After:       "F",
+			IQL: "[{pk, t, mz, i} | {k, pk} <- <<pepseeker_iontable, peptidehitid>>; " +
+				"{k2, t} <- <<pepseeker_iontable, iontype>>; k2 = k; " +
+				"{k3, mz} <- <<pepseeker_iontable, mz>>; k3 = k; " +
+				"{k4, i} <- <<pepseeker_iontable, intensity>>; k4 = k]",
+		},
+	}
+}
+
+// QueryByID returns the named case query.
+func QueryByID(id string) (CaseQuery, bool) {
+	for _, q := range Table1Queries() {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	return CaseQuery{}, false
+}
+
+// iterationIndex orders plan iterations for answerability checks; "F"
+// (the federation) precedes all plan steps.
+func iterationIndex(name string) int {
+	if name == "F" {
+		return 0
+	}
+	for i, s := range IntersectionPlan() {
+		if s.Name == name {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// AnswerableAfter reports whether query q is answerable once iteration
+// it (by name, "F" for federation-only) has completed.
+func AnswerableAfter(q CaseQuery, it string) bool {
+	qi, ii := iterationIndex(q.After), iterationIndex(it)
+	if qi < 0 || ii < 0 {
+		return false
+	}
+	return qi <= ii
+}

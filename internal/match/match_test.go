@@ -1,0 +1,227 @@
+package match
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+)
+
+func schemaOf(name string, cols ...string) *hdm.Schema {
+	s := hdm.NewSchema(name)
+	s.MustAdd(hdm.NewObject(hdm.MustScheme("<<"+name+"_tbl>>"), hdm.Nodal, "sql", "table"))
+	for _, c := range cols {
+		s.MustAdd(hdm.NewObject(hdm.NewScheme(name+"_tbl", c), hdm.Link, "sql", "column"))
+	}
+	return s
+}
+
+func TestNameMatching(t *testing.T) {
+	m := New(DefaultConfig())
+	a := schemaOf("a", "accession_num", "description", "score")
+	b := schemaOf("b", "accession", "descr", "hyperscore")
+	out := m.Match(a, b, nil, nil)
+	if len(out) == 0 {
+		t.Fatal("no correspondences")
+	}
+	// Top match for accession_num should be accession.
+	best := map[string]string{}
+	for _, c := range out {
+		if _, seen := best[c.Left.Key()]; !seen {
+			best[c.Left.Key()] = c.Right.Last()
+		}
+	}
+	if best["a_tbl|accession_num"] != "accession" {
+		t.Errorf("best for accession_num = %q", best["a_tbl|accession_num"])
+	}
+	// The synonym table maps score ↔ hyperscore highly.
+	found := false
+	for _, c := range out {
+		if c.Left.Last() == "score" && c.Right.Last() == "hyperscore" && c.Score > 0.9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("synonym match score/hyperscore not found")
+	}
+}
+
+func TestIdenticalNamesScoreOne(t *testing.T) {
+	m := New(DefaultConfig())
+	a := schemaOf("x", "organism")
+	b := schemaOf("y", "organism")
+	out := m.Match(a, b, nil, nil)
+	top := out[0]
+	if top.Score != 1 || top.Left.Last() != "organism" {
+		t.Errorf("identical names scored %v", top)
+	}
+}
+
+func TestKindGate(t *testing.T) {
+	m := New(DefaultConfig())
+	a := hdm.NewSchema("a")
+	a.MustAdd(hdm.NewObject(hdm.MustScheme("<<same>>"), hdm.Nodal, "", ""))
+	b := hdm.NewSchema("b")
+	b.MustAdd(hdm.NewObject(hdm.MustScheme("<<same, same>>"), hdm.Link, "", ""))
+	if out := m.Match(a, b, nil, nil); len(out) != 0 {
+		t.Errorf("cross-kind matches produced: %v", out)
+	}
+}
+
+type fixedExtents map[string]iql.Value
+
+func (f fixedExtents) Extent(parts []string) (iql.Value, error) {
+	key := parts[len(parts)-1]
+	if v, ok := f[key]; ok {
+		return v, nil
+	}
+	return iql.Bag(), nil
+}
+
+func TestInstanceEvidence(t *testing.T) {
+	m := New(Config{NameWeight: 0.2, InstanceWeight: 0.8, SampleSize: 50})
+	a := schemaOf("a", "col_one")
+	b := schemaOf("b", "totally_different")
+	// Same value populations: instance evidence should lift the score
+	// despite dissimilar names.
+	vals := iql.Bag(
+		iql.Tuple(iql.Int(1), iql.Str("x")),
+		iql.Tuple(iql.Int(2), iql.Str("y")),
+	)
+	extA := fixedExtents{"col_one": vals}
+	extB := fixedExtents{"totally_different": vals}
+	withInst := m.Match(a, b, extA, extB)
+	without := m.Match(a, b, nil, nil)
+	var wi, wo float64
+	for _, c := range withInst {
+		if c.Left.Last() == "col_one" && c.Right.Last() == "totally_different" {
+			wi = c.Score
+		}
+	}
+	for _, c := range without {
+		if c.Left.Last() == "col_one" && c.Right.Last() == "totally_different" {
+			wo = c.Score
+		}
+	}
+	if wi <= wo {
+		t.Errorf("instance evidence did not lift score: with=%v without=%v", wi, wo)
+	}
+}
+
+func TestTypeIncompatibilityZeroesInstanceScore(t *testing.T) {
+	m := New(Config{NameWeight: 0.5, InstanceWeight: 0.5, SampleSize: 50})
+	a := schemaOf("a", "v")
+	b := schemaOf("b", "v")
+	extA := fixedExtents{"v": iql.Bag(iql.Tuple(iql.Int(1), iql.Str("x")))}
+	extB := fixedExtents{"v": iql.Bag(iql.Tuple(iql.Int(1), iql.Int(42)))}
+	out := m.Match(a, b, extA, extB)
+	for _, c := range out {
+		if c.Left.Last() == "v" && c.Right.Last() == "v" {
+			// name=1.0, instance=0 → blended 0.5.
+			if c.Score > 0.55 {
+				t.Errorf("type-incompatible columns scored %v", c.Score)
+			}
+		}
+	}
+}
+
+func TestBestOnePerLeft(t *testing.T) {
+	m := New(DefaultConfig())
+	a := schemaOf("a", "sequence")
+	b := schemaOf("b", "seq", "pepseq")
+	best := m.Best(a, b, nil, nil, 0.2)
+	count := 0
+	for _, c := range best {
+		if c.Left.Last() == "sequence" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("Best returned %d matches for one left object", count)
+	}
+}
+
+func TestScoreBoundsProperty(t *testing.T) {
+	type pair struct{ A, B string }
+	gen := func(r *rand.Rand) string {
+		const letters = "abcdefgh_"
+		n := 1 + r.Intn(10)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return string(b)
+	}
+	m := New(DefaultConfig())
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := schemaOf("a", gen(r))
+		b := schemaOf("b", gen(r))
+		for _, c := range m.Match(a, b, nil, nil) {
+			if c.Score < 0 || c.Score > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Values: func(vs []reflect.Value, r *rand.Rand) {
+		vs[0] = reflect.ValueOf(r.Int63())
+	}}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNameSimilaritySymmetryProperty(t *testing.T) {
+	m := New(DefaultConfig())
+	gen := func(r *rand.Rand) hdm.Scheme {
+		const letters = "abcdef_"
+		n := 1 + r.Intn(10)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return hdm.NewScheme("t", string(b))
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := gen(r), gen(r)
+		return m.nameSimilarity(x, y) == m.nameSimilarity(y, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Values: func(vs []reflect.Value, r *rand.Rand) {
+		vs[0] = reflect.ValueOf(r.Int63())
+	}}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"kitten", "sitting", 3},
+		{"protein", "protein", 0},
+		{"seq", "pepseq", 3},
+	}
+	for _, c := range cases {
+		if got := levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMinScoreFilter(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinScore = 0.99
+	m := New(cfg)
+	a := schemaOf("a", "abc")
+	b := schemaOf("b", "xyz")
+	if out := m.Match(a, b, nil, nil); len(out) != 0 {
+		t.Errorf("below-threshold matches returned: %v", out)
+	}
+}

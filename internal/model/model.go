@@ -1,0 +1,216 @@
+// Package model implements the Model Definitions Repository (MDR): the
+// registry through which higher-level modelling languages (relational,
+// CSV, XML, …) are defined in terms of the HDM, following Boyd et al.'s
+// AutoMed repository design referenced by the paper.
+//
+// A ConstructDef states how a scheme of a given construct kind expands
+// into HDM nodes, edges and constraints. The expansion enables schemas
+// from heterogeneous languages to be compared and transformed in one
+// common data model.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/dataspace/automed/internal/hdm"
+)
+
+// ConstructDef describes one construct of a modelling language.
+type ConstructDef struct {
+	// Model and Name identify the construct, e.g. ("sql", "table").
+	Model string
+	Name  string
+	// Kind is the HDM classification of objects of this construct.
+	Kind hdm.ObjectKind
+	// Arity is the number of scheme parts an object of this construct
+	// carries (e.g. 1 for a table <<t>>, 2 for a column <<t, c>>).
+	Arity int
+	// Expand produces the HDM fragment for an object; nil Expand
+	// produces the default fragment for the construct kind.
+	Expand func(sc hdm.Scheme, g *hdm.Graph) error
+}
+
+// Registry is a thread-safe collection of modelling-language
+// definitions.
+type Registry struct {
+	mu   sync.RWMutex
+	defs map[string]ConstructDef // key model + "\x00" + name
+}
+
+// NewRegistry returns a registry pre-populated with the built-in
+// modelling languages: sql (table, column, pkey, fkey), csv (file,
+// field) and xml (element, attribute, text, nest).
+func NewRegistry() *Registry {
+	r := &Registry{defs: make(map[string]ConstructDef)}
+	r.mustDefine(ConstructDef{Model: "sql", Name: "table", Kind: hdm.Nodal, Arity: 1})
+	r.mustDefine(ConstructDef{Model: "sql", Name: "column", Kind: hdm.Link, Arity: 2})
+	r.mustDefine(ConstructDef{Model: "sql", Name: "pkey", Kind: hdm.ConstraintObj, Arity: 2})
+	r.mustDefine(ConstructDef{Model: "sql", Name: "fkey", Kind: hdm.ConstraintObj, Arity: 3})
+	r.mustDefine(ConstructDef{Model: "csv", Name: "file", Kind: hdm.Nodal, Arity: 1})
+	r.mustDefine(ConstructDef{Model: "csv", Name: "field", Kind: hdm.Link, Arity: 2})
+	r.mustDefine(ConstructDef{Model: "xml", Name: "element", Kind: hdm.Nodal, Arity: 1})
+	r.mustDefine(ConstructDef{Model: "xml", Name: "attribute", Kind: hdm.Link, Arity: 2})
+	r.mustDefine(ConstructDef{Model: "xml", Name: "text", Kind: hdm.Link, Arity: 1})
+	r.mustDefine(ConstructDef{Model: "xml", Name: "nest", Kind: hdm.Link, Arity: 2})
+	return r
+}
+
+func key(model, name string) string { return model + "\x00" + name }
+
+// Define registers a construct definition.
+func (r *Registry) Define(d ConstructDef) error {
+	if d.Model == "" || d.Name == "" {
+		return fmt.Errorf("model: construct needs model and name")
+	}
+	if d.Arity < 1 {
+		return fmt.Errorf("model: construct %s/%s needs arity >= 1", d.Model, d.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key(d.Model, d.Name)
+	if _, dup := r.defs[k]; dup {
+		return fmt.Errorf("model: construct %s/%s already defined", d.Model, d.Name)
+	}
+	r.defs[k] = d
+	return nil
+}
+
+func (r *Registry) mustDefine(d ConstructDef) {
+	if err := r.Define(d); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds a construct definition.
+func (r *Registry) Lookup(model, name string) (ConstructDef, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.defs[key(model, name)]
+	return d, ok
+}
+
+// Models returns the registered modelling-language names, sorted.
+func (r *Registry) Models() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seen := make(map[string]bool)
+	var out []string
+	for k := range r.defs {
+		m := strings.SplitN(k, "\x00", 2)[0]
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Constructs returns the construct names of a model, sorted.
+func (r *Registry) Constructs(model string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for k, d := range r.defs {
+		if strings.SplitN(k, "\x00", 2)[0] == model {
+			out = append(out, d.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidateObject checks that an object conforms to its construct
+// definition (known construct, matching kind and arity).
+func (r *Registry) ValidateObject(o *hdm.Object) error {
+	if o.Model == "" || o.Construct == "" {
+		return nil // untyped objects (e.g. intersection concepts) are allowed
+	}
+	d, ok := r.Lookup(o.Model, o.Construct)
+	if !ok {
+		return fmt.Errorf("model: unknown construct %s/%s for %s", o.Model, o.Construct, o.Scheme)
+	}
+	if o.Kind != d.Kind {
+		return fmt.Errorf("model: %s should be %s, is %s", o.Scheme, d.Kind, o.Kind)
+	}
+	if o.Scheme.Arity() != d.Arity {
+		return fmt.Errorf("model: %s should have arity %d, has %d", o.Scheme, d.Arity, o.Scheme.Arity())
+	}
+	return nil
+}
+
+// ValidateSchema validates every object of a schema against the
+// registry.
+func (r *Registry) ValidateSchema(s *hdm.Schema) error {
+	for _, o := range s.Objects() {
+		if err := r.ValidateObject(o); err != nil {
+			return fmt.Errorf("model: schema %q: %w", s.Name(), err)
+		}
+	}
+	return nil
+}
+
+// ExpandSchema produces the HDM hypergraph for a schema by expanding
+// each object per its construct definition. Objects without a model are
+// expanded as bare nodes (nodal) or edges from their parent (link).
+func (r *Registry) ExpandSchema(s *hdm.Schema) (*hdm.Graph, error) {
+	g := hdm.NewGraph()
+	// Two passes: nodal objects first so links can reference them.
+	for _, o := range s.Objects() {
+		if o.Kind != hdm.Nodal {
+			continue
+		}
+		if err := r.expandObject(o, g); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range s.Objects() {
+		if o.Kind == hdm.Nodal {
+			continue
+		}
+		if err := r.expandObject(o, g); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func (r *Registry) expandObject(o *hdm.Object, g *hdm.Graph) error {
+	if o.Model != "" && o.Construct != "" {
+		if d, ok := r.Lookup(o.Model, o.Construct); ok && d.Expand != nil {
+			return d.Expand(o.Scheme, g)
+		}
+	}
+	return defaultExpand(o, g)
+}
+
+// defaultExpand implements the standard HDM encodings:
+//   - nodal <<x>>           → node x
+//   - link  <<x, y>>        → node x:y plus edge x--x:y
+//   - constraint <<x, …>>   → constraint over x
+func defaultExpand(o *hdm.Object, g *hdm.Graph) error {
+	name := strings.Join(o.Scheme.Parts(), ":")
+	switch o.Kind {
+	case hdm.Nodal:
+		return g.AddNode(name)
+	case hdm.Link:
+		parent := o.Scheme.First()
+		if !g.HasNode(parent) {
+			if err := g.AddNode(parent); err != nil {
+				return err
+			}
+		}
+		if !g.HasNode(name) {
+			if err := g.AddNode(name); err != nil {
+				return err
+			}
+		}
+		return g.AddEdge("e:"+name, parent, name)
+	case hdm.ConstraintObj:
+		return g.AddConstraint("c:"+name, o.Scheme.String())
+	}
+	return fmt.Errorf("model: unknown object kind %v", o.Kind)
+}

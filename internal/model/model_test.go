@@ -1,0 +1,145 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/dataspace/automed/internal/hdm"
+)
+
+func TestBuiltinConstructs(t *testing.T) {
+	r := NewRegistry()
+	models := r.Models()
+	want := []string{"csv", "sql", "xml"}
+	if len(models) != len(want) {
+		t.Fatalf("Models = %v", models)
+	}
+	for i := range want {
+		if models[i] != want[i] {
+			t.Errorf("Models[%d] = %q, want %q", i, models[i], want[i])
+		}
+	}
+	if cs := r.Constructs("sql"); len(cs) != 4 {
+		t.Errorf("sql constructs = %v", cs)
+	}
+	d, ok := r.Lookup("sql", "column")
+	if !ok || d.Kind != hdm.Link || d.Arity != 2 {
+		t.Errorf("sql/column = %+v", d)
+	}
+	if _, ok := r.Lookup("sql", "bogus"); ok {
+		t.Error("bogus construct found")
+	}
+}
+
+func TestDefineValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Define(ConstructDef{Model: "", Name: "x", Arity: 1}); err == nil {
+		t.Error("empty model accepted")
+	}
+	if err := r.Define(ConstructDef{Model: "m", Name: "x", Arity: 0}); err == nil {
+		t.Error("zero arity accepted")
+	}
+	if err := r.Define(ConstructDef{Model: "sql", Name: "table", Arity: 1}); err == nil {
+		t.Error("duplicate construct accepted")
+	}
+	if err := r.Define(ConstructDef{Model: "rdf", Name: "triple", Kind: hdm.Link, Arity: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Lookup("rdf", "triple"); !ok {
+		t.Error("new construct not found")
+	}
+}
+
+func TestValidateObject(t *testing.T) {
+	r := NewRegistry()
+	good := hdm.NewObject(hdm.MustScheme("<<t>>"), hdm.Nodal, "sql", "table")
+	if err := r.ValidateObject(good); err != nil {
+		t.Errorf("valid object rejected: %v", err)
+	}
+	// Wrong kind.
+	bad := hdm.NewObject(hdm.MustScheme("<<t>>"), hdm.Link, "sql", "table")
+	if err := r.ValidateObject(bad); err == nil {
+		t.Error("wrong kind accepted")
+	}
+	// Wrong arity.
+	bad2 := hdm.NewObject(hdm.MustScheme("<<t, c>>"), hdm.Nodal, "sql", "table")
+	if err := r.ValidateObject(bad2); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	// Unknown construct.
+	bad3 := hdm.NewObject(hdm.MustScheme("<<t>>"), hdm.Nodal, "sql", "view")
+	if err := r.ValidateObject(bad3); err == nil {
+		t.Error("unknown construct accepted")
+	}
+	// Untyped objects pass (intersection concepts).
+	untyped := hdm.NewObject(hdm.MustScheme("<<UProtein>>"), hdm.Nodal, "", "")
+	if err := r.ValidateObject(untyped); err != nil {
+		t.Errorf("untyped object rejected: %v", err)
+	}
+}
+
+func TestValidateSchema(t *testing.T) {
+	r := NewRegistry()
+	s := hdm.NewSchema("S")
+	s.MustAdd(hdm.NewObject(hdm.MustScheme("<<t>>"), hdm.Nodal, "sql", "table"))
+	s.MustAdd(hdm.NewObject(hdm.MustScheme("<<t, c>>"), hdm.Link, "sql", "column"))
+	if err := r.ValidateSchema(s); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+	s.MustAdd(hdm.NewObject(hdm.MustScheme("<<x>>"), hdm.Nodal, "sql", "nope"))
+	if err := r.ValidateSchema(s); err == nil {
+		t.Error("invalid schema accepted")
+	}
+}
+
+func TestExpandSchema(t *testing.T) {
+	r := NewRegistry()
+	s := hdm.NewSchema("S")
+	s.MustAdd(hdm.NewObject(hdm.MustScheme("<<protein>>"), hdm.Nodal, "sql", "table"))
+	s.MustAdd(hdm.NewObject(hdm.MustScheme("<<protein, acc>>"), hdm.Link, "sql", "column"))
+	s.MustAdd(hdm.NewObject(hdm.MustScheme("<<protein, acc, pk>>"), hdm.ConstraintObj, "", ""))
+	g, err := r.ExpandSchema(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table → node; column → value node + edge; constraint → constraint.
+	if !g.HasNode("protein") {
+		t.Error("table node missing")
+	}
+	if !g.HasNode("protein:acc") {
+		t.Error("column value node missing")
+	}
+	if !g.HasEdge("e:protein:acc") {
+		t.Error("column edge missing")
+	}
+	if !g.HasConstraint("c:protein:acc:pk") {
+		t.Error("constraint missing")
+	}
+	n, e, c := g.Size()
+	if n != 2 || e != 1 || c != 1 {
+		t.Errorf("Size = %d %d %d", n, e, c)
+	}
+}
+
+func TestExpandCustom(t *testing.T) {
+	r := NewRegistry()
+	called := false
+	err := r.Define(ConstructDef{
+		Model: "m", Name: "thing", Kind: hdm.Nodal, Arity: 1,
+		Expand: func(sc hdm.Scheme, g *hdm.Graph) error {
+			called = true
+			return g.AddNode("custom:" + sc.First())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := hdm.NewSchema("S")
+	s.MustAdd(hdm.NewObject(hdm.MustScheme("<<z>>"), hdm.Nodal, "m", "thing"))
+	g, err := r.ExpandSchema(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called || !g.HasNode("custom:z") {
+		t.Error("custom expansion not applied")
+	}
+}

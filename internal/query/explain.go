@@ -1,0 +1,84 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+)
+
+// Explain renders the derivation tree of a virtual object: every
+// registered derivation with its provenance pathway and scope, and
+// recursively the derivations of the virtual objects each query
+// references. This is the programmatic analogue of AutoMed's Extent
+// Tool, which the paper's workflow uses to verify integrations (step 6).
+func (p *Processor) Explain(sc hdm.Scheme) string {
+	var b strings.Builder
+	seen := make(map[string]bool)
+	p.explain(&b, sc.Parts(), 0, seen)
+	return b.String()
+}
+
+func (p *Processor) explain(b *strings.Builder, parts []string, depth int, seen map[string]bool) {
+	indent := strings.Repeat("  ", depth)
+	key := strings.Join(parts, "|")
+	ref := "<<" + strings.Join(parts, ", ") + ">>"
+
+	p.mu.Lock()
+	derivs := append([]Derivation(nil), p.defs[key]...)
+	p.mu.Unlock()
+
+	if len(derivs) == 0 {
+		// Source-resident or unknown.
+		p.mu.Lock()
+		srcs := append([]source(nil), p.sources...)
+		p.mu.Unlock()
+		for _, s := range srcs {
+			if obj, err := s.schema.Resolve(parts); err == nil {
+				fmt.Fprintf(b, "%s%s: source object %s in %s\n", indent, ref, obj.Scheme, s.name)
+				return
+			}
+		}
+		fmt.Fprintf(b, "%s%s: UNKNOWN\n", indent, ref)
+		return
+	}
+	if seen[key] {
+		fmt.Fprintf(b, "%s%s: (see above)\n", indent, ref)
+		return
+	}
+	seen[key] = true
+	fmt.Fprintf(b, "%s%s: %d derivation(s)\n", indent, ref, len(derivs))
+	for i, d := range derivs {
+		kind := "add"
+		if d.Lower {
+			kind = "extend (lower bound)"
+		}
+		scope := d.Scope
+		if scope == "" {
+			scope = "unscoped"
+		}
+		fmt.Fprintf(b, "%s  [%d] %s via %s, scope %s:\n%s      %s\n",
+			indent, i+1, kind, d.Via, scope, indent, d.Query)
+		// Recurse into virtual references of this derivation, resolved
+		// in its scope: scope-resident names are source objects there.
+		for _, rp := range uniqueRefs(d) {
+			rkey := strings.Join(rp, "|")
+			if d.Scope != "" {
+				if _, _, ok := p.resolveIn(d.Scope, rp); ok {
+					continue // source object in scope; leaf
+				}
+			}
+			p.mu.Lock()
+			_, virtual := p.defs[rkey]
+			p.mu.Unlock()
+			if virtual {
+				p.explain(b, rp, depth+2, seen)
+			}
+		}
+	}
+}
+
+func uniqueRefs(d Derivation) [][]string {
+	return iql.UniqueSchemeRefs(d.Query)
+}

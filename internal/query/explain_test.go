@@ -1,0 +1,52 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+)
+
+func TestExplainDerivationTree(t *testing.T) {
+	p := New()
+	p.AddSource(staticSource(t, "S", map[string]iql.Value{
+		"<<t, c>>": iql.Bag(iql.Tuple(iql.Int(1), iql.Str("x"))),
+	}))
+	p.Define(hdm.MustScheme("<<I, c>>"),
+		iql.MustParse("[{'S', k, v} | {k, v} <- <<t, c>>]"), "S->I", "S")
+	p.Define(hdm.MustScheme("<<G>>"),
+		iql.MustParse("[v | {s, k, v} <- <<I, c>>]"), "I->G", "")
+
+	out := p.Explain(hdm.MustScheme("<<G>>"))
+	for _, want := range []string{
+		"<<G>>: 1 derivation(s)",
+		"via I->G",
+		"<<I, c>>: 1 derivation(s)",
+		"scope S",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// Source objects explain as leaves.
+	leaf := p.Explain(hdm.MustScheme("<<t, c>>"))
+	if !strings.Contains(leaf, "source object") {
+		t.Errorf("leaf explain:\n%s", leaf)
+	}
+	// Unknown objects are flagged.
+	unk := p.Explain(hdm.MustScheme("<<zzz>>"))
+	if !strings.Contains(unk, "UNKNOWN") {
+		t.Errorf("unknown explain:\n%s", unk)
+	}
+}
+
+func TestExplainCycleSafe(t *testing.T) {
+	p := New()
+	p.Define(hdm.MustScheme("<<a>>"), iql.MustParse("<<b>>"), "x", "")
+	p.Define(hdm.MustScheme("<<b>>"), iql.MustParse("<<a>>"), "x", "")
+	out := p.Explain(hdm.MustScheme("<<a>>"))
+	if !strings.Contains(out, "(see above)") {
+		t.Errorf("cycle not cut:\n%s", out)
+	}
+}

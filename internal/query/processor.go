@@ -1,0 +1,512 @@
+// Package query implements AutoMed's query processor for the BAV
+// setting: users' IQL queries expressed on an integrated (virtual)
+// schema are answered by recursively unfolding the view definitions
+// carried by the add/extend steps of the pathways from the data source
+// schemas (GAV unfolding); the reverse direction — answering source
+// queries from an integrated resource — falls out of the automatic
+// reversibility of pathways (LAV), per paper §2.1.
+//
+// An object added by several pathways (one per data source) has as its
+// extent the bag union of all of its derivations, which is AutoMed's
+// default semantics for integrated objects and the one the paper
+// assumes. Extends contribute their lower bound and flag the answer as
+// potentially incomplete.
+//
+// Derivations are *scoped*: a derivation registered from the pathway
+// ES_i → I evaluates its unqualified scheme references against the
+// schema of data source ES_i first, exactly as the paper's
+// transformations are written (e.g. <<protein>> inside Pedro's pathway
+// means Pedro's protein table even though PepSeeker also has one).
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/transform"
+)
+
+// Derivation is one definition of a virtual object's extent.
+type Derivation struct {
+	// Query computes (part of) the extent; for extends this is the
+	// Range whose lower bound is used.
+	Query iql.Expr
+	// Lower marks a lower-bound-only derivation (from an extend step):
+	// answers through it are certain but possibly incomplete.
+	Lower bool
+	// Via records the pathway that introduced the derivation, for
+	// provenance reporting.
+	Via string
+	// Scope names the data source schema whose objects unqualified
+	// references resolve against first; empty means unscoped.
+	Scope string
+}
+
+// source is one registered extent provider.
+type source struct {
+	name   string
+	schema *hdm.Schema
+	ext    iql.Extents
+}
+
+// Processor answers IQL queries over virtual schemas backed by data
+// source wrappers. It is safe for concurrent use.
+type Processor struct {
+	mu       sync.Mutex
+	sources  []source
+	defs     map[string][]Derivation
+	cache    map[string]iql.Value
+	srcCache map[string]iql.Value
+	warnings map[string]bool
+	// MaxSteps bounds IQL evaluation per query; 0 means unlimited.
+	MaxSteps int
+}
+
+// New returns an empty processor.
+func New() *Processor {
+	return &Processor{
+		defs:     make(map[string][]Derivation),
+		cache:    make(map[string]iql.Value),
+		srcCache: make(map[string]iql.Value),
+		warnings: make(map[string]bool),
+	}
+}
+
+// Sourcer is the subset of wrapper behaviour the processor needs; it is
+// satisfied by wrapper implementations.
+type Sourcer interface {
+	SchemaName() string
+	Schema() *hdm.Schema
+	Extent(parts []string) (iql.Value, error)
+}
+
+// AddSource registers a data source. Source schema objects are
+// authoritative: references resolving in exactly one source schema are
+// answered by that source.
+func (p *Processor) AddSource(w Sourcer) error {
+	if w == nil {
+		return fmt.Errorf("query: nil source")
+	}
+	return p.AddExtents(w.SchemaName(), w.Schema(), iql.ExtentsFunc(w.Extent))
+}
+
+// AddExtents registers a generic extent provider with an explicit
+// schema, e.g. a materialised global schema used to answer source
+// queries in the reverse (LAV) direction.
+func (p *Processor) AddExtents(name string, schema *hdm.Schema, ext iql.Extents) error {
+	if name == "" || schema == nil || ext == nil {
+		return fmt.Errorf("query: invalid extent source")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.sources {
+		if s.name == name {
+			return fmt.Errorf("query: source %q already registered", name)
+		}
+	}
+	p.sources = append(p.sources, source{name: name, schema: schema, ext: ext})
+	return nil
+}
+
+// SourceNames returns registered source names in registration order.
+func (p *Processor) SourceNames() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.sources))
+	for i, s := range p.sources {
+		out[i] = s.name
+	}
+	return out
+}
+
+// RegisterPathway installs the view definitions induced by a pathway's
+// steps, all scoped to the given source schema name: add(o,q) defines o
+// by q; extend(o, Range lo hi) defines a lower bound for o; rename(o,n)
+// defines n by o; id(a,b) defines each of a, b by the other (cycles are
+// cut during evaluation, yielding the union across an ident chain
+// exactly once; self-ids register nothing). delete and contract steps
+// induce no forward definitions.
+func (p *Processor) RegisterPathway(pw *transform.Pathway, scope string) error {
+	if pw == nil {
+		return fmt.Errorf("query: nil pathway")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	via := pw.Source + "->" + pw.Target
+	for _, t := range pw.Steps {
+		switch t.Kind {
+		case transform.Add:
+			p.defs[t.Object.Key()] = append(p.defs[t.Object.Key()],
+				Derivation{Query: t.Query, Via: via, Scope: scope})
+		case transform.Extend:
+			p.defs[t.Object.Key()] = append(p.defs[t.Object.Key()],
+				Derivation{Query: t.Query, Lower: true, Via: via, Scope: scope})
+		case transform.Rename:
+			p.defs[t.To.Key()] = append(p.defs[t.To.Key()],
+				Derivation{Query: iql.Ref(t.Object.Parts()...), Via: via, Scope: scope})
+		case transform.ID:
+			if t.Object.Key() == t.To.Key() {
+				continue // self-id: no definitional content in one namespace
+			}
+			p.defs[t.Object.Key()] = append(p.defs[t.Object.Key()],
+				Derivation{Query: iql.Ref(t.To.Parts()...), Via: via, Scope: scope})
+			p.defs[t.To.Key()] = append(p.defs[t.To.Key()],
+				Derivation{Query: iql.Ref(t.Object.Parts()...), Via: via, Scope: scope})
+		case transform.Delete, transform.Contract:
+			// No forward definition.
+		}
+	}
+	p.invalidateLocked()
+	return nil
+}
+
+// Define installs a single ad-hoc derivation for a virtual object.
+func (p *Processor) Define(sc hdm.Scheme, q iql.Expr, via, scope string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.defs[sc.Key()] = append(p.defs[sc.Key()], Derivation{Query: q, Via: via, Scope: scope})
+	p.invalidateLocked()
+}
+
+// Derivations returns the registered derivations for an object (for
+// provenance display).
+func (p *Processor) Derivations(sc hdm.Scheme) []Derivation {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Derivation(nil), p.defs[sc.Key()]...)
+}
+
+// HasDefinition reports whether the object has at least one derivation.
+func (p *Processor) HasDefinition(sc hdm.Scheme) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.defs[sc.Key()]) > 0
+}
+
+// DefinedObjects returns the scheme keys of all virtual objects, sorted.
+func (p *Processor) DefinedObjects() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.defs))
+	for k := range p.defs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InvalidateCache clears memoised extents (call after source data
+// changes).
+func (p *Processor) InvalidateCache() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.invalidateLocked()
+}
+
+func (p *Processor) invalidateLocked() {
+	p.cache = make(map[string]iql.Value)
+	p.srcCache = make(map[string]iql.Value)
+}
+
+// Warnings returns accumulated incompleteness warnings, sorted.
+func (p *Processor) Warnings() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.warnings))
+	for w := range p.warnings {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClearWarnings discards accumulated warnings.
+func (p *Processor) ClearWarnings() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.warnings = make(map[string]bool)
+}
+
+func (p *Processor) warn(msg string) {
+	p.mu.Lock()
+	p.warnings[msg] = true
+	p.mu.Unlock()
+}
+
+// session threads the recursion stack and scope stack through one query
+// evaluation so that ident cycles are cut exactly once, mid-cycle
+// results are not memoised, and each derivation's references resolve in
+// its own source scope.
+type session struct {
+	p       *Processor
+	onStack map[string]bool
+	scopes  []string
+	cut     bool
+}
+
+func (s *session) scope() string {
+	if len(s.scopes) == 0 {
+		return ""
+	}
+	return s.scopes[len(s.scopes)-1]
+}
+
+// Extent implements iql.Extents for evaluation within a session.
+func (s *session) Extent(parts []string) (iql.Value, error) {
+	return s.p.extentIn(s, parts)
+}
+
+// Extent returns the extent of the referenced object: virtual objects
+// by unfolding their derivations, source objects from their wrapper.
+func (p *Processor) Extent(parts []string) (iql.Value, error) {
+	s := &session{p: p, onStack: make(map[string]bool)}
+	return p.extentIn(s, parts)
+}
+
+// ScopedExtent resolves parts as if referenced from within the given
+// source scope (used by tools displaying per-source extents).
+func (p *Processor) ScopedExtent(scope string, parts []string) (iql.Value, error) {
+	s := &session{p: p, onStack: make(map[string]bool), scopes: []string{scope}}
+	return p.extentIn(s, parts)
+}
+
+func (p *Processor) extentIn(s *session, parts []string) (iql.Value, error) {
+	// 1. Current scope's source schema wins for unqualified references,
+	// matching the paper's per-pathway query context.
+	if sc := s.scope(); sc != "" {
+		if src, obj, ok := p.resolveIn(sc, parts); ok {
+			return p.sourceExtent(src, obj)
+		}
+	}
+
+	// 2. Virtual objects (exact scheme key).
+	key := strings.Join(parts, "|")
+	p.mu.Lock()
+	derivs, virtual := p.defs[key]
+	if virtual {
+		if v, ok := p.cache[key]; ok {
+			p.mu.Unlock()
+			return v, nil
+		}
+	}
+	p.mu.Unlock()
+
+	if virtual {
+		return p.virtualExtent(s, key, parts, derivs)
+	}
+
+	// 3. Unambiguous global source resolution.
+	p.mu.Lock()
+	srcs := append([]source(nil), p.sources...)
+	p.mu.Unlock()
+	type hit struct {
+		src source
+		sc  hdm.Scheme
+	}
+	var hits []hit
+	for _, src := range srcs {
+		obj, err := src.schema.Resolve(parts)
+		if err != nil {
+			continue
+		}
+		hits = append(hits, hit{src: src, sc: obj.Scheme})
+	}
+	switch len(hits) {
+	case 0:
+		return iql.Value{}, fmt.Errorf("query: unknown schema object <<%s>>", strings.Join(parts, ", "))
+	case 1:
+		return p.sourceExtent(hits[0].src, hits[0].sc)
+	default:
+		names := make([]string, len(hits))
+		for i, h := range hits {
+			names[i] = h.src.name
+		}
+		return iql.Value{}, fmt.Errorf("query: <<%s>> is ambiguous across sources %s",
+			strings.Join(parts, ", "), strings.Join(names, ", "))
+	}
+}
+
+// resolveIn resolves parts against one named source schema.
+func (p *Processor) resolveIn(name string, parts []string) (source, hdm.Scheme, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, src := range p.sources {
+		if src.name != name {
+			continue
+		}
+		obj, err := src.schema.Resolve(parts)
+		if err != nil {
+			return source{}, hdm.Scheme{}, false
+		}
+		return src, obj.Scheme, true
+	}
+	return source{}, hdm.Scheme{}, false
+}
+
+func (p *Processor) sourceExtent(src source, sc hdm.Scheme) (iql.Value, error) {
+	ck := src.name + "\x00" + sc.Key()
+	p.mu.Lock()
+	if v, ok := p.srcCache[ck]; ok {
+		p.mu.Unlock()
+		return v, nil
+	}
+	p.mu.Unlock()
+	v, err := src.ext.Extent(sc.Parts())
+	if err != nil {
+		return iql.Value{}, err
+	}
+	p.mu.Lock()
+	p.srcCache[ck] = v
+	p.mu.Unlock()
+	return v, nil
+}
+
+func (p *Processor) virtualExtent(s *session, key string, parts []string, derivs []Derivation) (iql.Value, error) {
+	if s.onStack[key] {
+		s.cut = true
+		return iql.Bag(), nil
+	}
+	s.onStack[key] = true
+	savedCut := s.cut
+	s.cut = false
+	var acc []iql.Value
+	var evalErr error
+	for _, d := range derivs {
+		s.scopes = append(s.scopes, d.Scope)
+		ev := &iql.Evaluator{Ext: s, MaxSteps: p.MaxSteps}
+		v, err := ev.Eval(d.Query, nil)
+		s.scopes = s.scopes[:len(s.scopes)-1]
+		if err != nil {
+			evalErr = fmt.Errorf("query: unfolding <<%s>> via %s: %w",
+				strings.Join(parts, ", "), d.Via, err)
+			break
+		}
+		els, err := v.Elements()
+		if err != nil {
+			evalErr = fmt.Errorf("query: derivation of <<%s>> via %s is not a collection: %w",
+				strings.Join(parts, ", "), d.Via, err)
+			break
+		}
+		acc = append(acc, els...)
+		if d.Lower {
+			if iql.IsVoidAnyRange(d.Query) {
+				p.warn(fmt.Sprintf("extent of <<%s>> is unknown via %s (Range Void Any)",
+					strings.Join(parts, ", "), d.Via))
+			} else {
+				p.warn(fmt.Sprintf("extent of <<%s>> may be incomplete: lower bound used (via %s)",
+					strings.Join(parts, ", "), d.Via))
+			}
+		}
+	}
+	delete(s.onStack, key)
+	if evalErr != nil {
+		return iql.Value{}, evalErr
+	}
+	out := iql.BagOf(acc)
+	if !s.cut {
+		p.mu.Lock()
+		p.cache[key] = out
+		p.mu.Unlock()
+	}
+	s.cut = s.cut || savedCut
+	return out, nil
+}
+
+// Eval evaluates a parsed IQL expression against the processor.
+func (p *Processor) Eval(e iql.Expr) (iql.Value, error) {
+	s := &session{p: p, onStack: make(map[string]bool)}
+	ev := &iql.Evaluator{Ext: s, MaxSteps: p.MaxSteps}
+	return ev.Eval(e, nil)
+}
+
+// EvalScoped evaluates an expression whose unqualified references
+// resolve against the named source schema first.
+func (p *Processor) EvalScoped(e iql.Expr, scope string) (iql.Value, error) {
+	s := &session{p: p, onStack: make(map[string]bool), scopes: []string{scope}}
+	ev := &iql.Evaluator{Ext: s, MaxSteps: p.MaxSteps}
+	return ev.Eval(e, nil)
+}
+
+// Query parses and evaluates IQL source text.
+func (p *Processor) Query(src string) (iql.Value, error) {
+	e, err := iql.Parse(src)
+	if err != nil {
+		return iql.Value{}, err
+	}
+	return p.Eval(e)
+}
+
+// Materialize computes the extent of every object in a schema,
+// returning a map from scheme key to extent. Used to snapshot an
+// integrated resource (e.g. to answer source queries in the reverse
+// direction) and by the benchmark harness.
+func (p *Processor) Materialize(s *hdm.Schema) (map[string]iql.Value, error) {
+	out := make(map[string]iql.Value, s.Len())
+	for _, o := range s.Objects() {
+		v, err := p.Extent(o.Scheme.Parts())
+		if err != nil {
+			return nil, fmt.Errorf("query: materialising %s: %w", o.Scheme, err)
+		}
+		out[o.Scheme.Key()] = v
+	}
+	return out, nil
+}
+
+// Unfold returns the fully unfolded form of a query: every virtual
+// scheme reference is syntactically replaced by the bag union of its
+// derivations until only source-resident references remain. This is the
+// classical GAV query-unfolding view of what Eval computes; it is
+// exposed for inspection and testing. Scoping information is lost in
+// the textual form, so Unfold is only exact when object names are
+// globally unambiguous. Ident-induced cycles make the rewriting
+// non-terminating in general, so unfolding stops after maxDepth rounds
+// and reports an error if virtual references remain.
+func (p *Processor) Unfold(e iql.Expr, maxDepth int) (iql.Expr, error) {
+	cur := e
+	for depth := 0; depth < maxDepth; depth++ {
+		replaced := false
+		cur = iql.SubstituteSchemes(cur, func(parts []string) (iql.Expr, bool) {
+			key := strings.Join(parts, "|")
+			p.mu.Lock()
+			derivs, ok := p.defs[key]
+			p.mu.Unlock()
+			if !ok {
+				return nil, false
+			}
+			replaced = true
+			var out iql.Expr
+			for _, d := range derivs {
+				q := d.Query
+				if lo, _, isRange := iql.IsRange(q); isRange {
+					q = lo
+				}
+				if out == nil {
+					out = q
+				} else {
+					out = &iql.Binary{Op: "++", L: out, R: q}
+				}
+			}
+			if out == nil {
+				out = &iql.BagExpr{}
+			}
+			return out, true
+		})
+		if !replaced {
+			return cur, nil
+		}
+	}
+	for _, parts := range iql.UniqueSchemeRefs(cur) {
+		key := strings.Join(parts, "|")
+		p.mu.Lock()
+		_, stillVirtual := p.defs[key]
+		p.mu.Unlock()
+		if stillVirtual {
+			return nil, fmt.Errorf("query: unfolding did not terminate within %d rounds (cyclic idents?)", maxDepth)
+		}
+	}
+	return cur, nil
+}

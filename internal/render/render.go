@@ -1,0 +1,179 @@
+// Package render draws ASCII diagrams of integration topologies,
+// schemas and pathways — textual reproductions of the paper's Figures
+// 1-4 — for the CLI tools and documentation.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/transform"
+)
+
+// box draws a single-line box around a label.
+func box(label string) []string {
+	w := len(label) + 2
+	return []string{
+		"+" + strings.Repeat("-", w) + "+",
+		"| " + label + " |",
+		"+" + strings.Repeat("-", w) + "+",
+	}
+}
+
+// row renders a horizontal row of boxes separated by gaps.
+func row(labels []string, gap int) string {
+	boxes := make([][]string, len(labels))
+	for i, l := range labels {
+		boxes[i] = box(l)
+	}
+	var b strings.Builder
+	for line := 0; line < 3; line++ {
+		for i, bx := range boxes {
+			if i > 0 {
+				b.WriteString(strings.Repeat(" ", gap))
+			}
+			b.WriteString(bx[line])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// UnionCompatible renders the Figure 1 topology: data source schemas
+// transformed to union-compatible schemas, ident-linked, with one
+// selected as the global schema.
+func UnionCompatible(sources []string, global string) string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — integration via union-compatible schemas\n\n")
+	b.WriteString(row([]string{global}, 0))
+	b.WriteString("      ^ improve/refine\n")
+	us := make([]string, len(sources))
+	for i, s := range sources {
+		us[i] = "US:" + s
+	}
+	b.WriteString(row(us, 3))
+	b.WriteString("  " + strings.Repeat("^        ", len(sources)) + "(ident between neighbours)\n")
+	b.WriteString(row(sources, 3))
+	b.WriteString("  wrapped data sources\n")
+	return b.String()
+}
+
+// IntersectionTopology renders the Figure 2/3 topology: extensional
+// schemas with pairwise pathways into an intersection schema, federated
+// with the remaining sources.
+func IntersectionTopology(intersection string, between []string, others []string) string {
+	var b strings.Builder
+	b.WriteString("Figure 2/3 — intersection schema within a federation\n\n")
+	b.WriteString(row([]string{intersection}, 0))
+	arrows := strings.Repeat(" ", 3) + strings.Join(repeatStr("^", len(between)), strings.Repeat(" ", 8))
+	b.WriteString(arrows + "   add*/delete*/contract* + ident\n")
+	b.WriteString(row(between, 3))
+	if len(others) > 0 {
+		b.WriteString("\nfederated alongside (no mappings yet):\n")
+		b.WriteString(row(others, 3))
+	}
+	return b.String()
+}
+
+func repeatStr(s string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}
+
+// GlobalSchema renders the Figure 4 composition
+// G = I ∪ (ES1−I) ∪ (ES2−I) ∪ ES3 … ∪ ESn.
+func GlobalSchema(global, intersection string, minus []string, others []string) string {
+	var b strings.Builder
+	b.WriteString("Figure 4 — global schema from intersection and extensional schemas\n\n")
+	b.WriteString(row([]string{global}, 0))
+	parts := []string{intersection}
+	for _, m := range minus {
+		parts = append(parts, m+" - "+intersection)
+	}
+	parts = append(parts, others...)
+	b.WriteString("  = " + strings.Join(parts, "  U  ") + "\n\n")
+	b.WriteString(row(parts, 2))
+	return b.String()
+}
+
+// Schema renders a schema's objects grouped by their first scheme part
+// (table-like grouping), sorted for stable output.
+func Schema(s *hdm.Schema) string {
+	groups := make(map[string][]hdm.Scheme)
+	var order []string
+	for _, sc := range s.SortedSchemes() {
+		g := sc.First()
+		if _, ok := groups[g]; !ok {
+			order = append(order, g)
+		}
+		groups[g] = append(groups[g], sc)
+	}
+	sort.Strings(order)
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema %s (%d objects)\n", s.Name(), s.Len())
+	for _, g := range order {
+		fmt.Fprintf(&b, "  %s\n", g)
+		for _, sc := range groups[g] {
+			if sc.Arity() == 1 {
+				continue
+			}
+			fmt.Fprintf(&b, "    .%s\n", strings.Join(sc.Parts()[1:], "."))
+		}
+	}
+	return b.String()
+}
+
+// Pathway renders a pathway with step numbers and a trailing summary of
+// step kinds.
+func Pathway(p *transform.Pathway) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s -> %s\n", p.Source, p.Target)
+	for i, t := range p.Steps {
+		fmt.Fprintf(&b, "%4d. %s\n", i+1, t)
+	}
+	counts := p.CountByKind()
+	var kinds []string
+	for _, k := range []transform.Kind{transform.Add, transform.Delete, transform.Extend,
+		transform.Contract, transform.Rename, transform.ID} {
+		if counts[k] > 0 {
+			kinds = append(kinds, fmt.Sprintf("%s=%d", k, counts[k]))
+		}
+	}
+	fmt.Fprintf(&b, "      (%s; manual=%d, non-trivial=%d)\n",
+		strings.Join(kinds, " "), p.ManualCount(), p.NonTrivialCount())
+	return b.String()
+}
+
+// Curve renders a pay-as-you-go curve: cumulative manual effort on the
+// x-axis against queries answerable on the y-axis, as an ASCII step
+// plot plus the underlying table.
+func Curve(title string, points []CurvePoint) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	b.WriteString(fmt.Sprintf("%-22s %16s %10s  %s\n", "iteration", "cum. manual", "queries", "answerable"))
+	maxEffort := 1
+	for _, p := range points {
+		if p.CumulativeManual > maxEffort {
+			maxEffort = p.CumulativeManual
+		}
+	}
+	for _, p := range points {
+		bar := strings.Repeat("#", p.CumulativeManual*40/maxEffort)
+		b.WriteString(fmt.Sprintf("%-22s %16d %10d  %-28s |%s\n",
+			p.Iteration, p.CumulativeManual, len(p.Answerable),
+			strings.Join(p.Answerable, ","), bar))
+	}
+	return b.String()
+}
+
+// CurvePoint is one point of a pay-as-you-go curve.
+type CurvePoint struct {
+	Iteration        string
+	CumulativeManual int
+	Answerable       []string
+}

@@ -1,0 +1,224 @@
+package repo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/transform"
+)
+
+// JSON persistence for the repository. Schemes serialise to their
+// textual form and queries to IQL source, so saved repositories are
+// human-readable and diffable.
+
+type objectDTO struct {
+	Scheme    string `json:"scheme"`
+	Kind      string `json:"kind"`
+	Model     string `json:"model,omitempty"`
+	Construct string `json:"construct,omitempty"`
+}
+
+type schemaDTO struct {
+	Name    string      `json:"name"`
+	Objects []objectDTO `json:"objects"`
+}
+
+type stepDTO struct {
+	Kind      string `json:"kind"`
+	Object    string `json:"object"`
+	Query     string `json:"query,omitempty"`
+	To        string `json:"to,omitempty"`
+	ObjKind   string `json:"objKind,omitempty"`
+	Model     string `json:"model,omitempty"`
+	Construct string `json:"construct,omitempty"`
+	Auto      bool   `json:"auto,omitempty"`
+}
+
+type pathwayDTO struct {
+	Source string    `json:"source"`
+	Target string    `json:"target"`
+	Steps  []stepDTO `json:"steps"`
+}
+
+type repoDTO struct {
+	Version  int          `json:"version"`
+	Schemas  []schemaDTO  `json:"schemas"`
+	Pathways []pathwayDTO `json:"pathways"`
+}
+
+const persistVersion = 1
+
+// Save writes the repository as JSON.
+func (r *Repository) Save(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	dto := repoDTO{Version: persistVersion}
+	for _, name := range r.schemaNamesLocked() {
+		s := r.schemas[name]
+		sd := schemaDTO{Name: s.Name()}
+		for _, o := range s.Objects() {
+			sd.Objects = append(sd.Objects, objectDTO{
+				Scheme:    o.Scheme.String(),
+				Kind:      o.Kind.String(),
+				Model:     o.Model,
+				Construct: o.Construct,
+			})
+		}
+		dto.Schemas = append(dto.Schemas, sd)
+	}
+	for _, p := range r.pathways {
+		pd := pathwayDTO{Source: p.Source, Target: p.Target}
+		for _, t := range p.Steps {
+			sd := stepDTO{
+				Kind:   t.Kind.String(),
+				Object: t.Object.String(),
+				Auto:   t.Auto,
+			}
+			if t.Query != nil {
+				sd.Query = t.Query.String()
+			}
+			if !t.To.IsZero() {
+				sd.To = t.To.String()
+			}
+			if t.Kind == transform.Add || t.Kind == transform.Extend {
+				sd.ObjKind = t.ObjKind.String()
+				sd.Model = t.Model
+				sd.Construct = t.Construct
+			}
+			pd.Steps = append(pd.Steps, sd)
+		}
+		dto.Pathways = append(dto.Pathways, pd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dto)
+}
+
+func (r *Repository) schemaNamesLocked() []string {
+	out := make([]string, 0, len(r.schemas))
+	for n := range r.schemas {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Load reads a repository previously written by Save.
+func Load(rd io.Reader) (*Repository, error) {
+	var dto repoDTO
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&dto); err != nil {
+		return nil, fmt.Errorf("repo: decoding: %w", err)
+	}
+	if dto.Version != persistVersion {
+		return nil, fmt.Errorf("repo: unsupported version %d", dto.Version)
+	}
+	r := New()
+	for _, sd := range dto.Schemas {
+		s := hdm.NewSchema(sd.Name)
+		for _, od := range sd.Objects {
+			sc, err := hdm.ParseScheme(od.Scheme)
+			if err != nil {
+				return nil, fmt.Errorf("repo: schema %q: %w", sd.Name, err)
+			}
+			kind, err := hdm.ParseObjectKind(od.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("repo: schema %q: %w", sd.Name, err)
+			}
+			if err := s.Add(hdm.NewObject(sc, kind, od.Model, od.Construct)); err != nil {
+				return nil, err
+			}
+		}
+		if err := r.AddSchema(s); err != nil {
+			return nil, err
+		}
+	}
+	for _, pd := range dto.Pathways {
+		p := transform.NewPathway(pd.Source, pd.Target)
+		for i, sd := range pd.Steps {
+			t, err := decodeStep(sd)
+			if err != nil {
+				return nil, fmt.Errorf("repo: pathway %s->%s step %d: %w", pd.Source, pd.Target, i+1, err)
+			}
+			p.Append(t)
+		}
+		if err := r.AddPathway(p, false); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func decodeStep(sd stepDTO) (transform.Transformation, error) {
+	var t transform.Transformation
+	kind, err := transform.ParseKind(sd.Kind)
+	if err != nil {
+		return t, err
+	}
+	t.Kind = kind
+	t.Object, err = hdm.ParseScheme(sd.Object)
+	if err != nil {
+		return t, err
+	}
+	if sd.Query != "" {
+		t.Query, err = iql.Parse(sd.Query)
+		if err != nil {
+			return t, err
+		}
+	}
+	if sd.To != "" {
+		t.To, err = hdm.ParseScheme(sd.To)
+		if err != nil {
+			return t, err
+		}
+	}
+	if sd.ObjKind != "" {
+		t.ObjKind, err = hdm.ParseObjectKind(sd.ObjKind)
+		if err != nil {
+			return t, err
+		}
+	}
+	t.Model = sd.Model
+	t.Construct = sd.Construct
+	t.Auto = sd.Auto
+	return t, t.Validate()
+}
+
+// SaveFile writes the repository to a file path.
+func (r *Repository) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("repo: %w", err)
+	}
+	err = r.Save(f)
+	cerr := f.Close()
+	if err != nil {
+		return err
+	}
+	if cerr != nil {
+		return fmt.Errorf("repo: %w", cerr)
+	}
+	return nil
+}
+
+// LoadFile reads a repository from a file path.
+func LoadFile(path string) (*Repository, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("repo: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,242 @@
+// Package repo implements the Schemas & Transformations Repository
+// (STR): the store of all source, intermediate and integrated schemas
+// and the pathways between them (paper §2.1), together with the Model
+// Definitions Repository it is paired with.
+package repo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/model"
+	"github.com/dataspace/automed/internal/transform"
+)
+
+// Repository stores schemas and pathways. It is safe for concurrent
+// use.
+type Repository struct {
+	mu       sync.RWMutex
+	schemas  map[string]*hdm.Schema
+	pathways []*transform.Pathway
+	models   *model.Registry
+}
+
+// New returns an empty repository with the built-in model registry.
+func New() *Repository {
+	return &Repository{
+		schemas: make(map[string]*hdm.Schema),
+		models:  model.NewRegistry(),
+	}
+}
+
+// Models returns the repository's model definitions registry.
+func (r *Repository) Models() *model.Registry { return r.models }
+
+// AddSchema stores a schema; duplicate names are an error.
+func (r *Repository) AddSchema(s *hdm.Schema) error {
+	if s == nil {
+		return fmt.Errorf("repo: nil schema")
+	}
+	if s.Name() == "" {
+		return fmt.Errorf("repo: schema has no name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.schemas[s.Name()]; dup {
+		return fmt.Errorf("repo: schema %q already stored", s.Name())
+	}
+	r.schemas[s.Name()] = s
+	return nil
+}
+
+// ReplaceSchema stores a schema, overwriting any previous schema of the
+// same name (used when a global schema is rebuilt each iteration).
+func (r *Repository) ReplaceSchema(s *hdm.Schema) error {
+	if s == nil || s.Name() == "" {
+		return fmt.Errorf("repo: invalid schema")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.schemas[s.Name()] = s
+	return nil
+}
+
+// RemoveSchema deletes a schema; pathways touching it are also removed.
+func (r *Repository) RemoveSchema(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.schemas[name]; !ok {
+		return fmt.Errorf("repo: no schema %q", name)
+	}
+	delete(r.schemas, name)
+	kept := r.pathways[:0]
+	for _, p := range r.pathways {
+		if p.Source != name && p.Target != name {
+			kept = append(kept, p)
+		}
+	}
+	r.pathways = kept
+	return nil
+}
+
+// Schema returns the named schema.
+func (r *Repository) Schema(name string) (*hdm.Schema, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.schemas[name]
+	return s, ok
+}
+
+// SchemaNames returns stored schema names, sorted.
+func (r *Repository) SchemaNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.schemas))
+	for n := range r.schemas {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddPathway stores a pathway. Both endpoint schemas must exist; when
+// check is true, applying the pathway to the source must reproduce the
+// stored target schema exactly.
+func (r *Repository) AddPathway(p *transform.Pathway, check bool) error {
+	if p == nil {
+		return fmt.Errorf("repo: nil pathway")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	src, ok := r.schemas[p.Source]
+	if !ok {
+		return fmt.Errorf("repo: pathway source %q not stored", p.Source)
+	}
+	tgt, ok := r.schemas[p.Target]
+	if !ok {
+		return fmt.Errorf("repo: pathway target %q not stored", p.Target)
+	}
+	if check {
+		derived, err := transform.ApplyPathway(src, p, false)
+		if err != nil {
+			return fmt.Errorf("repo: pathway %s->%s does not apply: %w", p.Source, p.Target, err)
+		}
+		if !hdm.Identical(derived, tgt) {
+			da, db := hdm.Diff(derived, tgt)
+			return fmt.Errorf("repo: pathway %s->%s yields wrong schema (derived-only: %v, stored-only: %v)",
+				p.Source, p.Target, da, db)
+		}
+	}
+	r.pathways = append(r.pathways, p)
+	return nil
+}
+
+// Pathways returns all stored pathways.
+func (r *Repository) Pathways() []*transform.Pathway {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*transform.Pathway(nil), r.pathways...)
+}
+
+// PathwaysFrom returns pathways whose source is the named schema.
+func (r *Repository) PathwaysFrom(name string) []*transform.Pathway {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*transform.Pathway
+	for _, p := range r.pathways {
+		if p.Source == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PathwaysInto returns pathways whose target is the named schema.
+func (r *Repository) PathwaysInto(name string) []*transform.Pathway {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*transform.Pathway
+	for _, p := range r.pathways {
+		if p.Target == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FindPath searches for a pathway from one schema to another, composing
+// stored pathways and their automatic reverses (BAV reversibility) via
+// breadth-first search. The composed pathway is returned.
+func (r *Repository) FindPath(from, to string) (*transform.Pathway, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if _, ok := r.schemas[from]; !ok {
+		return nil, fmt.Errorf("repo: no schema %q", from)
+	}
+	if _, ok := r.schemas[to]; !ok {
+		return nil, fmt.Errorf("repo: no schema %q", to)
+	}
+	if from == to {
+		return transform.NewPathway(from, to), nil
+	}
+	type hop struct {
+		prev *hop
+		pw   *transform.Pathway // oriented from prev's schema
+		at   string
+	}
+	visited := map[string]bool{from: true}
+	queue := []*hop{{at: from}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range r.pathways {
+			var next string
+			var oriented *transform.Pathway
+			switch cur.at {
+			case p.Source:
+				next, oriented = p.Target, p
+			case p.Target:
+				next, oriented = p.Source, p.Reverse()
+			default:
+				continue
+			}
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			h := &hop{prev: cur, pw: oriented, at: next}
+			if next == to {
+				// Rebuild the chain and concatenate.
+				var chain []*transform.Pathway
+				for x := h; x.pw != nil; x = x.prev {
+					chain = append([]*transform.Pathway{x.pw}, chain...)
+				}
+				out := chain[0]
+				for _, seg := range chain[1:] {
+					var err error
+					out, err = out.Concat(seg)
+					if err != nil {
+						return nil, err
+					}
+				}
+				return out, nil
+			}
+			queue = append(queue, h)
+		}
+	}
+	return nil, fmt.Errorf("repo: no pathway between %q and %q", from, to)
+}
+
+// Stats summarises the repository contents.
+func (r *Repository) Stats() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	steps := 0
+	for _, p := range r.pathways {
+		steps += p.Len()
+	}
+	return fmt.Sprintf("%d schemas, %d pathways, %d transformation steps",
+		len(r.schemas), len(r.pathways), steps)
+}

@@ -1,0 +1,270 @@
+package repo
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/transform"
+)
+
+func schemaWith(name string, schemes ...string) *hdm.Schema {
+	s := hdm.NewSchema(name)
+	for _, sc := range schemes {
+		s.MustAdd(hdm.NewObject(hdm.MustScheme(sc), hdm.Nodal, "sql", "table"))
+	}
+	return s
+}
+
+func TestAddSchema(t *testing.T) {
+	r := New()
+	if err := r.AddSchema(schemaWith("A", "<<x>>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddSchema(schemaWith("A")); err == nil {
+		t.Error("duplicate schema accepted")
+	}
+	if err := r.AddSchema(nil); err == nil {
+		t.Error("nil schema accepted")
+	}
+	if err := r.AddSchema(hdm.NewSchema("")); err == nil {
+		t.Error("unnamed schema accepted")
+	}
+	if got := r.SchemaNames(); len(got) != 1 || got[0] != "A" {
+		t.Errorf("SchemaNames = %v", got)
+	}
+	if _, ok := r.Schema("A"); !ok {
+		t.Error("Schema lookup failed")
+	}
+}
+
+func TestReplaceAndRemoveSchema(t *testing.T) {
+	r := New()
+	if err := r.AddSchema(schemaWith("A", "<<x>>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReplaceSchema(schemaWith("A", "<<y>>")); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := r.Schema("A")
+	if !s.Has(hdm.MustScheme("<<y>>")) {
+		t.Error("ReplaceSchema did not replace")
+	}
+	if err := r.RemoveSchema("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveSchema("A"); err == nil {
+		t.Error("double remove accepted")
+	}
+}
+
+func pathwayAB() *transform.Pathway {
+	return transform.NewPathway("A", "B",
+		transform.NewAdd(hdm.MustScheme("<<y>>"), iql.MustParse("[k | k <- <<x>>]"), hdm.Nodal, "sql", "table"),
+		transform.NewDelete(hdm.MustScheme("<<x>>"), iql.MustParse("[k | k <- <<y>>]")),
+	)
+}
+
+func TestAddPathwayChecked(t *testing.T) {
+	r := New()
+	if err := r.AddSchema(schemaWith("A", "<<x>>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddSchema(schemaWith("B", "<<y>>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddPathway(pathwayAB(), true); err != nil {
+		t.Fatalf("checked pathway rejected: %v", err)
+	}
+	// A pathway that does not reproduce the stored target fails check.
+	bad := transform.NewPathway("A", "B",
+		transform.NewAdd(hdm.MustScheme("<<z>>"), iql.MustParse("<<x>>"), hdm.Nodal, "sql", "table"))
+	if err := r.AddPathway(bad, true); err == nil {
+		t.Error("wrong pathway passed check")
+	}
+	// Pathways referencing unknown schemas fail.
+	if err := r.AddPathway(transform.NewPathway("A", "Z"), false); err == nil {
+		t.Error("pathway to unknown schema accepted")
+	}
+}
+
+func TestRemoveSchemaDropsPathways(t *testing.T) {
+	r := New()
+	r.AddSchema(schemaWith("A", "<<x>>"))
+	r.AddSchema(schemaWith("B", "<<y>>"))
+	if err := r.AddPathway(pathwayAB(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveSchema("B"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pathways()) != 0 {
+		t.Error("pathways not dropped with schema")
+	}
+}
+
+func TestFindPathComposesAndReverses(t *testing.T) {
+	r := New()
+	r.AddSchema(schemaWith("A", "<<x>>"))
+	r.AddSchema(schemaWith("B", "<<y>>"))
+	r.AddSchema(schemaWith("C", "<<z>>"))
+	if err := r.AddPathway(pathwayAB(), false); err != nil {
+		t.Fatal(err)
+	}
+	bc := transform.NewPathway("B", "C",
+		transform.NewAdd(hdm.MustScheme("<<z>>"), iql.MustParse("[k | k <- <<y>>]"), hdm.Nodal, "sql", "table"),
+		transform.NewDelete(hdm.MustScheme("<<y>>"), iql.MustParse("[k | k <- <<z>>]")),
+	)
+	if err := r.AddPathway(bc, false); err != nil {
+		t.Fatal(err)
+	}
+	// Forward composition A → C.
+	p, err := r.FindPath("A", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source != "A" || p.Target != "C" || p.Len() != 4 {
+		t.Errorf("FindPath A→C = %s", p)
+	}
+	// Reverse composition C → A uses automatic reversal.
+	p, err = r.FindPath("C", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source != "C" || p.Target != "A" || p.Len() != 4 {
+		t.Errorf("FindPath C→A = %s", p)
+	}
+	if p.Steps[0].Kind != transform.Add {
+		t.Errorf("reversed first step = %s", p.Steps[0])
+	}
+	// Self path is empty.
+	p, err = r.FindPath("A", "A")
+	if err != nil || p.Len() != 0 {
+		t.Errorf("self path = %v %v", p, err)
+	}
+	// Disconnected.
+	r.AddSchema(schemaWith("Z", "<<q>>"))
+	if _, err := r.FindPath("A", "Z"); err == nil {
+		t.Error("path to disconnected schema found")
+	}
+	if _, err := r.FindPath("A", "missing"); err == nil {
+		t.Error("path to unknown schema found")
+	}
+}
+
+func TestPathwaysFromInto(t *testing.T) {
+	r := New()
+	r.AddSchema(schemaWith("A", "<<x>>"))
+	r.AddSchema(schemaWith("B", "<<y>>"))
+	if err := r.AddPathway(pathwayAB(), false); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PathwaysFrom("A")) != 1 || len(r.PathwaysInto("B")) != 1 {
+		t.Error("PathwaysFrom/Into wrong")
+	}
+	if len(r.PathwaysFrom("B")) != 0 {
+		t.Error("PathwaysFrom(B) should be empty")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := New()
+	r.AddSchema(schemaWith("A", "<<x>>"))
+	r.AddSchema(schemaWith("B", "<<y>>"))
+	link := hdm.NewSchema("L")
+	link.MustAdd(hdm.NewObject(hdm.MustScheme("<<t, c>>"), hdm.Link, "sql", "column"))
+	r.AddSchema(link)
+	pw := transform.NewPathway("A", "B",
+		transform.NewAdd(hdm.MustScheme("<<y>>"),
+			iql.MustParse("[{'S', k} | k <- <<x>>]"), hdm.Nodal, "sql", "table"),
+		transform.NewExtend(hdm.MustScheme("<<w>>"),
+			&iql.Lit{Val: iql.Void()}, &iql.Lit{Val: iql.Any()}, hdm.Link, "", "").WithAuto(),
+		transform.NewRename(hdm.MustScheme("<<x>>"), hdm.MustScheme("<<x2>>")),
+		transform.NewID(hdm.MustScheme("<<y>>"), hdm.MustScheme("<<y>>")),
+		transform.NewContract(hdm.MustScheme("<<x2>>"), nil, nil).WithAuto(),
+	)
+	if err := r.AddPathway(pw, false); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.SchemaNames()) != 3 {
+		t.Errorf("schemas lost: %v", back.SchemaNames())
+	}
+	lb, _ := back.Schema("L")
+	obj, _ := lb.Object(hdm.MustScheme("<<t, c>>"))
+	if obj == nil || obj.Kind != hdm.Link || obj.Construct != "column" {
+		t.Errorf("object metadata lost: %+v", obj)
+	}
+	ps := back.Pathways()
+	if len(ps) != 1 || ps[0].Len() != 5 {
+		t.Fatalf("pathways lost: %v", ps)
+	}
+	for i, s := range ps[0].Steps {
+		if s.String() != pw.Steps[i].String() {
+			t.Errorf("step %d: %q != %q", i, s.String(), pw.Steps[i].String())
+		}
+		if s.Auto != pw.Steps[i].Auto {
+			t.Errorf("step %d auto flag lost", i)
+		}
+	}
+	// Second round trip is stable.
+	var buf2 bytes.Buffer
+	if err := back.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("persistence not canonical across round trips")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"version": 99}`))); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(
+		`{"version":1,"schemas":[{"name":"A","objects":[{"scheme":"<<>>","kind":"nodal"}]}]}`))); err == nil {
+		t.Error("bad scheme accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	r := New()
+	r.AddSchema(schemaWith("A", "<<x>>"))
+	path := t.TempDir() + "/repo.json"
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.SchemaNames()) != 1 {
+		t.Error("file round trip failed")
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := New()
+	r.AddSchema(schemaWith("A", "<<x>>"))
+	if got := r.Stats(); got != "1 schemas, 0 pathways, 0 transformation steps" {
+		t.Errorf("Stats = %q", got)
+	}
+	if r.Models() == nil {
+		t.Error("Models registry missing")
+	}
+}

@@ -1,0 +1,342 @@
+package transform
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+)
+
+func sc(s string) hdm.Scheme { return hdm.MustScheme(s) }
+
+func simpleSchema() *hdm.Schema {
+	s := hdm.NewSchema("S")
+	s.MustAdd(hdm.NewObject(sc("<<t>>"), hdm.Nodal, "sql", "table"))
+	s.MustAdd(hdm.NewObject(sc("<<t, a>>"), hdm.Link, "sql", "column"))
+	s.MustAdd(hdm.NewObject(sc("<<t, b>>"), hdm.Link, "sql", "column"))
+	return s
+}
+
+func TestReverseRules(t *testing.T) {
+	q := iql.MustParse("[k | k <- <<t>>]")
+	cases := []struct {
+		in   Transformation
+		want Kind
+	}{
+		{NewAdd(sc("<<x>>"), q, hdm.Nodal, "", ""), Delete},
+		{NewDelete(sc("<<x>>"), q), Add},
+		{NewExtend(sc("<<x>>"), &iql.Lit{Val: iql.Void()}, &iql.Lit{Val: iql.Any()}, hdm.Nodal, "", ""), Contract},
+		{NewContract(sc("<<x>>"), nil, nil), Extend},
+	}
+	for _, c := range cases {
+		got := c.in.Reverse()
+		if got.Kind != c.want {
+			t.Errorf("%s reversed to %s, want %s", c.in.Kind, got.Kind, c.want)
+		}
+		// Arguments preserved.
+		if !got.Object.Equal(c.in.Object) {
+			t.Errorf("%s reversal changed object", c.in.Kind)
+		}
+	}
+	// rename and id swap arguments.
+	r := NewRename(sc("<<a>>"), sc("<<b>>")).Reverse()
+	if !r.Object.Equal(sc("<<b>>")) || !r.To.Equal(sc("<<a>>")) {
+		t.Errorf("rename reversal = %s", r)
+	}
+	id := NewID(sc("<<a>>"), sc("<<b>>")).Reverse()
+	if !id.Object.Equal(sc("<<b>>")) || !id.To.Equal(sc("<<a>>")) {
+		t.Errorf("id reversal = %s", id)
+	}
+}
+
+// genStep generates random well-formed transformations for property
+// tests.
+type genStep struct{ t Transformation }
+
+func (genStep) Generate(r *rand.Rand, size int) reflect.Value {
+	names := []string{"<<a>>", "<<b>>", "<<c, d>>", "<<e, f>>"}
+	obj := sc(names[r.Intn(len(names))])
+	to := sc(names[r.Intn(len(names))])
+	q := iql.MustParse("[k | k <- <<src>>]")
+	var tr Transformation
+	switch r.Intn(6) {
+	case 0:
+		tr = NewAdd(obj, q, hdm.Nodal, "sql", "table")
+	case 1:
+		tr = NewDelete(obj, q)
+	case 2:
+		tr = NewExtend(obj, &iql.Lit{Val: iql.Void()}, &iql.Lit{Val: iql.Any()}, hdm.Link, "", "")
+	case 3:
+		tr = NewContract(obj, nil, nil)
+	case 4:
+		tr = NewRename(obj, to)
+	default:
+		tr = NewID(obj, to)
+	}
+	if r.Intn(2) == 0 {
+		tr = tr.WithAuto()
+	}
+	return reflect.ValueOf(genStep{t: tr})
+}
+
+func TestReverseIsInvolutionProperty(t *testing.T) {
+	f := func(g genStep) bool {
+		rr := g.t.Reverse().Reverse()
+		return rr.String() == g.t.String() && rr.Auto == g.t.Auto
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathwayReverseIsInvolutionProperty(t *testing.T) {
+	f := func(steps []genStep) bool {
+		p := NewPathway("A", "B")
+		for _, s := range steps {
+			p.Append(s.t)
+		}
+		rr := p.Reverse().Reverse()
+		if rr.Source != p.Source || rr.Target != p.Target || rr.Len() != p.Len() {
+			return false
+		}
+		for i := range p.Steps {
+			if rr.Steps[i].String() != p.Steps[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyAddDeleteRoundTrip(t *testing.T) {
+	s := simpleSchema()
+	add := NewAdd(sc("<<u>>"), iql.MustParse("[k | k <- <<t>>]"), hdm.Nodal, "", "")
+	if err := Apply(s, add, true); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(sc("<<u>>")) {
+		t.Fatal("add did not create object")
+	}
+	// Applying the reverse (a delete) restores the schema.
+	if err := Apply(s, add.Reverse(), true); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(sc("<<u>>")) {
+		t.Fatal("delete did not remove object")
+	}
+}
+
+func TestApplyPathwayThenReverseRestoresSchema(t *testing.T) {
+	src := simpleSchema()
+	p := NewPathway("S", "T",
+		NewAdd(sc("<<u>>"), iql.MustParse("[k | k <- <<t>>]"), hdm.Nodal, "", ""),
+		NewAdd(sc("<<u, a>>"), iql.MustParse("[{k, x} | {k, x} <- <<t, a>>]"), hdm.Link, "", ""),
+		NewDelete(sc("<<t, a>>"), iql.MustParse("[{k, x} | {k, x} <- <<u, a>>]")).
+			WithMeta(hdm.Link, "sql", "column"),
+		NewContract(sc("<<t, b>>"), nil, nil).WithMeta(hdm.Link, "sql", "column"),
+	)
+	mid, err := ApplyPathway(src, p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ApplyPathway(mid, p.Reverse(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.SetName(src.Name())
+	if !hdm.Identical(src, back) {
+		a, b := hdm.Diff(src, back)
+		t.Fatalf("round trip lost objects: src-only %v, back-only %v", a, b)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	s := simpleSchema()
+	// Add of existing object.
+	if err := Apply(s, NewAdd(sc("<<t>>"), iql.MustParse("<<t>>"), hdm.Nodal, "", ""), false); err == nil {
+		t.Error("add of existing object succeeded")
+	}
+	// Delete of missing object.
+	if err := Apply(s, NewDelete(sc("<<zz>>"), iql.MustParse("<<t>>")), false); err == nil {
+		t.Error("delete of missing object succeeded")
+	}
+	// Strict add referencing unknown object.
+	if err := Apply(s, NewAdd(sc("<<v>>"), iql.MustParse("[k | k <- <<nope>>]"), hdm.Nodal, "", ""), true); err == nil {
+		t.Error("strict add with dangling reference succeeded")
+	}
+	// Rename clash.
+	if err := Apply(s, NewRename(sc("<<t, a>>"), sc("<<t, b>>")), false); err == nil {
+		t.Error("rename onto existing object succeeded")
+	}
+	// Extend must carry a Range.
+	bad := Transformation{Kind: Extend, Object: sc("<<w>>"), Query: iql.MustParse("[1]")}
+	if err := Apply(s, bad, false); err == nil {
+		t.Error("extend without Range succeeded")
+	}
+}
+
+func TestNonTrivial(t *testing.T) {
+	if NewContract(sc("<<x>>"), nil, nil).NonTrivial() {
+		t.Error("Range Void Any contract counted non-trivial")
+	}
+	if !NewAdd(sc("<<x>>"), iql.MustParse("[k | k <- <<t>>]"), hdm.Nodal, "", "").NonTrivial() {
+		t.Error("add with real query counted trivial")
+	}
+	if NewRename(sc("<<a>>"), sc("<<b>>")).NonTrivial() {
+		t.Error("rename counted non-trivial")
+	}
+	ext := NewExtend(sc("<<x>>"), iql.MustParse("[1]"), &iql.Lit{Val: iql.Any()}, hdm.Nodal, "", "")
+	if !ext.NonTrivial() {
+		t.Error("extend with informative lower bound counted trivial")
+	}
+}
+
+func TestPathwayCounts(t *testing.T) {
+	p := NewPathway("A", "B",
+		NewAdd(sc("<<x>>"), iql.MustParse("<<t>>"), hdm.Nodal, "", ""),
+		NewAdd(sc("<<y>>"), iql.MustParse("<<t>>"), hdm.Nodal, "", "").WithAuto(),
+		NewContract(sc("<<z>>"), nil, nil).WithAuto(),
+	)
+	if p.ManualCount() != 1 {
+		t.Errorf("ManualCount = %d", p.ManualCount())
+	}
+	if p.NonTrivialCount() != 2 {
+		t.Errorf("NonTrivialCount = %d", p.NonTrivialCount())
+	}
+	if p.CountByKind()[Add] != 2 || p.CountByKind()[Contract] != 1 {
+		t.Errorf("CountByKind = %v", p.CountByKind())
+	}
+}
+
+func TestConcat(t *testing.T) {
+	p1 := NewPathway("A", "B", NewContract(sc("<<x>>"), nil, nil))
+	p2 := NewPathway("B", "C", NewContract(sc("<<y>>"), nil, nil))
+	p3, err := p1.Concat(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Source != "A" || p3.Target != "C" || p3.Len() != 2 {
+		t.Errorf("Concat = %s", p3)
+	}
+	if _, err := p2.Concat(p1); err == nil {
+		t.Error("mismatched Concat succeeded")
+	}
+}
+
+func TestIdentSteps(t *testing.T) {
+	a := simpleSchema()
+	b := a.Clone("S2")
+	steps, err := IdentSteps(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != a.Len() {
+		t.Errorf("IdentSteps produced %d steps, want %d", len(steps), a.Len())
+	}
+	for _, s := range steps {
+		if s.Kind != ID || !s.Auto {
+			t.Errorf("unexpected step %s", s)
+		}
+	}
+	b.MustAdd(hdm.NewObject(sc("<<extra>>"), hdm.Nodal, "", ""))
+	if _, err := IdentSteps(a, b); err == nil {
+		t.Error("ident between non-identical schemas succeeded")
+	}
+}
+
+func TestIntersectionFormValidation(t *testing.T) {
+	q := iql.MustParse("[k | k <- <<t>>]")
+	good := NewPathway("S", "I",
+		NewAdd(sc("<<u>>"), q, hdm.Nodal, "", ""),
+		NewExtend(sc("<<v>>"), &iql.Lit{Val: iql.Void()}, &iql.Lit{Val: iql.Any()}, hdm.Nodal, "", ""),
+		NewDelete(sc("<<t>>"), q),
+		NewContract(sc("<<t, a>>"), nil, nil),
+		NewID(sc("<<u>>"), sc("<<u>>")),
+	)
+	if err := good.IsIntersectionForm(); err != nil {
+		t.Errorf("canonical pathway rejected: %v", err)
+	}
+	// Add after contract violates the form.
+	bad := NewPathway("S", "I",
+		NewContract(sc("<<t, a>>"), nil, nil),
+		NewAdd(sc("<<u>>"), q, hdm.Nodal, "", ""),
+	)
+	if err := bad.IsIntersectionForm(); err == nil {
+		t.Error("add after contract accepted")
+	}
+	// Rename never allowed.
+	bad2 := NewPathway("S", "I", NewRename(sc("<<a>>"), sc("<<b>>")))
+	if err := bad2.IsIntersectionForm(); err == nil {
+		t.Error("rename accepted in intersection pathway")
+	}
+	// Informative extend not allowed (only Range Void Any placeholders).
+	bad3 := NewPathway("S", "I",
+		NewExtend(sc("<<v>>"), iql.MustParse("[1]"), &iql.Lit{Val: iql.Any()}, hdm.Nodal, "", ""))
+	if err := bad3.IsIntersectionForm(); err == nil {
+		t.Error("informative extend accepted")
+	}
+}
+
+func TestMinusPathway(t *testing.T) {
+	q := iql.MustParse("[k | k <- <<t>>]")
+	esToI := NewPathway("ES", "I",
+		NewAdd(sc("<<u>>"), q, hdm.Nodal, "", ""),
+		NewDelete(sc("<<t>>"), q),
+		NewDelete(sc("<<t, a>>"), q),
+		NewContract(sc("<<t, b>>"), nil, nil),
+	)
+	mp, err := MinusPathway(esToI, "ES-minus-I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The minus pathway contracts exactly the deleted objects, so what
+	// remains is the contracted remainder — the paper's operational
+	// rule for the − operator.
+	if mp.Len() != 2 {
+		t.Fatalf("minus pathway has %d steps: %s", mp.Len(), mp)
+	}
+	for _, s := range mp.Steps {
+		if s.Kind != Contract {
+			t.Errorf("unexpected step %s", s)
+		}
+	}
+	// Applying it to the source leaves only <<t, b>>.
+	src := simpleSchema()
+	out, err := ApplyPathway(src, mp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || !out.Has(sc("<<t, b>>")) {
+		t.Errorf("ES − I = %v", out.Schemes())
+	}
+}
+
+func TestTransformationString(t *testing.T) {
+	tr := NewAdd(sc("<<UProtein>>"), iql.MustParse("[{'PEDRO', k} | k <- <<protein>>]"), hdm.Nodal, "", "")
+	s := tr.String()
+	if !strings.HasPrefix(s, "add <<UProtein>> [") {
+		t.Errorf("String = %q", s)
+	}
+	if !strings.Contains(NewContract(sc("<<x>>"), nil, nil).WithAuto().String(), "-- auto") {
+		t.Error("auto marker missing")
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Add, Delete, Extend, Contract, Rename, ID} {
+		rt, err := ParseKind(k.String())
+		if err != nil || rt != k {
+			t.Errorf("kind %v round trip failed", k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) succeeded")
+	}
+}

@@ -1,0 +1,177 @@
+// Package wrapper implements AutoMed-style data source wrappers: each
+// wrapper extracts metadata from a data source to produce a data source
+// schema in the common data model, and serves the extents of that
+// schema's objects to the query processor (paper §2.1, Fig. 1, step 1).
+//
+// Extent conventions follow the paper's IQL examples: the extent of a
+// relational table <<t>> is the bag of its primary-key values, and the
+// extent of a column <<t, c>> is the bag of {key, value} pairs.
+package wrapper
+
+import (
+	"fmt"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/rel"
+)
+
+// Wrapper exposes a data source as a schema plus extents.
+type Wrapper interface {
+	// SchemaName returns the name of the data source schema.
+	SchemaName() string
+	// Schema returns the data source schema.
+	Schema() *hdm.Schema
+	// Extent returns the extent of the object referenced by parts,
+	// resolved against the wrapper's schema (suffix matching allowed).
+	Extent(parts []string) (iql.Value, error)
+}
+
+// Relational wraps an in-memory relational database.
+type Relational struct {
+	name   string
+	db     *rel.DB
+	schema *hdm.Schema
+}
+
+// NewRelational builds a wrapper and its data source schema: one
+// <<sql, table, t>>-style object per table (stored with the short
+// scheme <<t>>) and one <<t, c>> object per column. Primary-key and
+// foreign-key constraints become constraint objects.
+func NewRelational(name string, db *rel.DB) (*Relational, error) {
+	if db == nil {
+		return nil, fmt.Errorf("wrapper: nil database")
+	}
+	s := hdm.NewSchema(name)
+	for _, t := range db.Tables() {
+		if err := s.Add(hdm.NewObject(hdm.NewScheme(t.Name()), hdm.Nodal, "sql", "table")); err != nil {
+			return nil, err
+		}
+		for _, c := range t.Columns() {
+			sc := hdm.NewScheme(t.Name(), c.Name)
+			if err := s.Add(hdm.NewObject(sc, hdm.Link, "sql", "column")); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Relational{name: name, db: db, schema: s}, nil
+}
+
+// SchemaName implements Wrapper.
+func (w *Relational) SchemaName() string { return w.name }
+
+// Schema implements Wrapper.
+func (w *Relational) Schema() *hdm.Schema { return w.schema }
+
+// DB exposes the wrapped database (for direct verification in tests).
+func (w *Relational) DB() *rel.DB { return w.db }
+
+// Extent implements Wrapper.
+func (w *Relational) Extent(parts []string) (iql.Value, error) {
+	obj, err := w.schema.Resolve(parts)
+	if err != nil {
+		return iql.Value{}, err
+	}
+	sc := obj.Scheme
+	switch sc.Arity() {
+	case 1:
+		t, ok := w.db.Table(sc.Part(0))
+		if !ok {
+			return iql.Value{}, fmt.Errorf("wrapper: %s: no table %q", w.name, sc.Part(0))
+		}
+		keys := t.Keys()
+		items := make([]iql.Value, len(keys))
+		for i, k := range keys {
+			items[i] = CellValue(k)
+		}
+		return iql.BagOf(items), nil
+	case 2:
+		t, ok := w.db.Table(sc.Part(0))
+		if !ok {
+			return iql.Value{}, fmt.Errorf("wrapper: %s: no table %q", w.name, sc.Part(0))
+		}
+		pairs, err := t.ColumnPairs(sc.Part(1))
+		if err != nil {
+			return iql.Value{}, fmt.Errorf("wrapper: %s: %w", w.name, err)
+		}
+		items := make([]iql.Value, len(pairs))
+		for i, p := range pairs {
+			items[i] = iql.Tuple(CellValue(p[0]), CellValue(p[1]))
+		}
+		return iql.BagOf(items), nil
+	}
+	return iql.Value{}, fmt.Errorf("wrapper: %s: unsupported scheme %s", w.name, sc)
+}
+
+// CellValue converts a relational cell (int64, float64, string, bool or
+// nil) to an IQL value.
+func CellValue(v any) iql.Value {
+	switch x := v.(type) {
+	case nil:
+		return iql.Null()
+	case string:
+		return iql.Str(x)
+	case int64:
+		return iql.Int(x)
+	case float64:
+		return iql.Float(x)
+	case bool:
+		return iql.Bool(x)
+	}
+	return iql.Str(fmt.Sprintf("%v", v))
+}
+
+// NewCSVDir loads a directory of typed-header CSV files (see package
+// rel) and wraps it as a relational source named name.
+func NewCSVDir(name, dir string) (*Relational, error) {
+	db, err := rel.LoadCSVDir(name, dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewRelational(name, db)
+}
+
+// Static is a wrapper over fixed extents, useful for tests and for
+// sources already materialised elsewhere.
+type Static struct {
+	name    string
+	schema  *hdm.Schema
+	extents map[string]iql.Value
+}
+
+// NewStatic builds a static wrapper. Extents are keyed by scheme key.
+func NewStatic(name string) *Static {
+	return &Static{
+		name:    name,
+		schema:  hdm.NewSchema(name),
+		extents: make(map[string]iql.Value),
+	}
+}
+
+// Add registers an object and its extent.
+func (w *Static) Add(sc hdm.Scheme, kind hdm.ObjectKind, model, construct string, extent iql.Value) error {
+	if err := w.schema.Add(hdm.NewObject(sc, kind, model, construct)); err != nil {
+		return err
+	}
+	w.extents[sc.Key()] = extent
+	return nil
+}
+
+// SchemaName implements Wrapper.
+func (w *Static) SchemaName() string { return w.name }
+
+// Schema implements Wrapper.
+func (w *Static) Schema() *hdm.Schema { return w.schema }
+
+// Extent implements Wrapper.
+func (w *Static) Extent(parts []string) (iql.Value, error) {
+	obj, err := w.schema.Resolve(parts)
+	if err != nil {
+		return iql.Value{}, err
+	}
+	v, ok := w.extents[obj.Scheme.Key()]
+	if !ok {
+		return iql.Value{}, fmt.Errorf("wrapper: %s: no extent for %s", w.name, obj.Scheme)
+	}
+	return v, nil
+}
