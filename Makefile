@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench run
+
+# ci is the full local gate: formatting, static checks, build, tests
+# under the race detector, and a one-iteration pass over every
+# benchmark so the bench harness stays compiling.
+ci: fmt vet build race bench
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# run starts the dataspace daemon on :8080.
+run:
+	$(GO) run ./cmd/automedd -addr :8080

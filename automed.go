@@ -28,6 +28,7 @@
 package automed
 
 import (
+	"context"
 	"io"
 
 	"github.com/dataspace/automed/internal/core"
@@ -58,6 +59,8 @@ type (
 	StepCounts = core.StepCounts
 	// Result is a query answer plus incompleteness warnings.
 	Result = core.Result
+	// SchemaVersion pairs a published global schema with its version.
+	SchemaVersion = core.SchemaVersion
 	// Schema is a set of schema objects.
 	Schema = hdm.Schema
 	// Scheme identifies a schema object.
@@ -148,6 +151,24 @@ func (s *System) BuildGlobal(dropRedundant bool) (*Schema, error) {
 // Query answers an IQL query over the current global schema (workflow
 // step 6).
 func (s *System) Query(iqlSrc string) (Result, error) { return s.ig.Query(iqlSrc) }
+
+// QueryCtx is Query with per-request cancellation and timeout.
+func (s *System) QueryCtx(ctx context.Context, iqlSrc string) (Result, error) {
+	return s.ig.QueryCtx(ctx, iqlSrc)
+}
+
+// QueryAt answers an IQL query against a specific live global schema
+// version (core.CurrentVersion for the latest).
+func (s *System) QueryAt(ctx context.Context, version int, iqlSrc string) (Result, error) {
+	return s.ig.QueryAt(ctx, version, iqlSrc)
+}
+
+// GlobalVersion returns the current global schema version (0 = the
+// federated schema; -1 before Federate).
+func (s *System) GlobalVersion() int { return s.ig.GlobalVersion() }
+
+// Versions lists every published global schema version, oldest first.
+func (s *System) Versions() []SchemaVersion { return s.ig.Versions() }
 
 // Extent returns the extent of one global schema object.
 func (s *System) Extent(scheme string) (Value, error) { return s.ig.Extent(scheme) }

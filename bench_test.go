@@ -1,7 +1,12 @@
 package automed
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -11,6 +16,7 @@ import (
 	"github.com/dataspace/automed/internal/iql"
 	"github.com/dataspace/automed/internal/ispider"
 	"github.com/dataspace/automed/internal/match"
+	"github.com/dataspace/automed/internal/server"
 	"github.com/dataspace/automed/internal/transform"
 )
 
@@ -370,6 +376,91 @@ func BenchmarkFederationScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchServerSetup builds a dataspace server over the toy bookstore
+// integration and returns an httptest front end for it.
+func benchServerSetup(b *testing.B) *httptest.Server {
+	b.Helper()
+	srv := server.New(server.DefaultConfig())
+	sess, err := srv.Sessions().Get("default", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range toySources(b) {
+		if err := sess.AddSource(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := sess.Federate("F", false); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.Intersect("I1", toyMappings); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	b.Cleanup(func() { srv.PurgePlans() })
+	benchSrv = srv
+	return ts
+}
+
+var benchSrv *server.Server
+
+// benchServerQuery posts one query and asserts HTTP 200.
+func benchServerQuery(b *testing.B, ts *httptest.Server, body map[string]any) {
+	b.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		b.Fatalf("query status %d: %s", resp.StatusCode, msg)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkServerQuery measures one HTTP query through the dataspace
+// server in its three cache regimes: cold (plan cache purged every
+// iteration, result cache bypassed), plan-cached (parse skipped, full
+// GAV evaluation), and result-cached (answer served from the result
+// cache). The spread between the three is the serving layer's caching
+// headroom; later perf PRs should widen it.
+func BenchmarkServerQuery(b *testing.B) {
+	const q = "count([{k, x} | {k, x} <- <<UBook, isbn>>])"
+	ts := benchServerSetup(b)
+
+	b.Run("cold", func(b *testing.B) {
+		body := map[string]any{"query": q, "no_cache": true}
+		for i := 0; i < b.N; i++ {
+			benchSrv.PurgePlans()
+			benchServerQuery(b, ts, body)
+		}
+	})
+	b.Run("plan-cached", func(b *testing.B) {
+		body := map[string]any{"query": q, "no_cache": true}
+		benchServerQuery(b, ts, body) // warm the plan cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchServerQuery(b, ts, body)
+		}
+	})
+	b.Run("result-cached", func(b *testing.B) {
+		body := map[string]any{"query": q}
+		benchServerQuery(b, ts, body) // warm both caches
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchServerQuery(b, ts, body)
+		}
+	})
 }
 
 // BenchmarkSchemeParse measures scheme parsing/printing round trips.

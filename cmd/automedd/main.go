@@ -1,0 +1,133 @@
+// Command automedd is the dataspace daemon: it serves the paper's
+// pay-as-you-go intersection-schema workflow over HTTP/JSON so that
+// clients can register sources, federate, intersect iteratively, and
+// query any published global schema version while integration proceeds.
+//
+// Endpoints (all JSON):
+//
+//	POST /sources    register a data source (inline rows or a CSV dir)
+//	POST /federate   build the federated schema (version 0)
+//	POST /intersect  one integration iteration from a mappings table
+//	POST /refine     ad-hoc single-schema refinement
+//	GET  /schemas    every published global schema version
+//	POST /query      IQL over any live version (explain, timeout_ms)
+//	GET  /report     effort report (manual vs automatic steps)
+//	POST /suggest    schema-matcher correspondence suggestions
+//	GET  /sessions   live integration sessions
+//	GET  /healthz    liveness
+//	GET  /metrics    query counts, latencies, cache hit rates
+//
+// Optionally preload CSV sources with repeatable -source name=dir
+// flags; they are registered into the default session and federated at
+// startup so the daemon is immediately queryable.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/dataspace/automed/internal/server"
+	"github.com/dataspace/automed/internal/wrapper"
+)
+
+// sourceFlags collects repeatable -source name=dir flags.
+type sourceFlags []string
+
+func (s *sourceFlags) String() string { return strings.Join(*s, ",") }
+
+func (s *sourceFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=dir, got %q", v)
+	}
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		planCache   = flag.Int("plan-cache", 512, "max cached parsed IQL plans (0 disables)")
+		resultCache = flag.Int("result-cache", 4096, "max cached query results per session (0 disables)")
+		timeout     = flag.Duration("query-timeout", 30*time.Second, "default per-query evaluation deadline (0 = none)")
+		maxSteps    = flag.Int("max-steps", 0, "IQL evaluation step bound per query (0 = unlimited)")
+		preload     sourceFlags
+	)
+	flag.Var(&preload, "source", "preload a CSV source as name=dir into the default session (repeatable)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		PlanCacheSize:   *planCache,
+		ResultCacheSize: *resultCache,
+		QueryTimeout:    *timeout,
+		MaxSteps:        *maxSteps,
+	})
+	if err := preloadSources(srv, preload); err != nil {
+		log.Fatalf("automedd: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("automedd: listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("automedd: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("automedd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("automedd: shutdown: %v", err)
+		}
+	}
+}
+
+// preloadSources wraps each name=dir CSV source into the default
+// session and federates so the daemon starts queryable.
+func preloadSources(srv *server.Server, specs sourceFlags) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	sess, err := srv.Sessions().Get("default", true)
+	if err != nil {
+		return err
+	}
+	for _, spec := range specs {
+		name, dir, _ := strings.Cut(spec, "=")
+		w, err := wrapper.NewCSVDir(name, dir)
+		if err != nil {
+			return fmt.Errorf("preloading %s: %w", spec, err)
+		}
+		if err := sess.AddSource(w); err != nil {
+			return err
+		}
+		log.Printf("automedd: preloaded source %s from %s", name, dir)
+	}
+	if _, err := sess.Federate("F", false); err != nil {
+		return err
+	}
+	log.Printf("automedd: federated %d source(s) as F (version 0)", len(specs))
+	return nil
+}

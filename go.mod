@@ -1,0 +1,3 @@
+module github.com/dataspace/automed
+
+go 1.24

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/dataspace/automed/internal/hdm"
 	"github.com/dataspace/automed/internal/iql"
@@ -39,10 +40,24 @@ type Intersection struct {
 	Counts StepCounts
 }
 
+// SchemaVersion pairs a global schema with its version number: version
+// 0 is the federated schema, and every Intersect/Refine/BuildGlobal
+// publishes the next version. All versions stay live for querying.
+type SchemaVersion struct {
+	Version int
+	Schema  *hdm.Schema
+}
+
 // Integrator drives the intersection-schema workflow over a set of
 // wrapped data sources. Create one with New, call Federate, then any
 // sequence of Intersect/Refine/BuildGlobal, querying at any point.
+//
+// An Integrator is safe for concurrent use: integration steps take the
+// write lock, queries take the read lock for their whole evaluation, so
+// in-flight queries never observe a half-built global schema and a new
+// iteration waits for running queries to drain.
 type Integrator struct {
+	mu      sync.RWMutex
 	repo    *repo.Repository
 	proc    *query.Processor
 	sources []wrapper.Wrapper
@@ -54,6 +69,7 @@ type Integrator struct {
 	derivedObjs   []objMeta // refinement + derived concepts, global-level
 	global        *hdm.Schema
 	globalVersion int
+	versions      []SchemaVersion
 	iterations    []Iteration
 	autoDrop      bool
 }
@@ -61,7 +77,11 @@ type Integrator struct {
 // SetAutoDrop controls whether the global schemas automatically rebuilt
 // after each intersection/refinement drop redundant source objects
 // (workflow step 5's optional election). Default false.
-func (ig *Integrator) SetAutoDrop(drop bool) { ig.autoDrop = drop }
+func (ig *Integrator) SetAutoDrop(drop bool) {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	ig.autoDrop = drop
+}
 
 type objMeta struct {
 	scheme hdm.Scheme
@@ -134,6 +154,8 @@ func (ig *Integrator) Prefix(source string) string { return ig.prefix[source] }
 // transformation (workflow step 2). F serves as the first version of
 // the global schema, so data services run immediately.
 func (ig *Integrator) Federate(name string) (*hdm.Schema, error) {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
 	if ig.fed != nil {
 		return nil, fmt.Errorf("core: already federated as %q", ig.fedName)
 	}
@@ -171,6 +193,7 @@ func (ig *Integrator) Federate(name string) (*hdm.Schema, error) {
 	ig.fedName = name
 	ig.fed = fed
 	ig.global = fed
+	ig.versions = append(ig.versions, SchemaVersion{Version: 0, Schema: fed})
 	ig.iterations = append(ig.iterations, Iteration{
 		Name: name, Kind: "federate", Counts: counts, GlobalSchema: name,
 	})
@@ -194,14 +217,60 @@ func (ig *Integrator) addPathway(pw *transform.Pathway) error {
 }
 
 // Federated returns the federated schema (nil before Federate).
-func (ig *Integrator) Federated() *hdm.Schema { return ig.fed }
+func (ig *Integrator) Federated() *hdm.Schema {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
+	return ig.fed
+}
 
 // Global returns the current global schema: the federated schema until
 // the first BuildGlobal, then the latest built version.
-func (ig *Integrator) Global() *hdm.Schema { return ig.global }
+func (ig *Integrator) Global() *hdm.Schema {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
+	return ig.global
+}
+
+// GlobalVersion returns the current global schema's version number:
+// 0 for the federated schema, incremented by every rebuild. It is -1
+// before Federate.
+func (ig *Integrator) GlobalVersion() int {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
+	if ig.global == nil {
+		return -1
+	}
+	return ig.globalVersion
+}
+
+// Versions lists every published global schema version, oldest first.
+// All versions remain queryable via QueryAt.
+func (ig *Integrator) Versions() []SchemaVersion {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
+	return append([]SchemaVersion(nil), ig.versions...)
+}
+
+// SchemaAt returns the global schema published as the given version.
+func (ig *Integrator) SchemaAt(version int) (*hdm.Schema, bool) {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
+	return ig.schemaAtLocked(version)
+}
+
+func (ig *Integrator) schemaAtLocked(version int) (*hdm.Schema, bool) {
+	for _, sv := range ig.versions {
+		if sv.Version == version {
+			return sv.Schema, true
+		}
+	}
+	return nil, false
+}
 
 // Intersections returns the intersections created so far.
 func (ig *Integrator) Intersections() []*Intersection {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
 	return append([]*Intersection(nil), ig.intersections...)
 }
 
@@ -217,6 +286,8 @@ func (ig *Integrator) Intersections() []*Intersection {
 // The enables list names workload queries first answerable after this
 // iteration.
 func (ig *Integrator) Intersect(name string, mappings []Mapping, enables ...string) (*Intersection, error) {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
 	if ig.fed == nil {
 		return nil, fmt.Errorf("core: call Federate before Intersect")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -17,6 +18,8 @@ import (
 // to answer query 2). Each forward entry is a manual add; derived
 // entries (empty Source) range over the integrated namespace.
 func (ig *Integrator) Refine(name string, m Mapping, enables ...string) error {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
 	if ig.fed == nil {
 		return fmt.Errorf("core: call Federate before Refine")
 	}
@@ -61,6 +64,8 @@ func (ig *Integrator) Refine(name string, m Mapping, enables ...string) error {
 // (the paper's − operator); otherwise the full federated schema is
 // retained alongside the intersections.
 func (ig *Integrator) BuildGlobal(dropRedundant bool) (*hdm.Schema, error) {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
 	g, err := ig.rebuildGlobal(dropRedundant)
 	if err != nil {
 		return nil, err
@@ -159,15 +164,25 @@ func (ig *Integrator) rebuildGlobal(dropRedundant bool) (*hdm.Schema, error) {
 	}
 
 	ig.global = g
+	ig.versions = append(ig.versions, SchemaVersion{Version: ig.globalVersion, Schema: g})
 	return g, nil
 }
 
 // Result carries a query answer plus any incompleteness warnings
-// produced while unfolding extents.
+// produced while unfolding extents, and identifies the global schema
+// version it was answered against.
 type Result struct {
 	Value    iql.Value
 	Warnings []string
+	// Version is the global schema version the query was resolved
+	// against (0 = federated schema).
+	Version int
+	// Schema names that global schema version.
+	Schema string
 }
+
+// CurrentVersion selects the latest global schema version in QueryAt.
+const CurrentVersion = -1
 
 // Query answers an IQL query over the current global schema (workflow
 // step 6). Every scheme reference must resolve (exactly or by suffix)
@@ -175,24 +190,54 @@ type Result struct {
 // longer queryable, exactly as in the paper's tool — and is canonical-
 // ised before evaluation.
 func (ig *Integrator) Query(src string) (Result, error) {
+	return ig.QueryAt(context.Background(), CurrentVersion, src)
+}
+
+// QueryCtx is Query with per-request cancellation and timeout.
+func (ig *Integrator) QueryCtx(ctx context.Context, src string) (Result, error) {
+	return ig.QueryAt(ctx, CurrentVersion, src)
+}
+
+// QueryAt answers an IQL query against a specific live global schema
+// version (CurrentVersion for the latest). Older versions expose
+// exactly the objects they were published with, so clients can keep
+// querying a pinned schema while integration advances.
+func (ig *Integrator) QueryAt(ctx context.Context, version int, src string) (Result, error) {
 	e, err := iql.Parse(src)
 	if err != nil {
 		return Result{}, err
 	}
-	return ig.QueryExpr(e)
+	return ig.QueryExprAt(ctx, version, e)
 }
 
 // QueryExpr is Query over a parsed expression.
 func (ig *Integrator) QueryExpr(e iql.Expr) (Result, error) {
+	return ig.QueryExprAt(context.Background(), CurrentVersion, e)
+}
+
+// QueryExprAt is QueryAt over a parsed expression. The read lock is
+// held for the whole evaluation, so concurrent integration steps can
+// never expose a half-built global schema to the query.
+func (ig *Integrator) QueryExprAt(ctx context.Context, version int, e iql.Expr) (Result, error) {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
 	if ig.global == nil {
 		return Result{}, fmt.Errorf("core: no global schema; call Federate first")
 	}
+	target, ver := ig.global, ig.globalVersion
+	if version != CurrentVersion {
+		s, ok := ig.schemaAtLocked(version)
+		if !ok {
+			return Result{}, fmt.Errorf("core: no global schema version %d (have 0..%d)", version, ig.globalVersion)
+		}
+		target, ver = s, version
+	}
 	var resolveErr error
 	canon := iql.SubstituteSchemes(e, func(parts []string) (iql.Expr, bool) {
-		obj, err := ig.global.Resolve(parts)
+		obj, err := target.Resolve(parts)
 		if err != nil {
 			if resolveErr == nil {
-				resolveErr = fmt.Errorf("core: query over %s: %w", ig.global.Name(), err)
+				resolveErr = fmt.Errorf("core: query over %s: %w", target.Name(), err)
 			}
 			return nil, false
 		}
@@ -201,12 +246,11 @@ func (ig *Integrator) QueryExpr(e iql.Expr) (Result, error) {
 	if resolveErr != nil {
 		return Result{}, resolveErr
 	}
-	ig.proc.ClearWarnings()
-	v, err := ig.proc.Eval(canon)
+	v, warns, err := ig.proc.EvalContext(ctx, canon)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Value: v, Warnings: ig.proc.Warnings()}, nil
+	return Result{Value: v, Warnings: warns, Version: ver, Schema: target.Name()}, nil
 }
 
 // Extent returns the extent of one global schema object.
@@ -214,6 +258,11 @@ func (ig *Integrator) Extent(scheme string) (iql.Value, error) {
 	sc, err := hdm.ParseScheme(scheme)
 	if err != nil {
 		return iql.Value{}, err
+	}
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
+	if ig.global == nil {
+		return iql.Value{}, fmt.Errorf("core: no global schema; call Federate first")
 	}
 	obj, err := ig.global.Resolve(sc.Parts())
 	if err != nil {
@@ -224,12 +273,16 @@ func (ig *Integrator) Extent(scheme string) (iql.Value, error) {
 
 // Report summarises the session's iterations and effort counts.
 func (ig *Integrator) Report() Report {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
 	return Report{Iterations: append([]Iteration(nil), ig.iterations...)}
 }
 
 // RedundantObjects lists, per source, the objects made redundant by the
 // intersections created so far (candidates for the − operator), sorted.
 func (ig *Integrator) RedundantObjects() map[string][]hdm.Scheme {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
 	out := make(map[string][]hdm.Scheme)
 	for _, in := range ig.intersections {
 		for src, objs := range in.DeletedBySource {
@@ -252,6 +305,8 @@ func (ig *Integrator) RedundantObjects() map[string][]hdm.Scheme {
 // objects that were only contracted come back as extends with unknown
 // extents (Range Void Any), surfacing as warnings rather than answers.
 func (ig *Integrator) ReverseProcessor() (*query.Processor, error) {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
 	if ig.global == nil {
 		return nil, fmt.Errorf("core: no global schema")
 	}

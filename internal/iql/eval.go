@@ -1,6 +1,7 @@
 package iql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -63,6 +64,9 @@ type Evaluator struct {
 	// MaxSteps bounds the number of evaluation steps as a defence
 	// against runaway comprehensions; 0 means unlimited.
 	MaxSteps int
+	// Ctx, when non-nil, is polled during evaluation so that long
+	// evaluations honour per-request timeouts and cancellation.
+	Ctx context.Context
 
 	steps int
 }
@@ -76,6 +80,11 @@ func (ev *Evaluator) Eval(e Expr, env *Env) (Value, error) {
 		env = NewEnv()
 	}
 	ev.steps = 0
+	if ev.Ctx != nil {
+		if err := ev.Ctx.Err(); err != nil {
+			return Value{}, fmt.Errorf("iql: evaluation cancelled: %w", err)
+		}
+	}
 	return ev.eval(e, env)
 }
 
@@ -88,10 +97,19 @@ func (ev *Evaluator) EvalString(src string) (Value, error) {
 	return ev.Eval(e, nil)
 }
 
+// ctxCheckInterval is how many evaluation steps pass between context
+// polls; a power of two so the check compiles to a mask.
+const ctxCheckInterval = 1024
+
 func (ev *Evaluator) step() error {
 	ev.steps++
 	if ev.MaxSteps > 0 && ev.steps > ev.MaxSteps {
 		return fmt.Errorf("iql: evaluation exceeded %d steps", ev.MaxSteps)
+	}
+	if ev.Ctx != nil && ev.steps&(ctxCheckInterval-1) == 0 {
+		if err := ev.Ctx.Err(); err != nil {
+			return fmt.Errorf("iql: evaluation cancelled: %w", err)
+		}
 	}
 	return nil
 }

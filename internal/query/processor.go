@@ -20,6 +20,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -53,13 +54,22 @@ type source struct {
 	ext    iql.Extents
 }
 
+// cachedExtent memoises a virtual object's extent together with the
+// incompleteness warnings its computation raised, so cache hits replay
+// the warnings instead of silently reporting an incomplete answer as
+// complete.
+type cachedExtent struct {
+	val   iql.Value
+	warns []string
+}
+
 // Processor answers IQL queries over virtual schemas backed by data
 // source wrappers. It is safe for concurrent use.
 type Processor struct {
 	mu       sync.Mutex
 	sources  []source
 	defs     map[string][]Derivation
-	cache    map[string]iql.Value
+	cache    map[string]cachedExtent
 	srcCache map[string]iql.Value
 	warnings map[string]bool
 	// MaxSteps bounds IQL evaluation per query; 0 means unlimited.
@@ -70,7 +80,7 @@ type Processor struct {
 func New() *Processor {
 	return &Processor{
 		defs:     make(map[string][]Derivation),
-		cache:    make(map[string]iql.Value),
+		cache:    make(map[string]cachedExtent),
 		srcCache: make(map[string]iql.Value),
 		warnings: make(map[string]bool),
 	}
@@ -208,7 +218,7 @@ func (p *Processor) InvalidateCache() {
 }
 
 func (p *Processor) invalidateLocked() {
-	p.cache = make(map[string]iql.Value)
+	p.cache = make(map[string]cachedExtent)
 	p.srcCache = make(map[string]iql.Value)
 }
 
@@ -231,7 +241,15 @@ func (p *Processor) ClearWarnings() {
 	p.warnings = make(map[string]bool)
 }
 
-func (p *Processor) warn(msg string) {
+// warnIn records a warning in the session (per-evaluation reporting,
+// race-free under concurrent queries; the ordered log also feeds the
+// extent memo cache) and in the processor's accumulated set (the
+// legacy Warnings API).
+func (p *Processor) warnIn(s *session, msg string) {
+	if s.warnings != nil {
+		s.warnings[msg] = true
+	}
+	s.warnLog = append(s.warnLog, msg)
 	p.mu.Lock()
 	p.warnings[msg] = true
 	p.mu.Unlock()
@@ -246,6 +264,16 @@ type session struct {
 	onStack map[string]bool
 	scopes  []string
 	cut     bool
+	// ctx, when non-nil, cancels long evaluations (per-request
+	// timeouts); it is handed to every evaluator the session spawns.
+	ctx context.Context
+	// warnings, when non-nil, collects the incompleteness warnings
+	// raised during this one evaluation.
+	warnings map[string]bool
+	// warnLog is the ordered warning stream of this evaluation; each
+	// virtual extent caches the slice it contributed so that memo-
+	// cache hits replay the warnings of the computation they reuse.
+	warnLog []string
 }
 
 func (s *session) scope() string {
@@ -288,9 +316,12 @@ func (p *Processor) extentIn(s *session, parts []string) (iql.Value, error) {
 	p.mu.Lock()
 	derivs, virtual := p.defs[key]
 	if virtual {
-		if v, ok := p.cache[key]; ok {
+		if ce, ok := p.cache[key]; ok {
 			p.mu.Unlock()
-			return v, nil
+			for _, w := range ce.warns {
+				p.warnIn(s, w)
+			}
+			return ce.val, nil
 		}
 	}
 	p.mu.Unlock()
@@ -373,11 +404,12 @@ func (p *Processor) virtualExtent(s *session, key string, parts []string, derivs
 	s.onStack[key] = true
 	savedCut := s.cut
 	s.cut = false
+	warnMark := len(s.warnLog)
 	var acc []iql.Value
 	var evalErr error
 	for _, d := range derivs {
 		s.scopes = append(s.scopes, d.Scope)
-		ev := &iql.Evaluator{Ext: s, MaxSteps: p.MaxSteps}
+		ev := &iql.Evaluator{Ext: s, MaxSteps: p.MaxSteps, Ctx: s.ctx}
 		v, err := ev.Eval(d.Query, nil)
 		s.scopes = s.scopes[:len(s.scopes)-1]
 		if err != nil {
@@ -394,10 +426,10 @@ func (p *Processor) virtualExtent(s *session, key string, parts []string, derivs
 		acc = append(acc, els...)
 		if d.Lower {
 			if iql.IsVoidAnyRange(d.Query) {
-				p.warn(fmt.Sprintf("extent of <<%s>> is unknown via %s (Range Void Any)",
+				p.warnIn(s, fmt.Sprintf("extent of <<%s>> is unknown via %s (Range Void Any)",
 					strings.Join(parts, ", "), d.Via))
 			} else {
-				p.warn(fmt.Sprintf("extent of <<%s>> may be incomplete: lower bound used (via %s)",
+				p.warnIn(s, fmt.Sprintf("extent of <<%s>> may be incomplete: lower bound used (via %s)",
 					strings.Join(parts, ", "), d.Via))
 			}
 		}
@@ -408,8 +440,12 @@ func (p *Processor) virtualExtent(s *session, key string, parts []string, derivs
 	}
 	out := iql.BagOf(acc)
 	if !s.cut {
+		ce := cachedExtent{val: out}
+		if n := len(s.warnLog) - warnMark; n > 0 {
+			ce.warns = append([]string(nil), s.warnLog[warnMark:]...)
+		}
 		p.mu.Lock()
-		p.cache[key] = out
+		p.cache[key] = ce
 		p.mu.Unlock()
 	}
 	s.cut = s.cut || savedCut
@@ -421,6 +457,31 @@ func (p *Processor) Eval(e iql.Expr) (iql.Value, error) {
 	s := &session{p: p, onStack: make(map[string]bool)}
 	ev := &iql.Evaluator{Ext: s, MaxSteps: p.MaxSteps}
 	return ev.Eval(e, nil)
+}
+
+// EvalContext evaluates a parsed IQL expression under a context (for
+// per-request timeouts and cancellation) and returns the
+// incompleteness warnings raised by this evaluation alone, sorted.
+// Unlike the ClearWarnings/Eval/Warnings sequence, it is safe under
+// concurrent queries: each evaluation collects its own warnings.
+func (p *Processor) EvalContext(ctx context.Context, e iql.Expr) (iql.Value, []string, error) {
+	s := &session{
+		p:        p,
+		onStack:  make(map[string]bool),
+		ctx:      ctx,
+		warnings: make(map[string]bool),
+	}
+	ev := &iql.Evaluator{Ext: s, MaxSteps: p.MaxSteps, Ctx: ctx}
+	v, err := ev.Eval(e, nil)
+	if err != nil {
+		return iql.Value{}, nil, err
+	}
+	warns := make([]string, 0, len(s.warnings))
+	for w := range s.warnings {
+		warns = append(warns, w)
+	}
+	sort.Strings(warns)
+	return v, warns, nil
 }
 
 // EvalScoped evaluates an expression whose unqualified references

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := NewLRU[int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	// Touch "a" so "b" becomes the eviction victim.
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("d", 4)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("least-recently-used entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %q missing after eviction", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Len != 3 {
+		t.Fatalf("stats = %+v, want 1 eviction, len 3", st)
+	}
+}
+
+func TestLRUUpdateRefreshes(t *testing.T) {
+	c := NewLRU[string](2)
+	c.Put("a", "1")
+	c.Put("b", "2")
+	c.Put("a", "1'") // refresh, not insert
+	c.Put("c", "3")  // evicts b
+	if v, ok := c.Get("a"); !ok || v != "1'" {
+		t.Fatalf("Get(a) = %q, %v; want refreshed value", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction after a was refreshed")
+	}
+}
+
+func TestLRUPurgeAndStats(t *testing.T) {
+	c := NewLRU[int](8)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprint(i), i)
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after purge = %d", c.Len())
+	}
+	if _, ok := c.Get("3"); ok {
+		t.Fatal("entry survived purge")
+	}
+	st := c.Stats()
+	if st.Purges != 1 {
+		t.Fatalf("purges = %d, want 1", st.Purges)
+	}
+	if st.HitRate() != 0 {
+		t.Fatalf("hit rate = %v, want 0", st.HitRate())
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := NewLRU[int](0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU[int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprint(i % 100)
+				if i%3 == 0 {
+					c.Put(key, i)
+				} else {
+					c.Get(key)
+				}
+				if i%97 == 0 {
+					c.Purge()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("cache overflowed: len %d", c.Len())
+	}
+}

@@ -1,0 +1,771 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/dataspace/automed/internal/core"
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/match"
+	"github.com/dataspace/automed/internal/rel"
+	"github.com/dataspace/automed/internal/wrapper"
+)
+
+// ---- JSON plumbing ----
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Encode before committing the status so an unencodable value
+	// (e.g. a NaN float loaded from source data) becomes a 500, not a
+	// 200 with a truncated body.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		if _, isErr := v.(apiError); !isErr {
+			writeJSON(w, http.StatusInternalServerError,
+				apiError{Error: fmt.Sprintf("server: encoding response: %v", err)})
+			return
+		}
+		http.Error(w, `{"error":"server: encoding response failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// errStatus maps workflow errors onto HTTP statuses.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "no session"):
+		return http.StatusNotFound
+	case strings.Contains(msg, "already"):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("server: invalid request body: %w", err)
+	}
+	return nil
+}
+
+// ---- Value rendering ----
+
+// valueJSON converts an IQL value into a JSON-encodable shape: scalars
+// map to JSON scalars, tuples to {"tuple": [...]}, bags to
+// {"bag": [...]} with elements in canonical order (bags are multisets,
+// so a deterministic order is free to choose and keeps responses
+// stable), Void/Any to {"const": ...}.
+func valueJSON(v iql.Value) any {
+	switch v.Kind {
+	case iql.KindNull:
+		return nil
+	case iql.KindBool:
+		return v.B
+	case iql.KindInt:
+		return v.I
+	case iql.KindFloat:
+		return v.F
+	case iql.KindString:
+		return v.S
+	case iql.KindTuple:
+		items := make([]any, len(v.Items))
+		for i, it := range v.Items {
+			items[i] = valueJSON(it)
+		}
+		return map[string]any{"tuple": items}
+	case iql.KindBag:
+		sorted, err := iql.SortBag(v)
+		if err != nil {
+			sorted = v
+		}
+		items := make([]any, len(sorted.Items))
+		for i, it := range sorted.Items {
+			items[i] = valueJSON(it)
+		}
+		return map[string]any{"bag": items}
+	case iql.KindVoid:
+		return map[string]any{"const": "Void"}
+	case iql.KindAny:
+		return map[string]any{"const": "Any"}
+	}
+	return v.String()
+}
+
+// ---- POST /sources ----
+
+type fkSpec struct {
+	Column   string `json:"column"`
+	RefTable string `json:"ref_table"`
+}
+
+type tableSpec struct {
+	Name string `json:"name"`
+	// Columns are "name:type" specs (type one of string, int, float,
+	// bool, default string); the first column is the primary key
+	// unless one carries a "!pk" suffix.
+	Columns     []string `json:"columns"`
+	Rows        [][]any  `json:"rows"`
+	ForeignKeys []fkSpec `json:"foreign_keys,omitempty"`
+}
+
+type sourcesReq struct {
+	Session string `json:"session,omitempty"`
+	// Name is the data source schema name.
+	Name string `json:"name"`
+	// CSVDir loads a directory of typed-header CSV files; mutually
+	// exclusive with Tables.
+	CSVDir string      `json:"csv_dir,omitempty"`
+	Tables []tableSpec `json:"tables,omitempty"`
+}
+
+type sourcesResp struct {
+	Session string   `json:"session"`
+	Source  string   `json:"source"`
+	Objects []string `json:"objects"`
+	Sources []string `json:"sources"`
+}
+
+func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
+	var req sourcesReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: source name is required"))
+		return
+	}
+	if (req.CSVDir == "") == (len(req.Tables) == 0) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: provide exactly one of csv_dir or tables"))
+		return
+	}
+	var (
+		wrap wrapper.Wrapper
+		err  error
+	)
+	if req.CSVDir != "" {
+		wrap, err = wrapper.NewCSVDir(req.Name, req.CSVDir)
+	} else {
+		wrap, err = buildInlineSource(req.Name, req.Tables)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.reg.Get(req.Session, true)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	if err := sess.AddSource(wrap); err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sourcesResp{
+		Session: sess.Name(),
+		Source:  req.Name,
+		Objects: schemeStrings(wrap.Schema()),
+		Sources: sess.SourceNames(),
+	})
+}
+
+// buildInlineSource assembles a relational source from inline table
+// specs, mirroring the library's SourceBuilder conventions.
+func buildInlineSource(name string, tables []tableSpec) (wrapper.Wrapper, error) {
+	db := rel.NewDB(name)
+	for _, ts := range tables {
+		if ts.Name == "" {
+			return nil, fmt.Errorf("server: source %q: table name is required", name)
+		}
+		cols := make([]rel.Column, len(ts.Columns))
+		types := make([]rel.Type, len(ts.Columns))
+		pk := ""
+		for i, spec := range ts.Columns {
+			isPK := strings.HasSuffix(spec, "!pk")
+			spec = strings.TrimSuffix(spec, "!pk")
+			cname, ctype := spec, "string"
+			if j := strings.LastIndex(spec, ":"); j >= 0 {
+				cname, ctype = spec[:j], spec[j+1:]
+			}
+			ty, err := rel.ParseType(ctype)
+			if err != nil {
+				return nil, fmt.Errorf("server: source %q table %q: %w", name, ts.Name, err)
+			}
+			cols[i] = rel.Column{Name: cname, Type: ty}
+			types[i] = ty
+			if isPK {
+				pk = cname
+			}
+		}
+		t, err := db.CreateTable(ts.Name, cols, pk)
+		if err != nil {
+			return nil, fmt.Errorf("server: source %q: %w", name, err)
+		}
+		for rn, row := range ts.Rows {
+			if len(row) != len(cols) {
+				return nil, fmt.Errorf("server: source %q table %q row %d: %d cells for %d columns",
+					name, ts.Name, rn, len(row), len(cols))
+			}
+			vals := make([]any, len(row))
+			for i, cell := range row {
+				v, err := coerceCell(cell, types[i])
+				if err != nil {
+					return nil, fmt.Errorf("server: source %q table %q row %d column %q: %w",
+						name, ts.Name, rn, cols[i].Name, err)
+				}
+				vals[i] = v
+			}
+			if err := t.Insert(vals...); err != nil {
+				return nil, fmt.Errorf("server: source %q table %q row %d: %w", name, ts.Name, rn, err)
+			}
+		}
+		for _, fk := range ts.ForeignKeys {
+			if err := db.AddForeignKey(ts.Name, fk.Column, fk.RefTable); err != nil {
+				return nil, fmt.Errorf("server: source %q: %w", name, err)
+			}
+		}
+	}
+	return wrapper.NewRelational(name, db)
+}
+
+// coerceCell maps JSON-decoded cells onto the relational cell types
+// (JSON numbers arrive as float64; int columns require integral ones).
+func coerceCell(cell any, ty rel.Type) (any, error) {
+	if cell == nil {
+		return nil, nil
+	}
+	switch ty {
+	case rel.Int:
+		f, ok := cell.(float64)
+		if !ok {
+			return nil, fmt.Errorf("expected number, got %T", cell)
+		}
+		if f != math.Trunc(f) {
+			return nil, fmt.Errorf("expected integer, got %v", f)
+		}
+		return int64(f), nil
+	case rel.Float:
+		f, ok := cell.(float64)
+		if !ok {
+			return nil, fmt.Errorf("expected number, got %T", cell)
+		}
+		return f, nil
+	case rel.Bool:
+		b, ok := cell.(bool)
+		if !ok {
+			return nil, fmt.Errorf("expected boolean, got %T", cell)
+		}
+		return b, nil
+	default:
+		s, ok := cell.(string)
+		if !ok {
+			return nil, fmt.Errorf("expected string, got %T", cell)
+		}
+		return s, nil
+	}
+}
+
+func schemeStrings(s *hdm.Schema) []string {
+	objs := s.Objects()
+	out := make([]string, len(objs))
+	for i, o := range objs {
+		out[i] = o.Scheme.String()
+	}
+	return out
+}
+
+// ---- POST /federate ----
+
+type federateReq struct {
+	Session  string `json:"session,omitempty"`
+	Name     string `json:"name,omitempty"`
+	AutoDrop bool   `json:"auto_drop,omitempty"`
+}
+
+type federateResp struct {
+	Session string   `json:"session"`
+	Schema  string   `json:"schema"`
+	Version int      `json:"version"`
+	Objects []string `json:"objects"`
+}
+
+func (s *Server) handleFederate(w http.ResponseWriter, r *http.Request) {
+	var req federateReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.reg.Get(req.Session, false)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	ig, err := sess.Federate(req.Name, req.AutoDrop)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	s.metrics.Iteration()
+	fed := ig.Federated()
+	writeJSON(w, http.StatusCreated, federateResp{
+		Session: sess.Name(),
+		Schema:  fed.Name(),
+		Version: ig.GlobalVersion(),
+		Objects: schemeStrings(fed),
+	})
+}
+
+// ---- POST /intersect and POST /refine ----
+
+type forwardSpec struct {
+	// Source names the contributing extensional schema; empty marks a
+	// derived concept over already-integrated objects.
+	Source string `json:"source,omitempty"`
+	Query  string `json:"query"`
+}
+
+type reverseSpec struct {
+	Source string `json:"source"`
+	Object string `json:"object"`
+	Query  string `json:"query"`
+}
+
+type mappingSpec struct {
+	Target  string        `json:"target"`
+	Forward []forwardSpec `json:"forward"`
+	Reverse []reverseSpec `json:"reverse,omitempty"`
+}
+
+func (m mappingSpec) toCore() core.Mapping {
+	out := core.Mapping{Target: m.Target}
+	for _, f := range m.Forward {
+		out.Forward = append(out.Forward, core.SourceQuery{Source: f.Source, Query: f.Query})
+	}
+	for _, r := range m.Reverse {
+		out.Reverse = append(out.Reverse, core.ReverseQuery{Source: r.Source, Object: r.Object, Query: r.Query})
+	}
+	return out
+}
+
+type intersectReq struct {
+	Session  string        `json:"session,omitempty"`
+	Name     string        `json:"name,omitempty"`
+	Mappings []mappingSpec `json:"mappings"`
+	Enables  []string      `json:"enables,omitempty"`
+}
+
+type countsResp struct {
+	Manual int `json:"manual"`
+	Auto   int `json:"auto"`
+}
+
+type intersectResp struct {
+	Session      string     `json:"session"`
+	Intersection string     `json:"intersection"`
+	Sources      []string   `json:"sources"`
+	Targets      []string   `json:"targets"`
+	Counts       countsResp `json:"counts"`
+	GlobalSchema string     `json:"global_schema"`
+	Version      int        `json:"version"`
+}
+
+func (s *Server) handleIntersect(w http.ResponseWriter, r *http.Request) {
+	var req intersectReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.reg.Get(req.Session, false)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	mappings := make([]core.Mapping, len(req.Mappings))
+	for i, m := range req.Mappings {
+		mappings[i] = m.toCore()
+	}
+	in, err := sess.Intersect(req.Name, mappings, req.Enables...)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	s.metrics.Iteration()
+	ig, _ := sess.integrator()
+	targets := make([]string, len(in.Targets))
+	for i, t := range in.Targets {
+		targets[i] = t.String()
+	}
+	writeJSON(w, http.StatusCreated, intersectResp{
+		Session:      sess.Name(),
+		Intersection: in.Name,
+		Sources:      in.Sources,
+		Targets:      targets,
+		Counts:       countsResp{Manual: in.Counts.Manual(), Auto: in.Counts.Auto()},
+		GlobalSchema: ig.Global().Name(),
+		Version:      ig.GlobalVersion(),
+	})
+}
+
+type refineReq struct {
+	Session string      `json:"session,omitempty"`
+	Name    string      `json:"name"`
+	Mapping mappingSpec `json:"mapping"`
+	Enables []string    `json:"enables,omitempty"`
+}
+
+type refineResp struct {
+	Session      string `json:"session"`
+	Refinement   string `json:"refinement"`
+	GlobalSchema string `json:"global_schema"`
+	Version      int    `json:"version"`
+}
+
+func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	var req refineReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.reg.Get(req.Session, false)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	if err := sess.Refine(req.Name, req.Mapping.toCore(), req.Enables...); err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	s.metrics.Iteration()
+	ig, _ := sess.integrator()
+	writeJSON(w, http.StatusCreated, refineResp{
+		Session:      sess.Name(),
+		Refinement:   req.Name,
+		GlobalSchema: ig.Global().Name(),
+		Version:      ig.GlobalVersion(),
+	})
+}
+
+// ---- GET /schemas ----
+
+type schemaVersionResp struct {
+	Version int      `json:"version"`
+	Name    string   `json:"name"`
+	Objects []string `json:"objects"`
+}
+
+type schemasResp struct {
+	Session        string              `json:"session"`
+	Sources        []string            `json:"sources"`
+	CurrentVersion int                 `json:"current_version"`
+	Versions       []schemaVersionResp `json:"versions"`
+}
+
+func (s *Server) handleSchemas(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.reg.Get(r.URL.Query().Get("session"), false)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	resp := schemasResp{
+		Session:        sess.Name(),
+		Sources:        sess.SourceNames(),
+		CurrentVersion: -1,
+	}
+	if ig, err := sess.integrator(); err == nil {
+		resp.CurrentVersion = ig.GlobalVersion()
+		for _, sv := range ig.Versions() {
+			resp.Versions = append(resp.Versions, schemaVersionResp{
+				Version: sv.Version,
+				Name:    sv.Schema.Name(),
+				Objects: schemeStrings(sv.Schema),
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- POST /query ----
+
+type queryReq struct {
+	Session string `json:"session,omitempty"`
+	Query   string `json:"query"`
+	// Version pins the query to a published global schema version;
+	// omitted or null means the latest.
+	Version *int `json:"version,omitempty"`
+	// Explain adds the derivation tree of every referenced object.
+	Explain bool `json:"explain,omitempty"`
+	// NoCache bypasses the result cache (the plan cache still
+	// applies).
+	NoCache bool `json:"no_cache,omitempty"`
+	// TimeoutMs shortens the server's query deadline for this request.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+type queryResp struct {
+	Session      string            `json:"session"`
+	Value        any               `json:"value"`
+	Rendered     string            `json:"rendered"`
+	Warnings     []string          `json:"warnings,omitempty"`
+	Version      int               `json:"version"`
+	Schema       string            `json:"schema"`
+	PlanCached   bool              `json:"plan_cached"`
+	ResultCached bool              `json:"result_cached"`
+	ElapsedUs    int64             `json:"elapsed_us"`
+	Explain      map[string]string `json:"explain,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: query is required"))
+		return
+	}
+	sess, err := s.reg.Get(req.Session, false)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	version := core.CurrentVersion
+	if req.Version != nil {
+		version = *req.Version
+	}
+
+	ctx := r.Context()
+	timeout := s.cfg.QueryTimeout
+	if req.TimeoutMs > 0 {
+		rt := time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout == 0 || rt < timeout {
+			timeout = rt
+		}
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res, outcome, err := sess.Query(ctx, s.plans, req.Query, version, req.NoCache)
+	elapsed := time.Since(start)
+	s.metrics.Query(elapsed, err, errors.Is(err, context.DeadlineExceeded))
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+
+	resp := queryResp{
+		Session:      sess.Name(),
+		Value:        valueJSON(res.Value),
+		Rendered:     res.Value.String(),
+		Warnings:     res.Warnings,
+		Version:      res.Version,
+		Schema:       res.Schema,
+		PlanCached:   outcome.PlanCached,
+		ResultCached: outcome.ResultCached,
+		ElapsedUs:    elapsed.Microseconds(),
+	}
+	if req.Explain {
+		resp.Explain = s.explain(sess, req.Query, res.Version)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// explain renders the derivation tree (provenance) of every schema
+// object the query references, resolved against the answered version.
+func (s *Server) explain(sess *Session, src string, version int) map[string]string {
+	ig, err := sess.integrator()
+	if err != nil {
+		return nil
+	}
+	e, err := iql.Parse(src)
+	if err != nil {
+		return nil
+	}
+	schema, ok := ig.SchemaAt(version)
+	if !ok {
+		return nil
+	}
+	out := make(map[string]string)
+	for _, parts := range iql.UniqueSchemeRefs(e) {
+		obj, err := schema.Resolve(parts)
+		if err != nil {
+			continue
+		}
+		out[obj.Scheme.String()] = ig.Processor().Explain(obj.Scheme)
+	}
+	return out
+}
+
+// ---- GET /report ----
+
+type iterationResp struct {
+	Name             string   `json:"name"`
+	Kind             string   `json:"kind"`
+	Manual           int      `json:"manual"`
+	Auto             int      `json:"auto"`
+	CumulativeManual int      `json:"cumulative_manual"`
+	Enables          []string `json:"enables,omitempty"`
+	GlobalSchema     string   `json:"global_schema"`
+}
+
+type reportResp struct {
+	Session     string          `json:"session"`
+	Iterations  []iterationResp `json:"iterations"`
+	TotalManual int             `json:"total_manual"`
+	TotalAuto   int             `json:"total_auto"`
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.reg.Get(r.URL.Query().Get("session"), false)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	ig, err := sess.integrator()
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	rep := ig.Report()
+	resp := reportResp{Session: sess.Name()}
+	cum := 0
+	for _, it := range rep.Iterations {
+		cum += it.Counts.Manual()
+		resp.Iterations = append(resp.Iterations, iterationResp{
+			Name:             it.Name,
+			Kind:             it.Kind,
+			Manual:           it.Counts.Manual(),
+			Auto:             it.Counts.Auto(),
+			CumulativeManual: cum,
+			Enables:          it.Enables,
+			GlobalSchema:     it.GlobalSchema,
+		})
+	}
+	t := rep.Totals()
+	resp.TotalManual, resp.TotalAuto = t.Manual(), t.Auto()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- POST /suggest ----
+
+type suggestReq struct {
+	Session  string  `json:"session,omitempty"`
+	SourceA  string  `json:"source_a"`
+	SourceB  string  `json:"source_b"`
+	MinScore float64 `json:"min_score,omitempty"`
+}
+
+type correspondenceResp struct {
+	Left     string             `json:"left"`
+	Right    string             `json:"right"`
+	Score    float64            `json:"score"`
+	Evidence map[string]float64 `json:"evidence,omitempty"`
+}
+
+type suggestResp struct {
+	Session         string               `json:"session"`
+	Correspondences []correspondenceResp `json:"correspondences"`
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	var req suggestReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.reg.Get(req.Session, false)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	wa, okA := sess.Wrapper(req.SourceA)
+	wb, okB := sess.Wrapper(req.SourceB)
+	if !okA || !okB {
+		writeErr(w, http.StatusNotFound,
+			fmt.Errorf("server: session %q does not have both sources %q and %q", sess.Name(), req.SourceA, req.SourceB))
+		return
+	}
+	m := match.New(match.DefaultConfig())
+	best := m.Best(wa.Schema(), wb.Schema(), wa, wb, req.MinScore)
+	resp := suggestResp{Session: sess.Name(), Correspondences: []correspondenceResp{}}
+	for _, c := range best {
+		resp.Correspondences = append(resp.Correspondences, correspondenceResp{
+			Left:     c.Left.String(),
+			Right:    c.Right.String(),
+			Score:    c.Score,
+			Evidence: c.Evidence,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- GET /sessions, /healthz, /metrics ----
+
+type sessionInfo struct {
+	Name      string   `json:"name"`
+	Sources   []string `json:"sources"`
+	Federated bool     `json:"federated"`
+	Version   int      `json:"version"`
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	out := make([]sessionInfo, 0)
+	for _, name := range s.reg.Names() {
+		sess, err := s.reg.Get(name, false)
+		if err != nil {
+			continue
+		}
+		info := sessionInfo{Name: name, Sources: sess.SourceNames(), Version: -1}
+		if ig, err := sess.integrator(); err == nil {
+			info.Federated = true
+			info.Version = ig.GlobalVersion()
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"sessions": s.reg.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.plans.Stats(), s.resultStats(), s.reg.Len()))
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates server-wide counters: request and query volumes,
+// error counts, query latency, and (via the caches' own stats) plan and
+// result cache hit rates. All methods are safe for concurrent use.
+type Metrics struct {
+	start time.Time
+
+	requestsTotal atomic.Uint64
+	queriesTotal  atomic.Uint64
+	queryErrors   atomic.Uint64
+	queryTimeouts atomic.Uint64
+	iterations    atomic.Uint64 // integration steps served (federate/intersect/refine)
+
+	mu         sync.Mutex
+	latCount   uint64
+	latSumNs   int64
+	latMaxNs   int64
+	latBuckets [len(latencyBoundsMs)]uint64
+}
+
+// latencyBoundsMs are the upper bounds (milliseconds) of the query
+// latency histogram; the last bucket is unbounded.
+var latencyBoundsMs = [...]float64{1, 5, 25, 100, 500, 2500}
+
+// NewMetrics returns zeroed metrics anchored at now.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// Request counts one HTTP request.
+func (m *Metrics) Request() { m.requestsTotal.Add(1) }
+
+// Iteration counts one served integration step.
+func (m *Metrics) Iteration() { m.iterations.Add(1) }
+
+// Query records one query's outcome and latency.
+func (m *Metrics) Query(d time.Duration, err error, timedOut bool) {
+	m.queriesTotal.Add(1)
+	if err != nil {
+		m.queryErrors.Add(1)
+		if timedOut {
+			m.queryTimeouts.Add(1)
+		}
+	}
+	ns := d.Nanoseconds()
+	ms := float64(ns) / 1e6
+	m.mu.Lock()
+	m.latCount++
+	m.latSumNs += ns
+	if ns > m.latMaxNs {
+		m.latMaxNs = ns
+	}
+	idx := len(latencyBoundsMs) - 1
+	for i, b := range latencyBoundsMs {
+		if ms <= b {
+			idx = i
+			break
+		}
+	}
+	m.latBuckets[idx]++
+	m.mu.Unlock()
+}
+
+// LatencySnapshot summarises observed query latencies.
+type LatencySnapshot struct {
+	Count   uint64            `json:"count"`
+	MeanMs  float64           `json:"mean_ms"`
+	MaxMs   float64           `json:"max_ms"`
+	Buckets map[string]uint64 `json:"buckets"`
+}
+
+// MetricsSnapshot is the JSON shape served by GET /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	RequestsTotal uint64          `json:"requests_total"`
+	QueriesTotal  uint64          `json:"queries_total"`
+	QueryErrors   uint64          `json:"query_errors"`
+	QueryTimeouts uint64          `json:"query_timeouts"`
+	Iterations    uint64          `json:"integration_iterations"`
+	Latency       LatencySnapshot `json:"query_latency"`
+	PlanCache     CacheSnapshot   `json:"plan_cache"`
+	ResultCache   CacheSnapshot   `json:"result_cache"`
+	Sessions      int             `json:"sessions"`
+}
+
+// CacheSnapshot extends CacheStats with the derived hit rate.
+type CacheSnapshot struct {
+	CacheStats
+	HitRate float64 `json:"hit_rate"`
+}
+
+func snapshotCache(s CacheStats) CacheSnapshot {
+	return CacheSnapshot{CacheStats: s, HitRate: s.HitRate()}
+}
+
+// Snapshot gathers the current counter values; cache stats are summed
+// across the given per-session caches.
+func (m *Metrics) Snapshot(plan, result CacheStats, sessions int) MetricsSnapshot {
+	m.mu.Lock()
+	lat := LatencySnapshot{
+		Count:   m.latCount,
+		MaxMs:   float64(m.latMaxNs) / 1e6,
+		Buckets: make(map[string]uint64, len(latencyBoundsMs)),
+	}
+	if m.latCount > 0 {
+		lat.MeanMs = float64(m.latSumNs) / float64(m.latCount) / 1e6
+	}
+	for i, b := range latencyBoundsMs {
+		lat.Buckets[bucketLabel(b, i == len(latencyBoundsMs)-1)] = m.latBuckets[i]
+	}
+	m.mu.Unlock()
+
+	return MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		RequestsTotal: m.requestsTotal.Load(),
+		QueriesTotal:  m.queriesTotal.Load(),
+		QueryErrors:   m.queryErrors.Load(),
+		QueryTimeouts: m.queryTimeouts.Load(),
+		Iterations:    m.iterations.Load(),
+		Latency:       lat,
+		PlanCache:     snapshotCache(plan),
+		ResultCache:   snapshotCache(result),
+		Sessions:      sessions,
+	}
+}
+
+func bucketLabel(boundMs float64, last bool) string {
+	if last {
+		return "le_inf"
+	}
+	return "le_" + strconv.Itoa(int(boundMs)) + "ms"
+}

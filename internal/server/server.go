@@ -1,0 +1,102 @@
+package server
+
+import (
+	"net/http"
+	"time"
+)
+
+// Config tunes the dataspace server.
+type Config struct {
+	// PlanCacheSize bounds the shared cache of parsed IQL plans;
+	// <= 0 disables plan caching.
+	PlanCacheSize int
+	// ResultCacheSize bounds each session's query-result cache;
+	// <= 0 disables result caching.
+	ResultCacheSize int
+	// QueryTimeout is the default per-query evaluation deadline;
+	// requests may shorten it via timeout_ms. 0 means no deadline.
+	QueryTimeout time.Duration
+	// MaxSteps bounds IQL evaluation steps per query (a defence
+	// against runaway comprehensions); 0 means unlimited.
+	MaxSteps int
+}
+
+// DefaultConfig returns production-shaped defaults.
+func DefaultConfig() Config {
+	return Config{
+		PlanCacheSize:   512,
+		ResultCacheSize: 4096,
+		QueryTimeout:    30 * time.Second,
+	}
+}
+
+// Server is the HTTP/JSON dataspace service: a registry of integration
+// sessions, a shared plan cache, per-session result caches, and
+// metrics. Obtain the routed handler with Handler.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	plans   *LRU[plan]
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		reg:     NewRegistry(cfg.ResultCacheSize, cfg.MaxSteps),
+		plans:   NewLRU[plan](cfg.PlanCacheSize),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /sources", s.handleSources)
+	s.mux.HandleFunc("POST /federate", s.handleFederate)
+	s.mux.HandleFunc("POST /intersect", s.handleIntersect)
+	s.mux.HandleFunc("POST /refine", s.handleRefine)
+	s.mux.HandleFunc("GET /schemas", s.handleSchemas)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /report", s.handleReport)
+	s.mux.HandleFunc("POST /suggest", s.handleSuggest)
+	s.mux.HandleFunc("GET /sessions", s.handleSessions)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// Handler returns the routed HTTP handler with request accounting.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Request()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Metrics exposes the server's metrics (for embedding and tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Sessions exposes the session registry (for embedding and tests).
+func (s *Server) Sessions() *Registry { return s.reg }
+
+// PurgePlans empties the shared plan cache (used by benchmarks to
+// measure cold-plan query cost).
+func (s *Server) PurgePlans() { s.plans.Purge() }
+
+// resultStats sums result-cache stats across all sessions.
+func (s *Server) resultStats() CacheStats {
+	var sum CacheStats
+	for _, sess := range s.reg.All() {
+		st := sess.ResultCacheStats()
+		sum.Len += st.Len
+		sum.Capacity += st.Capacity
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.Evictions += st.Evictions
+		sum.Purges += st.Purges
+	}
+	return sum
+}

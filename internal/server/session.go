@@ -1,0 +1,304 @@
+// Package server exposes the pay-as-you-go intersection-schema
+// workflow as a long-running dataspace service: data sources are
+// registered over HTTP, federated for immediate querying, and
+// incrementally integrated while concurrent clients keep querying any
+// published global schema version.
+//
+// The serving layer adds what a library cannot: a session registry of
+// live integrations, a bounded LRU cache of parsed IQL plans, a
+// per-session result cache keyed by (schema version, normalised query)
+// that is invalidated whenever an integration iteration publishes a new
+// global schema, per-request timeouts via context cancellation, and
+// metrics (query counts, latencies, cache hit rates).
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dataspace/automed/internal/core"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/wrapper"
+)
+
+// plan is a parsed, normalised IQL query; sharing one across
+// evaluations is safe because evaluation never mutates the AST.
+type plan struct {
+	expr iql.Expr
+	norm string // canonical rendering, the result-cache key component
+}
+
+// Session is one live integration: registered sources, then — once
+// federated — an Integrator plus a result cache over its published
+// schema versions. A session's mutating workflow steps serialise with
+// its queries via mu; queries additionally hold the integrator's read
+// lock for their whole evaluation.
+type Session struct {
+	name     string
+	maxSteps int
+
+	mu       sync.RWMutex
+	wrappers []wrapper.Wrapper
+	ig       *core.Integrator
+
+	results *LRU[core.Result]
+}
+
+func newSession(name string, resultCapacity, maxSteps int) *Session {
+	return &Session{name: name, maxSteps: maxSteps, results: NewLRU[core.Result](resultCapacity)}
+}
+
+// Name returns the session name.
+func (s *Session) Name() string { return s.name }
+
+// Federated reports whether the session has built its federated schema
+// (and is therefore queryable).
+func (s *Session) Federated() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ig != nil
+}
+
+// Wrapper returns the registered source with the given schema name.
+func (s *Session) Wrapper(name string) (wrapper.Wrapper, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, w := range s.wrappers {
+		if w.SchemaName() == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// SourceNames lists the registered sources in registration order.
+func (s *Session) SourceNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.wrappers))
+	for i, w := range s.wrappers {
+		out[i] = w.SchemaName()
+	}
+	return out
+}
+
+// AddSource registers a wrapped data source. Sources must be registered
+// before Federate.
+func (s *Session) AddSource(w wrapper.Wrapper) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ig != nil {
+		return fmt.Errorf("server: session %q is already federated; sources must be registered first", s.name)
+	}
+	for _, have := range s.wrappers {
+		if have.SchemaName() == w.SchemaName() {
+			return fmt.Errorf("server: session %q already has a source named %q", s.name, w.SchemaName())
+		}
+	}
+	s.wrappers = append(s.wrappers, w)
+	return nil
+}
+
+// Federate builds the integrator over the registered sources and
+// publishes the federated schema (version 0). autoDrop elects
+// redundant-object dropping for the global schemas rebuilt after each
+// subsequent iteration. The session is mutated only if federation
+// succeeds.
+func (s *Session) Federate(name string, autoDrop bool) (*core.Integrator, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ig != nil {
+		return nil, fmt.Errorf("server: session %q is already federated", s.name)
+	}
+	if len(s.wrappers) == 0 {
+		return nil, fmt.Errorf("server: session %q has no registered sources", s.name)
+	}
+	ig, err := core.New(s.wrappers...)
+	if err != nil {
+		return nil, err
+	}
+	ig.SetAutoDrop(autoDrop)
+	ig.Processor().MaxSteps = s.maxSteps
+	if _, err := ig.Federate(name); err != nil {
+		return nil, err
+	}
+	s.ig = ig
+	s.results.Purge()
+	return ig, nil
+}
+
+// integrator returns the session's integrator, or an error before
+// Federate.
+func (s *Session) integrator() (*core.Integrator, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.ig == nil {
+		return nil, fmt.Errorf("server: session %q is not federated yet", s.name)
+	}
+	return s.ig, nil
+}
+
+// Intersect runs one integration iteration and invalidates the result
+// cache: the new global schema version may answer cached queries
+// differently (and redundant objects may have been dropped).
+func (s *Session) Intersect(name string, mappings []core.Mapping, enables ...string) (*core.Intersection, error) {
+	ig, err := s.integrator()
+	if err != nil {
+		return nil, err
+	}
+	in, err := ig.Intersect(name, mappings, enables...)
+	if err != nil {
+		return nil, err
+	}
+	s.results.Purge()
+	return in, nil
+}
+
+// Refine applies an ad-hoc single-schema transformation and invalidates
+// the result cache.
+func (s *Session) Refine(name string, m core.Mapping, enables ...string) error {
+	ig, err := s.integrator()
+	if err != nil {
+		return err
+	}
+	if err := ig.Refine(name, m, enables...); err != nil {
+		return err
+	}
+	s.results.Purge()
+	return nil
+}
+
+// QueryOutcome reports how a query was answered, for response metadata
+// and cache-behaviour tests.
+type QueryOutcome struct {
+	PlanCached   bool
+	ResultCached bool
+}
+
+// Query answers an IQL query against the requested schema version
+// (core.CurrentVersion for the latest), consulting the plan cache and
+// — unless noCache — the result cache.
+func (s *Session) Query(ctx context.Context, plans *LRU[plan], src string, version int, noCache bool) (core.Result, QueryOutcome, error) {
+	ig, err := s.integrator()
+	if err != nil {
+		return core.Result{}, QueryOutcome{}, err
+	}
+
+	var out QueryOutcome
+	pl, ok := plans.Get(src)
+	if ok {
+		out.PlanCached = true
+	} else {
+		e, err := iql.Parse(src)
+		if err != nil {
+			return core.Result{}, out, err
+		}
+		pl = plan{expr: e, norm: e.String()}
+		plans.Put(src, pl)
+	}
+
+	ver := version
+	if ver == core.CurrentVersion {
+		ver = ig.GlobalVersion()
+	}
+	key := fmt.Sprintf("%d\x00%s", ver, pl.norm)
+	if !noCache {
+		if res, ok := s.results.Get(key); ok {
+			out.ResultCached = true
+			return res, out, nil
+		}
+	}
+
+	res, err := ig.QueryExprAt(ctx, version, pl.expr)
+	if err != nil {
+		return core.Result{}, out, err
+	}
+	if !noCache && res.Version == ver {
+		// res.Version can differ from ver only if an iteration raced
+		// between GlobalVersion and evaluation; skip caching then
+		// rather than file the result under the wrong version.
+		s.results.Put(key, res)
+	}
+	return res, out, nil
+}
+
+// ResultCacheStats snapshots the session's result cache.
+func (s *Session) ResultCacheStats() CacheStats { return s.results.Stats() }
+
+// PurgeResults empties the session's result cache.
+func (s *Session) PurgeResults() { s.results.Purge() }
+
+// Registry is the named-session table.
+type Registry struct {
+	mu             sync.RWMutex
+	sessions       map[string]*Session
+	resultCapacity int
+	maxSteps       int
+}
+
+// NewRegistry returns an empty registry; each session's result cache
+// holds at most resultCapacity entries, and each session's queries are
+// bounded to maxSteps IQL evaluation steps (0 = unlimited).
+func NewRegistry(resultCapacity, maxSteps int) *Registry {
+	return &Registry{
+		sessions:       make(map[string]*Session),
+		resultCapacity: resultCapacity,
+		maxSteps:       maxSteps,
+	}
+}
+
+// Get returns the named session, creating it when create is set.
+func (r *Registry) Get(name string, create bool) (*Session, error) {
+	if name == "" {
+		name = "default"
+	}
+	r.mu.RLock()
+	s, ok := r.sessions[name]
+	r.mu.RUnlock()
+	if ok {
+		return s, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("server: no session %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.sessions[name]; ok {
+		return s, nil
+	}
+	s = newSession(name, r.resultCapacity, r.maxSteps)
+	r.sessions[name] = s
+	return s, nil
+}
+
+// Names lists the registered session names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.sessions))
+	for n := range r.sessions {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every registered session.
+func (r *Registry) All() []*Session {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Len returns the number of sessions.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sessions)
+}
