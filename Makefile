@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench run
+.PHONY: ci fmt vet build test race bench run fuzz-seeds golden
 
 # ci is the full local gate: formatting, static checks, build, tests
-# under the race detector, and a one-iteration pass over every
+# under the race detector, the persistence-format guards (fuzz seed
+# corpus + golden snapshot), and a one-iteration pass over every
 # benchmark so the bench harness stays compiling.
-ci: fmt vet build race bench
+ci: fmt vet build race fuzz-seeds golden bench
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -26,6 +27,16 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# fuzz-seeds runs every committed fuzz seed (malformed snapshot corpus)
+# as plain tests — the CI-safe equivalent of a -fuzztime run.
+fuzz-seeds:
+	$(GO) test -run '^Fuzz' ./internal/repo
+
+# golden checks the committed session snapshot still matches a fresh
+# export byte for byte and still loads (format stability).
+golden:
+	$(GO) test -run 'TestGoldenSnapshot' ./internal/core
 
 # run starts the dataspace daemon on :8080.
 run:

@@ -14,12 +14,21 @@
 //	GET  /report     effort report (manual vs automatic steps)
 //	POST /suggest    schema-matcher correspondence suggestions
 //	GET  /sessions   live integration sessions
+//	POST /sessions/{name}/snapshot   force a durable snapshot
+//	POST /sessions/{name}/restore    reload a session from disk
 //	GET  /healthz    liveness
 //	GET  /metrics    query counts, latencies, cache hit rates
 //
+// With -data-dir the daemon is durable: every session snapshot lives
+// in that directory as one JSON file, every mutating endpoint
+// autosaves, and on startup every stored session is restored, so a
+// restarted daemon serves every previously published schema version
+// identically.
+//
 // Optionally preload CSV sources with repeatable -source name=dir
 // flags; they are registered into the default session and federated at
-// startup so the daemon is immediately queryable.
+// startup so the daemon is immediately queryable. Preloading is
+// skipped when a restored "default" session already exists.
 package main
 
 import (
@@ -59,6 +68,7 @@ func main() {
 		resultCache = flag.Int("result-cache", 4096, "max cached query results per session (0 disables)")
 		timeout     = flag.Duration("query-timeout", 30*time.Second, "default per-query evaluation deadline (0 = none)")
 		maxSteps    = flag.Int("max-steps", 0, "IQL evaluation step bound per query (0 = unlimited)")
+		dataDir     = flag.String("data-dir", "", "directory for durable session snapshots (empty = in-memory only)")
 		preload     sourceFlags
 	)
 	flag.Var(&preload, "source", "preload a CSV source as name=dir into the default session (repeatable)")
@@ -70,6 +80,16 @@ func main() {
 		QueryTimeout:    *timeout,
 		MaxSteps:        *maxSteps,
 	})
+	if *dataDir != "" {
+		if err := srv.OpenStore(*dataDir); err != nil {
+			log.Fatalf("automedd: %v", err)
+		}
+		n, err := srv.RestoreSessions()
+		if err != nil {
+			log.Fatalf("automedd: restoring sessions from %s: %v", *dataDir, err)
+		}
+		log.Printf("automedd: restored %d session(s) from %s", n, *dataDir)
+	}
 	if err := preloadSources(srv, preload); err != nil {
 		log.Fatalf("automedd: %v", err)
 	}
@@ -114,6 +134,10 @@ func preloadSources(srv *server.Server, specs sourceFlags) error {
 	if err != nil {
 		return err
 	}
+	if sess.Federated() || len(sess.SourceNames()) > 0 {
+		log.Printf("automedd: default session restored from data dir; skipping -source preload")
+		return nil
+	}
 	for _, spec := range specs {
 		name, dir, _ := strings.Cut(spec, "=")
 		w, err := wrapper.NewCSVDir(name, dir)
@@ -129,5 +153,10 @@ func preloadSources(srv *server.Server, specs sourceFlags) error {
 		return err
 	}
 	log.Printf("automedd: federated %d source(s) as F (version 0)", len(specs))
+	if srv.Store() != nil {
+		if _, err := srv.SnapshotSession(sess.Name()); err != nil {
+			return fmt.Errorf("persisting preloaded session: %w", err)
+		}
+	}
 	return nil
 }

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/query"
+	"github.com/dataspace/automed/internal/repo"
+	"github.com/dataspace/automed/internal/transform"
+	"github.com/dataspace/automed/internal/wrapper"
+)
+
+// Snapshot is the durable form of a whole integration session: the
+// wrapped sources (schema and data), the schemas & transformations
+// repository, every view definition held by the query processor, and
+// the integrator's workflow bookkeeping — intersections, refinements,
+// every published global schema version, and the effort report. A
+// snapshot restored with Import answers every QueryAt identically to
+// the integrator it was exported from, and integration can continue
+// from where it stopped.
+//
+// The encoding is deliberately textual (schemes and IQL queries in
+// their source form, reusing the repo JSON format) so snapshots are
+// human-readable, diffable, and stable across releases; SnapshotFormat
+// guards incompatible changes.
+type Snapshot struct {
+	Format        int                  `json:"format"`
+	AutoDrop      bool                 `json:"auto_drop,omitempty"`
+	FedName       string               `json:"federated_schema,omitempty"`
+	GlobalVersion int                  `json:"global_version"`
+	Sources       []*wrapper.Snapshot  `json:"sources"`
+	Repo          json.RawMessage      `json:"repo"`
+	Definitions   []DerivationSnapshot `json:"definitions,omitempty"`
+	Intersections []IntersectionSnap   `json:"intersections,omitempty"`
+	Derived       []ObjectSnap         `json:"derived,omitempty"`
+	Versions      []VersionSnap        `json:"versions,omitempty"`
+	Iterations    []Iteration          `json:"iterations,omitempty"`
+}
+
+// SnapshotFormat is the current snapshot format version.
+const SnapshotFormat = 1
+
+// DerivationSnapshot is one view definition of the query processor:
+// the virtual object, its defining IQL query, and the unfolding
+// metadata (lower-bound flag, provenance, resolution scope).
+type DerivationSnapshot struct {
+	Object string `json:"object"`
+	Query  string `json:"query"`
+	Lower  bool   `json:"lower,omitempty"`
+	Via    string `json:"via,omitempty"`
+	Scope  string `json:"scope,omitempty"`
+}
+
+// IntersectionSnap records one intersection's bookkeeping. Its schema
+// and per-source pathways live in the repo snapshot and are re-linked
+// by name on import.
+type IntersectionSnap struct {
+	Name            string              `json:"name"`
+	Sources         []string            `json:"sources"`
+	Targets         []string            `json:"targets"`
+	Derived         []string            `json:"derived,omitempty"`
+	DeletedBySource map[string][]string `json:"deleted_by_source,omitempty"`
+	Counts          StepCounts          `json:"counts"`
+}
+
+// ObjectSnap is a scheme plus its object kind.
+type ObjectSnap struct {
+	Scheme string `json:"scheme"`
+	Kind   string `json:"kind"`
+}
+
+// VersionSnap names the schema published as one global version.
+type VersionSnap struct {
+	Version int    `json:"version"`
+	Schema  string `json:"schema"`
+}
+
+// Export captures the integrator's full state. Every source must be
+// serialisable (implement wrapper.Snapshotter); sessions over live
+// external systems cannot be exported and report which source blocks.
+func (ig *Integrator) Export() (*Snapshot, error) {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
+
+	snap := &Snapshot{
+		Format:        SnapshotFormat,
+		AutoDrop:      ig.autoDrop,
+		FedName:       ig.fedName,
+		GlobalVersion: ig.globalVersion,
+	}
+	sources, err := wrapper.SnapshotAll(ig.sources)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	snap.Sources = sources
+
+	var buf bytes.Buffer
+	if err := ig.repo.Save(&buf); err != nil {
+		return nil, fmt.Errorf("core: snapshotting repository: %w", err)
+	}
+	snap.Repo = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+
+	for _, od := range ig.proc.AllDerivations() {
+		obj := hdm.NewScheme(strings.Split(od.Key, "|")...).String()
+		for _, d := range od.Derivs {
+			snap.Definitions = append(snap.Definitions, DerivationSnapshot{
+				Object: obj,
+				Query:  d.Query.String(),
+				Lower:  d.Lower,
+				Via:    d.Via,
+				Scope:  d.Scope,
+			})
+		}
+	}
+
+	for _, in := range ig.intersections {
+		is := IntersectionSnap{
+			Name:    in.Name,
+			Sources: append([]string(nil), in.Sources...),
+			Counts:  in.Counts,
+		}
+		for _, t := range in.Targets {
+			is.Targets = append(is.Targets, t.String())
+		}
+		for _, d := range in.Derived {
+			is.Derived = append(is.Derived, d.String())
+		}
+		if len(in.DeletedBySource) > 0 {
+			is.DeletedBySource = make(map[string][]string, len(in.DeletedBySource))
+			for src, objs := range in.DeletedBySource {
+				for _, sc := range objs {
+					is.DeletedBySource[src] = append(is.DeletedBySource[src], sc.String())
+				}
+			}
+		}
+		snap.Intersections = append(snap.Intersections, is)
+	}
+
+	for _, om := range ig.derivedObjs {
+		snap.Derived = append(snap.Derived, ObjectSnap{Scheme: om.scheme.String(), Kind: om.kind.String()})
+	}
+	for _, sv := range ig.versions {
+		snap.Versions = append(snap.Versions, VersionSnap{Version: sv.Version, Schema: sv.Schema.Name()})
+	}
+	snap.Iterations = append(snap.Iterations, ig.iterations...)
+	return snap, nil
+}
+
+// Import rebuilds an integrator from a snapshot. The restored
+// integrator serves every published schema version exactly as the
+// exporting one did, and accepts further Intersect/Refine iterations.
+func Import(snap *Snapshot) (*Integrator, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("core: nil snapshot")
+	}
+	if snap.Format != SnapshotFormat {
+		return nil, fmt.Errorf("core: unsupported snapshot format %d (want %d)", snap.Format, SnapshotFormat)
+	}
+	if len(snap.Sources) == 0 {
+		return nil, fmt.Errorf("core: snapshot has no sources")
+	}
+
+	r, err := repo.Load(bytes.NewReader(snap.Repo))
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring repository: %w", err)
+	}
+	ig := &Integrator{
+		repo:     r,
+		proc:     query.New(),
+		prefix:   make(map[string]string),
+		autoDrop: snap.AutoDrop,
+	}
+	for _, ws := range snap.Sources {
+		w, err := wrapper.Restore(ws)
+		if err != nil {
+			return nil, fmt.Errorf("core: restoring source: %w", err)
+		}
+		if err := ig.proc.AddSource(w); err != nil {
+			return nil, err
+		}
+		ig.sources = append(ig.sources, w)
+		ig.prefix[w.SchemaName()] = sanitizePrefix(w.SchemaName())
+	}
+
+	ig.fedName = snap.FedName
+	if snap.FedName != "" {
+		fed, ok := r.Schema(snap.FedName)
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot names federated schema %q but the repository lacks it", snap.FedName)
+		}
+		ig.fed = fed
+	}
+	ig.globalVersion = snap.GlobalVersion
+	for _, vs := range snap.Versions {
+		s, ok := r.Schema(vs.Schema)
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot version %d names schema %q but the repository lacks it", vs.Version, vs.Schema)
+		}
+		ig.versions = append(ig.versions, SchemaVersion{Version: vs.Version, Schema: s})
+	}
+	if n := len(ig.versions); n > 0 {
+		ig.global = ig.versions[n-1].Schema
+	}
+
+	for _, ds := range snap.Definitions {
+		sc, err := hdm.ParseScheme(ds.Object)
+		if err != nil {
+			return nil, fmt.Errorf("core: restoring definition: %w", err)
+		}
+		q, err := iql.Parse(ds.Query)
+		if err != nil {
+			return nil, fmt.Errorf("core: restoring definition of %s: %w", sc, err)
+		}
+		ig.proc.DefineDerivation(sc, query.Derivation{Query: q, Lower: ds.Lower, Via: ds.Via, Scope: ds.Scope})
+	}
+
+	for _, is := range snap.Intersections {
+		in := &Intersection{
+			Name:            is.Name,
+			Sources:         append([]string(nil), is.Sources...),
+			Counts:          is.Counts,
+			PathwayBySource: make(map[string]*transform.Pathway),
+			DeletedBySource: make(map[string][]hdm.Scheme),
+		}
+		sch, ok := r.Schema(is.Name)
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot intersection %q has no schema in the repository", is.Name)
+		}
+		in.Schema = sch
+		for _, t := range is.Targets {
+			sc, err := hdm.ParseScheme(t)
+			if err != nil {
+				return nil, fmt.Errorf("core: restoring intersection %q: %w", is.Name, err)
+			}
+			in.Targets = append(in.Targets, sc)
+		}
+		for _, d := range is.Derived {
+			sc, err := hdm.ParseScheme(d)
+			if err != nil {
+				return nil, fmt.Errorf("core: restoring intersection %q: %w", is.Name, err)
+			}
+			in.Derived = append(in.Derived, sc)
+		}
+		for src, objs := range is.DeletedBySource {
+			for _, o := range objs {
+				sc, err := hdm.ParseScheme(o)
+				if err != nil {
+					return nil, fmt.Errorf("core: restoring intersection %q: %w", is.Name, err)
+				}
+				in.DeletedBySource[src] = append(in.DeletedBySource[src], sc)
+			}
+		}
+		for _, src := range is.Sources {
+			image := is.Name + "~" + ig.prefix[src]
+			pw := findPathway(r, src, image)
+			if pw == nil {
+				return nil, fmt.Errorf("core: snapshot intersection %q lacks the pathway %s -> %s", is.Name, src, image)
+			}
+			in.PathwayBySource[src] = pw
+		}
+		ig.intersections = append(ig.intersections, in)
+	}
+
+	for _, os := range snap.Derived {
+		sc, err := hdm.ParseScheme(os.Scheme)
+		if err != nil {
+			return nil, fmt.Errorf("core: restoring derived object: %w", err)
+		}
+		kind, err := hdm.ParseObjectKind(os.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("core: restoring derived object %s: %w", sc, err)
+		}
+		ig.derivedObjs = append(ig.derivedObjs, objMeta{scheme: sc, kind: kind})
+	}
+	ig.iterations = append(ig.iterations, snap.Iterations...)
+	return ig, nil
+}
+
+// findPathway locates a stored pathway by its exact endpoints.
+func findPathway(r *repo.Repository, source, target string) *transform.Pathway {
+	for _, p := range r.PathwaysFrom(source) {
+		if p.Target == target {
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Package fsatomic provides crash-safe file replacement for the
+// persistence layers: content is written to a temporary file in the
+// destination's directory, fsync'd, and renamed into place, so a crash
+// mid-write never truncates or corrupts an existing file — the worst
+// case is keeping the previous content. The directory entry itself is
+// not fsync'd; an operating-system crash (as opposed to a process
+// crash) may lose the very latest rename.
+package fsatomic
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the content produced by
+// write. The temporary file is dot-prefixed (".<base>.tmp-*") so
+// directory scanners can skip in-progress writes, and is removed on
+// any failure.
+func WriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	// CreateTemp makes the file 0600; restore the conventional
+	// umask-style mode so replacing a snapshot doesn't silently revoke
+	// other readers (backups, monitoring).
+	err = f.Chmod(0o644)
+	if err == nil {
+		err = write(f)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package iql
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null(),
+		Bool(true),
+		Bool(false),
+		Int(0),
+		Int(-7),
+		Int(1<<62 + 12345), // beyond float64 precision
+		Float(3.5),
+		Str(""),
+		Str("protein"),
+		Void(),
+		Any(),
+		Tuple(Str("LIB"), Int(1)),
+		Bag(),
+		BagOf([]Value{
+			Tuple(Str("LIB"), Int(1), Str("x")),
+			Tuple(Str("SHOP"), Float(0.5)),
+			Bag(Int(1), Int(1)),
+		}),
+	}
+	for _, v := range vals {
+		buf, err := json.Marshal(EncodeValue(v))
+		if err != nil {
+			t.Fatalf("marshal %s: %v", v, err)
+		}
+		var d ValueDTO
+		if err := json.Unmarshal(buf, &d); err != nil {
+			t.Fatalf("unmarshal %s: %v", v, err)
+		}
+		got, err := DecodeValue(d)
+		if err != nil {
+			t.Fatalf("decode %s: %v", v, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip of %s yielded %s", v, got)
+		}
+	}
+}
+
+func TestDecodeValueRejectsUnknownKind(t *testing.T) {
+	if _, err := DecodeValue(ValueDTO{Kind: "blob"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := DecodeValue(ValueDTO{Kind: "bag", Items: []ValueDTO{{Kind: "wat"}}}); err == nil {
+		t.Fatal("unknown nested kind accepted")
+	}
+	if _, err := DecodeValue(ValueDTO{}); err == nil {
+		t.Fatal("empty kind accepted")
+	}
+}

@@ -197,6 +197,41 @@ func (p *Processor) HasDefinition(sc hdm.Scheme) bool {
 	return len(p.defs[sc.Key()]) > 0
 }
 
+// DefineDerivation installs a fully-specified derivation, preserving
+// its Lower/Via/Scope metadata. It is the restore-side counterpart of
+// AllDerivations, used when rebuilding a processor from a snapshot.
+func (p *Processor) DefineDerivation(sc hdm.Scheme, d Derivation) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.defs[sc.Key()] = append(p.defs[sc.Key()], d)
+	p.invalidateLocked()
+}
+
+// ObjectDerivations pairs a virtual object's scheme key with its
+// derivations in registration order.
+type ObjectDerivations struct {
+	Key    string
+	Derivs []Derivation
+}
+
+// AllDerivations returns every registered derivation: keys sorted for
+// deterministic snapshots, derivations within a key in registration
+// order (the order extents accumulate in during unfolding).
+func (p *Processor) AllDerivations() []ObjectDerivations {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keys := make([]string, 0, len(p.defs))
+	for k := range p.defs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ObjectDerivations, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, ObjectDerivations{Key: k, Derivs: append([]Derivation(nil), p.defs[k]...)})
+	}
+	return out
+}
+
 // DefinedObjects returns the scheme keys of all virtual objects, sorted.
 func (p *Processor) DefinedObjects() []string {
 	p.mu.Lock()

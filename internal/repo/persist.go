@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
+	"github.com/dataspace/automed/internal/fsatomic"
 	"github.com/dataspace/automed/internal/hdm"
 	"github.com/dataspace/automed/internal/iql"
 	"github.com/dataspace/automed/internal/transform"
@@ -103,16 +105,8 @@ func (r *Repository) schemaNamesLocked() []string {
 	for n := range r.schemas {
 		out = append(out, n)
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // Load reads a repository previously written by Save.
@@ -196,19 +190,12 @@ func decodeStep(sd stepDTO) (transform.Transformation, error) {
 	return t, t.Validate()
 }
 
-// SaveFile writes the repository to a file path.
+// SaveFile writes the repository to a file path atomically (temp file
+// + fsync + rename), so a crash mid-write can never truncate an
+// existing snapshot.
 func (r *Repository) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	if err := fsatomic.WriteFile(path, r.Save); err != nil {
 		return fmt.Errorf("repo: %w", err)
-	}
-	err = r.Save(f)
-	cerr := f.Close()
-	if err != nil {
-		return err
-	}
-	if cerr != nil {
-		return fmt.Errorf("repo: %w", cerr)
 	}
 	return nil
 }

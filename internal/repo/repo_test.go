@@ -2,6 +2,7 @@ package repo
 
 import (
 	"bytes"
+	"os"
 	"testing"
 
 	"github.com/dataspace/automed/internal/hdm"
@@ -255,6 +256,45 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(path + ".missing"); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestSaveFileAtomicOverwrite: overwriting an existing snapshot leaves
+// no temp residue, and a failing save (unwritable directory) keeps the
+// destination untouched.
+func TestSaveFileAtomicOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/repo.json"
+	r := New()
+	r.AddSchema(schemaWith("A", "<<x>>"))
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	r2 := New()
+	r2.AddSchema(schemaWith("A", "<<x>>"))
+	r2.AddSchema(schemaWith("B", "<<y>>"))
+	if err := r2.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.SchemaNames()) != 2 {
+		t.Errorf("overwrite lost data: %v", back.SchemaNames())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("temp residue left in dir: %v", entries)
+	}
+	if err := r.SaveFile(dir + "/no/such/dir/repo.json"); err == nil {
+		t.Error("save into missing directory succeeded")
+	}
+	if back, err = LoadFile(path); err != nil || len(back.SchemaNames()) != 2 {
+		t.Error("failed save disturbed the existing snapshot")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -191,6 +192,7 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errStatus(err), err)
 		return
 	}
+	s.persist(sess)
 	writeJSON(w, http.StatusCreated, sourcesResp{
 		Session: sess.Name(),
 		Source:  req.Name,
@@ -336,6 +338,7 @@ func (s *Server) handleFederate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.Iteration()
+	s.persist(sess)
 	fed := ig.Federated()
 	writeJSON(w, http.StatusCreated, federateResp{
 		Session: sess.Name(),
@@ -420,6 +423,7 @@ func (s *Server) handleIntersect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.Iteration()
+	s.persist(sess)
 	ig, _ := sess.integrator()
 	targets := make([]string, len(in.Targets))
 	for i, t := range in.Targets {
@@ -466,6 +470,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.Iteration()
+	s.persist(sess)
 	ig, _ := sess.integrator()
 	writeJSON(w, http.StatusCreated, refineResp{
 		Session:      sess.Name(),
@@ -757,6 +762,77 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+// ---- POST /sessions/{name}/snapshot and /sessions/{name}/restore ----
+
+type snapshotResp struct {
+	Session string `json:"session"`
+	File    string `json:"file"`
+	// Version is the session's current global schema version (-1
+	// before federation).
+	Version int `json:"version"`
+}
+
+// handleSnapshot forces a durable snapshot of one session, regardless
+// of autosave. Useful after out-of-band mutations and as a consistency
+// point before operational work on the data directory.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.SnapshotSession(r.PathValue("name"))
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, errStoreClosed):
+			status = http.StatusConflict
+		case errStatus(err) == http.StatusNotFound:
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	version := -1
+	if ig, err := sess.integrator(); err == nil {
+		version = ig.GlobalVersion()
+	}
+	writeJSON(w, http.StatusOK, snapshotResp{
+		Session: sess.Name(),
+		File:    fileName(sess.Name()),
+		Version: version,
+	})
+}
+
+type restoreResp struct {
+	Session   string   `json:"session"`
+	Federated bool     `json:"federated"`
+	Version   int      `json:"version"`
+	Sources   []string `json:"sources"`
+}
+
+// handleRestore replaces one session's in-memory state with its latest
+// on-disk snapshot. The session need not exist in memory — restore is
+// how a snapshot taken by another process (or a pre-crash incarnation)
+// is brought live without restarting the daemon.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.restoreSession(r.PathValue("name"))
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, errStoreClosed):
+			status = http.StatusConflict
+		case errors.Is(err, os.ErrNotExist):
+			status = http.StatusNotFound
+		case errors.Is(err, errBadSnapshot):
+			status = http.StatusBadRequest
+		}
+		writeErr(w, status, err)
+		return
+	}
+	resp := restoreResp{Session: sess.Name(), Version: -1, Sources: sess.SourceNames()}
+	if ig, err := sess.integrator(); err == nil {
+		resp.Federated = true
+		resp.Version = ig.GlobalVersion()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

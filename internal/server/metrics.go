@@ -19,6 +19,10 @@ type Metrics struct {
 	queryTimeouts atomic.Uint64
 	iterations    atomic.Uint64 // integration steps served (federate/intersect/refine)
 
+	snapshots       atomic.Uint64 // session snapshots written (autosave + explicit)
+	snapshotErrors  atomic.Uint64 // failed snapshot writes
+	sessionRestores atomic.Uint64 // sessions restored from the store
+
 	mu         sync.Mutex
 	latCount   uint64
 	latSumNs   int64
@@ -38,6 +42,15 @@ func (m *Metrics) Request() { m.requestsTotal.Add(1) }
 
 // Iteration counts one served integration step.
 func (m *Metrics) Iteration() { m.iterations.Add(1) }
+
+// SnapshotWritten counts one session snapshot written to the store.
+func (m *Metrics) SnapshotWritten() { m.snapshots.Add(1) }
+
+// SnapshotError counts one failed snapshot write.
+func (m *Metrics) SnapshotError() { m.snapshotErrors.Add(1) }
+
+// SessionRestore counts one session restored from the store.
+func (m *Metrics) SessionRestore() { m.sessionRestores.Add(1) }
 
 // Query records one query's outcome and latency.
 func (m *Metrics) Query(d time.Duration, err error, timedOut bool) {
@@ -83,6 +96,9 @@ type MetricsSnapshot struct {
 	QueryErrors   uint64          `json:"query_errors"`
 	QueryTimeouts uint64          `json:"query_timeouts"`
 	Iterations    uint64          `json:"integration_iterations"`
+	Snapshots     uint64          `json:"snapshots_total"`
+	SnapshotErrs  uint64          `json:"snapshot_errors"`
+	Restores      uint64          `json:"sessions_restored"`
 	Latency       LatencySnapshot `json:"query_latency"`
 	PlanCache     CacheSnapshot   `json:"plan_cache"`
 	ResultCache   CacheSnapshot   `json:"result_cache"`
@@ -123,6 +139,9 @@ func (m *Metrics) Snapshot(plan, result CacheStats, sessions int) MetricsSnapsho
 		QueryErrors:   m.queryErrors.Load(),
 		QueryTimeouts: m.queryTimeouts.Load(),
 		Iterations:    m.iterations.Load(),
+		Snapshots:     m.snapshots.Load(),
+		SnapshotErrs:  m.snapshotErrors.Load(),
+		Restores:      m.sessionRestores.Load(),
 		Latency:       lat,
 		PlanCache:     snapshotCache(plan),
 		ResultCache:   snapshotCache(result),

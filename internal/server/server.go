@@ -1,7 +1,10 @@
 package server
 
 import (
+	"fmt"
+	"log"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -39,6 +42,17 @@ type Server struct {
 	plans   *LRU[plan]
 	metrics *Metrics
 	mux     *http.ServeMux
+	// persistMu serialises all access to the store — opening it,
+	// export+save, and load+replace — so that a snapshot of older
+	// state can never be renamed over a newer one, and a freshly
+	// restored session cannot be clobbered by the autosave of the
+	// in-memory session it replaced. Saves happen only on mutating
+	// endpoints, so one server-wide mutex is not a throughput concern.
+	persistMu sync.Mutex
+	// store, when non-nil, makes sessions durable: every mutating
+	// endpoint autosaves, and the snapshot/restore endpoints are live.
+	// Guarded by persistMu.
+	store *Store
 }
 
 // New builds a server.
@@ -64,6 +78,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /report", s.handleReport)
 	s.mux.HandleFunc("POST /suggest", s.handleSuggest)
 	s.mux.HandleFunc("GET /sessions", s.handleSessions)
+	s.mux.HandleFunc("POST /sessions/{name}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /sessions/{name}/restore", s.handleRestore)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
@@ -74,6 +90,136 @@ func (s *Server) Handler() http.Handler {
 		s.metrics.Request()
 		s.mux.ServeHTTP(w, r)
 	})
+}
+
+// OpenStore enables durable sessions: snapshots are written to dir
+// (created if needed), every mutating endpoint autosaves its session,
+// and the explicit snapshot/restore endpoints become available.
+func (s *Server) OpenStore(dir string) error {
+	st, err := NewStore(dir)
+	if err != nil {
+		return err
+	}
+	s.persistMu.Lock()
+	s.store = st
+	s.persistMu.Unlock()
+	return nil
+}
+
+// Store returns the open session store, or nil when persistence is
+// disabled.
+func (s *Server) Store() *Store {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	return s.store
+}
+
+// RestoreSessions loads every session snapshot in the store into the
+// registry (replacing same-named sessions) and returns how many were
+// restored. Call it once at startup, after OpenStore.
+func (s *Server) RestoreSessions() (int, error) {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.store == nil {
+		return 0, errStoreClosed
+	}
+	states, err := s.store.LoadAll()
+	if err != nil {
+		return 0, err
+	}
+	for _, state := range states {
+		sess, err := sessionFromState(state, s.cfg.ResultCacheSize, s.cfg.MaxSteps)
+		if err != nil {
+			return 0, err
+		}
+		s.reg.Put(sess)
+		s.metrics.SessionRestore()
+	}
+	return len(states), nil
+}
+
+// SnapshotSession forces a durable snapshot of one named session,
+// counting the outcome in metrics and returning the session it
+// exported. It is the programmatic form of POST
+// /sessions/{name}/snapshot.
+func (s *Server) SnapshotSession(name string) (*Session, error) {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.store == nil {
+		return nil, errStoreClosed
+	}
+	sess, err := s.reg.Get(name, false)
+	if err != nil {
+		return nil, err
+	}
+	state, err := sess.Export()
+	if err == nil {
+		err = s.store.Save(state)
+	}
+	if err != nil {
+		s.metrics.SnapshotError()
+		return nil, err
+	}
+	s.metrics.SnapshotWritten()
+	return sess, nil
+}
+
+// restoreSession loads one session from the store and installs it in
+// the registry, all under the persist lock so no concurrent autosave
+// interleaves between the read and the swap.
+func (s *Server) restoreSession(name string) (*Session, error) {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.store == nil {
+		return nil, errStoreClosed
+	}
+	state, err := s.store.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	if state.Name != name {
+		return nil, fmt.Errorf("%w: %s is for session %q, not %q", errBadSnapshot, fileName(name), state.Name, name)
+	}
+	sess, err := sessionFromState(state, s.cfg.ResultCacheSize, s.cfg.MaxSteps)
+	if err != nil {
+		return nil, err
+	}
+	s.reg.Put(sess)
+	s.metrics.SessionRestore()
+	return sess, nil
+}
+
+// errStoreClosed distinguishes "persistence disabled" from genuine
+// store failures across the snapshot/restore paths.
+var errStoreClosed = fmt.Errorf("server: persistence is not enabled (start with -data-dir)")
+
+// persist autosaves one session if a store is open. The in-memory
+// mutation has already succeeded by the time persist runs, so failures
+// are not surfaced to the client; they are logged and counted in
+// metrics (snapshot_errors), and the previous on-disk snapshot stays
+// intact thanks to the atomic rename.
+func (s *Server) persist(sess *Session) {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.store == nil {
+		return
+	}
+	// Skip orphaned sessions: if a restore replaced this session after
+	// its mutation, the name now belongs to the restored state and this
+	// session's snapshot must not overwrite it.
+	if cur, err := s.reg.Get(sess.Name(), false); err != nil || cur != sess {
+		return
+	}
+	state, err := sess.Export()
+	if err == nil {
+		err = s.store.Save(state)
+	}
+	if err != nil {
+		s.metrics.SnapshotError()
+		log.Printf("server: autosaving session %q: %v", sess.Name(), err)
+		return
+	}
+	s.metrics.SnapshotWritten()
 }
 
 // Metrics exposes the server's metrics (for embedding and tests).

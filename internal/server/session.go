@@ -224,6 +224,58 @@ func (s *Session) Query(ctx context.Context, plans *LRU[plan], src string, versi
 	return res, out, nil
 }
 
+// Export captures the session's durable state: the integrator snapshot
+// once federated, otherwise the registered sources. Non-serialisable
+// sources (wrappers without a Snapshot hook) make the session
+// non-exportable and are reported by name.
+func (s *Session) Export() (*sessionState, error) {
+	s.mu.RLock()
+	ig := s.ig
+	ws := append([]wrapper.Wrapper(nil), s.wrappers...)
+	s.mu.RUnlock()
+
+	state := &sessionState{Format: storeFormat, Name: s.name}
+	if ig != nil {
+		snap, err := ig.Export()
+		if err != nil {
+			return nil, fmt.Errorf("server: exporting session %q: %w", s.name, err)
+		}
+		state.Integrator = snap
+		return state, nil
+	}
+	snaps, err := wrapper.SnapshotAll(ws)
+	if err != nil {
+		return nil, fmt.Errorf("server: exporting session %q: %w", s.name, err)
+	}
+	state.Sources = snaps
+	return state, nil
+}
+
+// sessionFromState rebuilds a session from its durable state. The
+// restored session starts with an empty result cache; extents and
+// query results repopulate on demand.
+func sessionFromState(state *sessionState, resultCapacity, maxSteps int) (*Session, error) {
+	sess := newSession(state.Name, resultCapacity, maxSteps)
+	if state.Integrator != nil {
+		ig, err := core.Import(state.Integrator)
+		if err != nil {
+			return nil, fmt.Errorf("server: restoring session %q: %w", state.Name, err)
+		}
+		ig.Processor().MaxSteps = maxSteps
+		sess.ig = ig
+		sess.wrappers = ig.Sources()
+		return sess, nil
+	}
+	for _, ws := range state.Sources {
+		w, err := wrapper.Restore(ws)
+		if err != nil {
+			return nil, fmt.Errorf("server: restoring session %q: %w", state.Name, err)
+		}
+		sess.wrappers = append(sess.wrappers, w)
+	}
+	return sess, nil
+}
+
 // ResultCacheStats snapshots the session's result cache.
 func (s *Session) ResultCacheStats() CacheStats { return s.results.Stats() }
 
@@ -271,6 +323,14 @@ func (r *Registry) Get(name string, create bool) (*Session, error) {
 	s = newSession(name, r.resultCapacity, r.maxSteps)
 	r.sessions[name] = s
 	return s, nil
+}
+
+// Put installs (or replaces) a session under its name; used when
+// restoring sessions from the store.
+func (r *Registry) Put(sess *Session) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sessions[sess.name] = sess
 }
 
 // Names lists the registered session names, sorted.

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/dataspace/automed/internal/core"
+	"github.com/dataspace/automed/internal/fsatomic"
+	"github.com/dataspace/automed/internal/wrapper"
+)
+
+// sessionState is the durable form of one server session: either a
+// pre-federation source list or — once federated — the integrator's
+// full snapshot (which carries the sources itself). One JSON file per
+// session.
+type sessionState struct {
+	Format int    `json:"format"`
+	Name   string `json:"name"`
+	// Sources holds registered-but-not-yet-federated sources; once the
+	// session federates they move inside Integrator.
+	Sources []*wrapper.Snapshot `json:"sources,omitempty"`
+	// Integrator is the full core snapshot; nil before Federate.
+	Integrator *core.Snapshot `json:"integrator,omitempty"`
+}
+
+// storeFormat is the session-file format version.
+const storeFormat = 1
+
+// errBadSnapshot marks a snapshot file that exists but cannot be used
+// (malformed JSON, wrong format version, missing or mismatched name) —
+// a client/operational condition, distinct from I/O failures.
+var errBadSnapshot = errors.New("server: unusable session snapshot")
+
+// Store persists sessions as one JSON file per session in a directory.
+//
+// Durability contract: each save writes a temporary file in the same
+// directory, fsyncs it, and renames it over the destination. A crash
+// mid-write therefore never truncates or corrupts an existing snapshot
+// — the worst case is serving the previous one. The directory entry
+// itself is not fsync'd, so an operating-system crash (as opposed to a
+// process crash) may lose the very latest rename.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a session store directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("server: store directory is required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: opening store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// fileName encodes a session name into a safe, collision-free file
+// name: percent-encoding is injective and leaves no path separators,
+// and the "s-" prefix keeps every snapshot distinguishable from the
+// store's dot-prefixed temp files whatever the session is called.
+func fileName(session string) string {
+	return "s-" + url.PathEscape(session) + ".json"
+}
+
+// Path returns the file a session is stored at.
+func (st *Store) Path(session string) string {
+	return filepath.Join(st.dir, fileName(session))
+}
+
+// Save atomically writes one session's state.
+func (st *Store) Save(state *sessionState) error {
+	if state == nil || state.Name == "" {
+		return fmt.Errorf("server: invalid session state")
+	}
+	data, err := json.MarshalIndent(state, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: encoding session %q: %w", state.Name, err)
+	}
+	data = append(data, '\n')
+	err = fsatomic.WriteFile(st.Path(state.Name), func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
+	if err != nil {
+		return fmt.Errorf("server: saving session %q: %w", state.Name, err)
+	}
+	return nil
+}
+
+// Load reads one session's state by name.
+func (st *Store) Load(session string) (*sessionState, error) {
+	return st.loadFile(st.Path(session))
+}
+
+func (st *Store) loadFile(path string) (*sessionState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: loading session snapshot: %w", err)
+	}
+	// UseNumber keeps relational int64 row cells exact instead of
+	// routing them through float64.
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var state sessionState
+	if err := dec.Decode(&state); err != nil {
+		return nil, fmt.Errorf("%w: decoding %s: %v", errBadSnapshot, filepath.Base(path), err)
+	}
+	if state.Format != storeFormat {
+		return nil, fmt.Errorf("%w: %s has format %d (want %d)",
+			errBadSnapshot, filepath.Base(path), state.Format, storeFormat)
+	}
+	if state.Name == "" {
+		return nil, fmt.Errorf("%w: %s has no session name", errBadSnapshot, filepath.Base(path))
+	}
+	return &state, nil
+}
+
+// LoadAll reads every session snapshot in the store, sorted by file
+// name. In-progress temp files are skipped; any unreadable snapshot is
+// an error, so a daemon never silently starts without part of its
+// state.
+func (st *Store) LoadAll() ([]*sessionState, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), "s-") || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	out := make([]*sessionState, 0, len(names))
+	for _, n := range names {
+		state, err := st.loadFile(filepath.Join(st.dir, n))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, state)
+	}
+	return out, nil
+}

@@ -1,0 +1,362 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dataspace/automed/internal/core"
+)
+
+// newDurableClient builds a server with an open store over dir and
+// restores whatever the dir already holds — the daemon startup path.
+func newDurableClient(t *testing.T, dir string) (*Server, *testClient) {
+	t.Helper()
+	s, c := newTestClient(t, DefaultConfig())
+	if err := s.OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RestoreSessions(); err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+// upricedMappings is a second intersection iteration: both sources
+// contribute the entity but only Shop prices it, so Library's image
+// extends <<UPriced, price>> with Range Void Any and queries over it
+// raise incompleteness warnings — the cached-warning replay path.
+var upricedMappings = []map[string]any{
+	{
+		"target": "<<UPriced>>",
+		"forward": []map[string]any{
+			{"source": "Library", "query": "[{'LIB', k} | k <- <<books>>]"},
+			{"source": "Shop", "query": "[{'SHOP', k} | k <- <<items>>]"},
+		},
+	},
+	{
+		"target": "<<UPriced, price>>",
+		"forward": []map[string]any{
+			{"source": "Shop", "query": "[{'SHOP', k, x} | {k, x} <- <<items, price>>]"},
+		},
+	},
+}
+
+// versionedWorkload pins one query per published schema version plus
+// the warning-raising one.
+var versionedWorkload = []map[string]any{
+	{"query": "count(<<library_books>>)", "version": 0},
+	{"query": "[x | {k, x} <- <<shop_items, barcode>>]", "version": 0},
+	{"query": "count(<<UBook>>)", "version": 1},
+	{"query": "[x | {k, x} <- <<UBook, isbn>>]", "version": 1},
+	{"query": "count(<<UPriced>>)", "version": 2},
+	{"query": "[x | {k, x} <- <<UPriced, price>>]", "version": 2},
+	{"query": "count(<<UBook>>)"}, // latest
+}
+
+// canonicalAnswer strips the volatile response fields (timing and
+// cache outcomes legitimately differ across runs) and re-marshals;
+// encoding/json sorts map keys, so equal answers yield equal bytes.
+func canonicalAnswer(t *testing.T, resp map[string]any) string {
+	t.Helper()
+	delete(resp, "elapsed_us")
+	delete(resp, "plan_cached")
+	delete(resp, "result_cached")
+	buf, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestCrashRecovery is the acceptance test: drive federate + two
+// intersect iterations with autosave on, kill the server, rebuild a
+// fresh one from the data dir alone, and require byte-identical /query
+// answers (values, versions, schema names, warnings) for every
+// previously published schema version — including warning replay
+// through the result cache.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, c1 := newDurableClient(t, dir)
+	registerBookstore(c1, "", 3)
+	c1.must("POST", "/federate", map[string]any{"name": "F"}, http.StatusCreated)
+	c1.must("POST", "/intersect", map[string]any{"name": "I1", "mappings": ubookMappings}, http.StatusCreated)
+	c1.must("POST", "/intersect", map[string]any{"name": "I2", "mappings": upricedMappings}, http.StatusCreated)
+
+	before := make([]string, len(versionedWorkload))
+	for i, q := range versionedWorkload {
+		before[i] = canonicalAnswer(t, c1.must("POST", "/query", q, http.StatusOK))
+	}
+	if m := c1.must("GET", "/metrics", nil, http.StatusOK); m["snapshots_total"].(float64) < 5 {
+		t.Fatalf("snapshots_total = %v, want >= 5 (autosave after every mutation)", m["snapshots_total"])
+	}
+
+	// "Crash": the old server is simply abandoned; nothing is flushed.
+	// A new server rebuilds exclusively from the data dir.
+	s2, c2 := newDurableClient(t, dir)
+	if n := s2.Sessions().Len(); n != 1 {
+		t.Fatalf("restored %d sessions, want 1", n)
+	}
+	_ = s1
+
+	for i, q := range versionedWorkload {
+		after := canonicalAnswer(t, c2.must("POST", "/query", q, http.StatusOK))
+		if after != before[i] {
+			t.Errorf("query %v differs after crash recovery:\nbefore %s\nafter  %s", q, before[i], after)
+		}
+	}
+
+	// Cached-warning replay: the warning-raising query answered twice,
+	// the second time from the result cache, keeps its warnings.
+	warnQ := map[string]any{"query": "[x | {k, x} <- <<UPriced, price>>]", "version": 2}
+	first := c2.must("POST", "/query", warnQ, http.StatusOK)
+	if w, ok := first["warnings"].([]any); !ok || len(w) == 0 {
+		t.Fatalf("restored warning query lost its warnings: %v", first)
+	}
+	second := c2.must("POST", "/query", warnQ, http.StatusOK)
+	if !second["result_cached"].(bool) {
+		t.Fatal("repeat warning query missed the result cache")
+	}
+	if canonicalAnswer(t, first) != canonicalAnswer(t, second) {
+		t.Fatal("result-cache hit changed the answer or dropped warnings")
+	}
+
+	// The restored session keeps integrating, and the new iteration
+	// autosaves over the snapshot.
+	c2.must("POST", "/refine", map[string]any{
+		"name": "titles",
+		"mapping": map[string]any{
+			"target": "<<UBook, title2>>",
+			"forward": []map[string]any{
+				{"source": "Library", "query": "[{'LIB', k, x} | {k, x} <- <<books, title>>]"},
+			},
+		},
+	}, http.StatusCreated)
+	q := c2.must("POST", "/query", map[string]any{"query": "count(<<UBook, title2>>)"}, http.StatusOK)
+	if q["version"].(float64) != 3 {
+		t.Fatalf("post-recovery refine published version %v, want 3", q["version"])
+	}
+}
+
+// TestCrashRecoveryPreFederation: a session that only registered
+// sources survives a restart too (the pre-integrator shape).
+func TestCrashRecoveryPreFederation(t *testing.T) {
+	dir := t.TempDir()
+	_, c1 := newDurableClient(t, dir)
+	registerBookstore(c1, "staging", 2)
+
+	_, c2 := newDurableClient(t, dir)
+	c2.must("POST", "/federate", map[string]any{"session": "staging"}, http.StatusCreated)
+	q := c2.must("POST", "/query", map[string]any{"session": "staging", "query": "count(<<library_books>>)"}, http.StatusOK)
+	if q["value"].(float64) != 2 {
+		t.Fatalf("restored pre-federation session answered %v, want 2", q["value"])
+	}
+}
+
+// TestSnapshotRestoreEndpoints exercises the explicit endpoints: a
+// snapshot written by one server is brought live on another via
+// POST /sessions/{name}/restore without a restart, and a server whose
+// store opened after the mutations can still snapshot on demand.
+func TestSnapshotRestoreEndpoints(t *testing.T) {
+	dir := t.TempDir()
+
+	// Server A: store open only now, after the workflow ran in memory.
+	sA, cA := newTestClient(t, DefaultConfig())
+	registerBookstore(cA, "", 2)
+	cA.must("POST", "/federate", map[string]any{}, http.StatusCreated)
+	cA.must("POST", "/intersect", map[string]any{"name": "I1", "mappings": ubookMappings}, http.StatusCreated)
+	if err := sA.OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	snap := cA.must("POST", "/sessions/default/snapshot", nil, http.StatusOK)
+	if snap["version"].(float64) != 1 {
+		t.Fatalf("snapshot version = %v, want 1", snap["version"])
+	}
+	if _, err := os.Stat(filepath.Join(dir, snap["file"].(string))); err != nil {
+		t.Fatalf("snapshot file missing: %v", err)
+	}
+
+	// Server B: same store, nothing restored at startup — the restore
+	// endpoint pulls the session in.
+	sB, cB := newTestClient(t, DefaultConfig())
+	if err := sB.OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	status, _ := cB.do("POST", "/query", map[string]any{"query": "count(<<UBook>>)"})
+	if status != http.StatusNotFound {
+		t.Fatalf("query before restore = %d, want 404", status)
+	}
+	res := cB.must("POST", "/sessions/default/restore", nil, http.StatusOK)
+	if !res["federated"].(bool) || res["version"].(float64) != 1 {
+		t.Fatalf("restore response = %v", res)
+	}
+	q := cB.must("POST", "/query", map[string]any{"query": "count(<<UBook>>)"}, http.StatusOK)
+	if q["value"].(float64) != 4 {
+		t.Fatalf("restored session answered %v, want 4", q["value"])
+	}
+}
+
+// TestSnapshotRestoreErrors covers the failure surface of the new
+// endpoints.
+func TestSnapshotRestoreErrors(t *testing.T) {
+	// Without a store both endpoints refuse.
+	_, c := newTestClient(t, DefaultConfig())
+	registerBookstore(c, "", 2)
+	status, _ := c.do("POST", "/sessions/default/snapshot", nil)
+	if status != http.StatusConflict {
+		t.Fatalf("snapshot without store = %d, want 409", status)
+	}
+	status, _ = c.do("POST", "/sessions/default/restore", nil)
+	if status != http.StatusConflict {
+		t.Fatalf("restore without store = %d, want 409", status)
+	}
+
+	dir := t.TempDir()
+	s2, c2 := newDurableClient(t, dir)
+	status, _ = c2.do("POST", "/sessions/ghost/snapshot", nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("snapshot of unknown session = %d, want 404", status)
+	}
+	status, _ = c2.do("POST", "/sessions/ghost/restore", nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("restore of absent snapshot = %d, want 404", status)
+	}
+
+	// A corrupt snapshot fails restore with a clear error, and
+	// RestoreSessions refuses to half-start.
+	if err := os.WriteFile(s2.Store().Path("broken"), []byte(`{"format":1,"name":"broken","integrator":{"format":7}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status, body := c2.do("POST", "/sessions/broken/restore", nil)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("restore of corrupt snapshot = %d (%v), want 500", status, body)
+	}
+	if _, err := s2.RestoreSessions(); err == nil {
+		t.Fatal("RestoreSessions loaded a corrupt snapshot without error")
+	}
+
+	// A snapshot whose embedded name disagrees with its file is
+	// rejected rather than hijacking another session's slot.
+	if err := os.WriteFile(s2.Store().Path("alias"), []byte(`{"format":1,"name":"other"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status, _ = c2.do("POST", "/sessions/alias/restore", nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("restore of mis-named snapshot = %d, want 400", status)
+	}
+}
+
+// TestStoreFileNames checks session names that are hostile as file
+// names (path separators, dots) stay confined to the store directory.
+func TestStoreFileNames(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"../escape", "a/b", "..", "x%2Fy", ".tmp-sneaky", "plain"} {
+		p := st.Path(name)
+		rel, err := filepath.Rel(dir, p)
+		if err != nil || strings.Contains(rel, string(filepath.Separator)) || strings.HasPrefix(rel, ".") {
+			t.Errorf("session %q maps outside the store: %s", name, p)
+		}
+	}
+	// Distinct hostile names must not collide on disk.
+	if st.Path("a/b") == st.Path("a%2Fb") {
+		t.Error("distinct session names share a snapshot file")
+	}
+}
+
+// TestOrphanedSessionDoesNotAutosave: once a restore has replaced a
+// session in the registry, the replaced (orphaned) session's autosave
+// must not overwrite the restored snapshot on disk.
+func TestOrphanedSessionDoesNotAutosave(t *testing.T) {
+	dir := t.TempDir()
+	s, c := newDurableClient(t, dir)
+	registerBookstore(c, "", 2)
+	c.must("POST", "/federate", map[string]any{}, http.StatusCreated)
+
+	orphan, err := s.Sessions().Get("default", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A restore swaps in a fresh session object under the same name,
+	// as handleRestore does mid-flight of another request.
+	if _, err := s.restoreSession("default"); err != nil {
+		t.Fatal(err)
+	}
+	stateBefore, err := s.Store().Load("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The orphaned session mutates (the in-flight request completing)
+	// and tries to autosave; the snapshot on disk must not change.
+	if err := orphan.Refine("late", core.Mapping{
+		Target:  "<<UBook, late>>",
+		Forward: []core.SourceQuery{{Source: "Library", Query: "[{'LIB', k, x} | {k, x} <- <<books, title>>]"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.persist(orphan)
+	stateAfter, err := s.Store().Load("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stateAfter.Integrator.GlobalVersion != stateBefore.Integrator.GlobalVersion {
+		t.Fatalf("orphaned session's autosave overwrote the restored snapshot (version %d -> %d)",
+			stateBefore.Integrator.GlobalVersion, stateAfter.Integrator.GlobalVersion)
+	}
+	// The registered session still autosaves normally.
+	cur, err := s.Sessions().Get("default", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.persist(cur)
+	if m := s.Metrics().Snapshot(CacheStats{}, CacheStats{}, 0); m.SnapshotErrs != 0 {
+		t.Fatalf("snapshot errors: %d", m.SnapshotErrs)
+	}
+}
+
+// TestAutosaveAfterEveryMutation verifies each mutating endpoint
+// leaves a loadable snapshot reflecting the mutation.
+func TestAutosaveAfterEveryMutation(t *testing.T) {
+	dir := t.TempDir()
+	s, c := newDurableClient(t, dir)
+
+	registerBookstore(c, "", 2)
+	state, err := s.Store().Load("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Integrator != nil || len(state.Sources) != 2 {
+		t.Fatalf("post-sources snapshot: integrator=%v sources=%d", state.Integrator != nil, len(state.Sources))
+	}
+
+	c.must("POST", "/federate", map[string]any{}, http.StatusCreated)
+	if state, err = s.Store().Load("default"); err != nil || state.Integrator == nil || state.Integrator.GlobalVersion != 0 {
+		t.Fatalf("post-federate snapshot: %+v (%v)", state, err)
+	}
+
+	c.must("POST", "/intersect", map[string]any{"name": "I1", "mappings": ubookMappings}, http.StatusCreated)
+	if state, err = s.Store().Load("default"); err != nil || state.Integrator.GlobalVersion != 1 {
+		t.Fatalf("post-intersect snapshot: %+v (%v)", state, err)
+	}
+
+	c.must("POST", "/refine", map[string]any{
+		"name": "prices",
+		"mapping": map[string]any{
+			"target": "<<UBook, price>>",
+			"forward": []map[string]any{
+				{"source": "Shop", "query": "[{'SHOP', k, x} | {k, x} <- <<items, price>>]"},
+			},
+		},
+	}, http.StatusCreated)
+	if state, err = s.Store().Load("default"); err != nil || state.Integrator.GlobalVersion != 2 {
+		t.Fatalf("post-refine snapshot: %+v (%v)", state, err)
+	}
+}

@@ -1,0 +1,257 @@
+package wrapper
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/rel"
+)
+
+// Snapshotter is the serialisation hook for wrappers: implementations
+// can capture their full state (schema and data) as a Snapshot that
+// Restore turns back into an equivalent in-memory wrapper. Wrappers
+// over external systems need not implement it; sessions containing such
+// sources cannot be persisted and report a clear error instead.
+type Snapshotter interface {
+	Snapshot() (*Snapshot, error)
+}
+
+// Snapshot is the JSON form of a serialisable wrapper. Exactly one of
+// the kind-specific payloads is populated, selected by Kind.
+type Snapshot struct {
+	// Kind is "relational" or "static".
+	Kind string `json:"kind"`
+	// Name is the data source schema name.
+	Name string `json:"name"`
+	// Tables is the relational payload: every table with its rows, so
+	// snapshots of CSV-loaded sources are self-contained.
+	Tables []TableSnapshot `json:"tables,omitempty"`
+	// Objects is the static payload: schema objects with their extents.
+	Objects []ObjectSnapshot `json:"objects,omitempty"`
+}
+
+// TableSnapshot serialises one relational table.
+type TableSnapshot struct {
+	Name string `json:"name"`
+	// Columns are "name:type" specs, as in CSV headers and the server's
+	// inline table API.
+	Columns     []string     `json:"columns"`
+	PrimaryKey  string       `json:"primary_key"`
+	ForeignKeys []FKSnapshot `json:"foreign_keys,omitempty"`
+	Rows        [][]any      `json:"rows"`
+}
+
+// FKSnapshot serialises a foreign-key declaration.
+type FKSnapshot struct {
+	Column   string `json:"column"`
+	RefTable string `json:"ref_table"`
+}
+
+// ObjectSnapshot serialises one static-wrapper object and its extent.
+type ObjectSnapshot struct {
+	Scheme    string       `json:"scheme"`
+	Kind      string       `json:"kind"`
+	Model     string       `json:"model,omitempty"`
+	Construct string       `json:"construct,omitempty"`
+	Extent    iql.ValueDTO `json:"extent"`
+}
+
+// Snapshot implements Snapshotter for relational sources: tables in
+// creation order, rows in insertion order.
+func (w *Relational) Snapshot() (*Snapshot, error) {
+	snap := &Snapshot{Kind: "relational", Name: w.name}
+	for _, t := range w.db.Tables() {
+		ts := TableSnapshot{Name: t.Name(), PrimaryKey: t.PrimaryKey()}
+		for _, c := range t.Columns() {
+			ts.Columns = append(ts.Columns, c.Name+":"+c.Type.String())
+		}
+		for _, fk := range t.ForeignKeys() {
+			ts.ForeignKeys = append(ts.ForeignKeys, FKSnapshot{Column: fk.Column, RefTable: fk.RefTable})
+		}
+		ts.Rows = make([][]any, t.Len())
+		for i, row := range t.Rows() {
+			ts.Rows[i] = append([]any(nil), row...)
+		}
+		snap.Tables = append(snap.Tables, ts)
+	}
+	return snap, nil
+}
+
+// Snapshot implements Snapshotter for static sources, in schema object
+// order.
+func (w *Static) Snapshot() (*Snapshot, error) {
+	snap := &Snapshot{Kind: "static", Name: w.name}
+	for _, o := range w.schema.Objects() {
+		ext, ok := w.extents[o.Scheme.Key()]
+		if !ok {
+			return nil, fmt.Errorf("wrapper: %s: no extent for %s", w.name, o.Scheme)
+		}
+		snap.Objects = append(snap.Objects, ObjectSnapshot{
+			Scheme:    o.Scheme.String(),
+			Kind:      o.Kind.String(),
+			Model:     o.Model,
+			Construct: o.Construct,
+			Extent:    iql.EncodeValue(ext),
+		})
+	}
+	return snap, nil
+}
+
+// SnapshotAll snapshots a slice of wrappers, failing with the name of
+// the first source that does not implement Snapshotter.
+func SnapshotAll(ws []Wrapper) ([]*Snapshot, error) {
+	out := make([]*Snapshot, 0, len(ws))
+	for _, w := range ws {
+		sn, ok := w.(Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("wrapper: source %q (%T) does not support snapshotting", w.SchemaName(), w)
+		}
+		snap, err := sn.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: snapshotting source %q: %w", w.SchemaName(), err)
+		}
+		out = append(out, snap)
+	}
+	return out, nil
+}
+
+// Restore rebuilds a wrapper from its snapshot. It is the inverse of
+// Snapshot for both supported kinds and validates as it goes, so a
+// corrupted snapshot yields an error, never a panic.
+func Restore(snap *Snapshot) (Wrapper, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("wrapper: nil snapshot")
+	}
+	if snap.Name == "" {
+		return nil, fmt.Errorf("wrapper: snapshot has no source name")
+	}
+	switch snap.Kind {
+	case "relational":
+		return restoreRelational(snap)
+	case "static":
+		return restoreStatic(snap)
+	}
+	return nil, fmt.Errorf("wrapper: unknown snapshot kind %q", snap.Kind)
+}
+
+func restoreRelational(snap *Snapshot) (Wrapper, error) {
+	db := rel.NewDB(snap.Name)
+	for _, ts := range snap.Tables {
+		cols := make([]rel.Column, len(ts.Columns))
+		for i, spec := range ts.Columns {
+			name, tyName, ok := strings.Cut(spec, ":")
+			if !ok {
+				return nil, fmt.Errorf("wrapper: source %q table %q: column spec %q is not name:type",
+					snap.Name, ts.Name, spec)
+			}
+			ty, err := rel.ParseType(tyName)
+			if err != nil {
+				return nil, fmt.Errorf("wrapper: source %q table %q: %w", snap.Name, ts.Name, err)
+			}
+			cols[i] = rel.Column{Name: name, Type: ty}
+		}
+		t, err := db.CreateTable(ts.Name, cols, ts.PrimaryKey)
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: source %q: %w", snap.Name, err)
+		}
+		for rn, row := range ts.Rows {
+			if len(row) != len(cols) {
+				return nil, fmt.Errorf("wrapper: source %q table %q row %d: %d cells for %d columns",
+					snap.Name, ts.Name, rn, len(row), len(cols))
+			}
+			vals := make([]any, len(row))
+			for i, cell := range row {
+				v, err := decodeCell(cell, cols[i].Type)
+				if err != nil {
+					return nil, fmt.Errorf("wrapper: source %q table %q row %d column %q: %w",
+						snap.Name, ts.Name, rn, cols[i].Name, err)
+				}
+				vals[i] = v
+			}
+			if err := t.Insert(vals...); err != nil {
+				return nil, fmt.Errorf("wrapper: source %q table %q row %d: %w", snap.Name, ts.Name, rn, err)
+			}
+		}
+	}
+	// Foreign keys after all tables exist, since they may point forward.
+	for _, ts := range snap.Tables {
+		for _, fk := range ts.ForeignKeys {
+			if err := db.AddForeignKey(ts.Name, fk.Column, fk.RefTable); err != nil {
+				return nil, fmt.Errorf("wrapper: source %q: %w", snap.Name, err)
+			}
+		}
+	}
+	return NewRelational(snap.Name, db)
+}
+
+// decodeCell maps a JSON-decoded row cell back to the relational cell
+// type. Snapshots decoded with json.Decoder.UseNumber keep int64 cells
+// exact; plain decoding delivers float64, accepted when integral.
+func decodeCell(cell any, ty rel.Type) (any, error) {
+	if cell == nil {
+		return nil, nil
+	}
+	switch ty {
+	case rel.Int:
+		switch x := cell.(type) {
+		case json.Number:
+			return x.Int64()
+		case float64:
+			if x != math.Trunc(x) {
+				return nil, fmt.Errorf("expected integer, got %v", x)
+			}
+			return int64(x), nil
+		case int64:
+			return x, nil
+		}
+		return nil, fmt.Errorf("expected number, got %T", cell)
+	case rel.Float:
+		switch x := cell.(type) {
+		case json.Number:
+			return x.Float64()
+		case float64:
+			return x, nil
+		case int64:
+			return float64(x), nil
+		}
+		return nil, fmt.Errorf("expected number, got %T", cell)
+	case rel.Bool:
+		b, ok := cell.(bool)
+		if !ok {
+			return nil, fmt.Errorf("expected boolean, got %T", cell)
+		}
+		return b, nil
+	default:
+		s, ok := cell.(string)
+		if !ok {
+			return nil, fmt.Errorf("expected string, got %T", cell)
+		}
+		return s, nil
+	}
+}
+
+func restoreStatic(snap *Snapshot) (Wrapper, error) {
+	st := NewStatic(snap.Name)
+	for _, os := range snap.Objects {
+		sc, err := hdm.ParseScheme(os.Scheme)
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: source %q: %w", snap.Name, err)
+		}
+		kind, err := hdm.ParseObjectKind(os.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: source %q object %s: %w", snap.Name, sc, err)
+		}
+		ext, err := iql.DecodeValue(os.Extent)
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: source %q object %s: %w", snap.Name, sc, err)
+		}
+		if err := st.Add(sc, kind, os.Model, os.Construct, ext); err != nil {
+			return nil, fmt.Errorf("wrapper: source %q: %w", snap.Name, err)
+		}
+	}
+	return st, nil
+}

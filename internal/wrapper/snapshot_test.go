@@ -1,0 +1,165 @@
+package wrapper
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/rel"
+)
+
+func snapshotDB(t *testing.T) *rel.DB {
+	t.Helper()
+	db := rel.NewDB("Lib")
+	books := db.MustCreateTable("books", []rel.Column{
+		{Name: "id", Type: rel.Int},
+		{Name: "title", Type: rel.String},
+		{Name: "price", Type: rel.Float},
+		{Name: "instock", Type: rel.Bool},
+	}, "")
+	books.MustInsert(int64(1), "Dataspaces", 10.5, true)
+	books.MustInsert(int64(2), "AutoMed", 0.0, false)
+	books.MustInsert(int64(1<<60+7), nil, nil, nil)
+	loans := db.MustCreateTable("loans", []rel.Column{
+		{Name: "loan", Type: rel.String},
+		{Name: "book", Type: rel.Int},
+	}, "")
+	loans.MustInsert("L1", int64(1))
+	if err := db.AddForeignKey("loans", "book", "books"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestRelationalSnapshotRoundTrip checks schema, keys, rows and foreign
+// keys survive Snapshot → JSON → Restore, including int64 cells beyond
+// float64 precision (the store decodes with UseNumber).
+func TestRelationalSnapshotRoundTrip(t *testing.T) {
+	w, err := NewRelational("Lib", snapshotDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.UseNumber()
+	if err := dec.Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(&decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaName() != "Lib" {
+		t.Fatalf("SchemaName = %q", got.SchemaName())
+	}
+	if !hdm.Identical(got.Schema(), w.Schema()) {
+		t.Fatalf("schemas differ: %s vs %s", got.Schema().Describe(), w.Schema().Describe())
+	}
+	for _, parts := range [][]string{{"books"}, {"books", "title"}, {"books", "price"}, {"books", "instock"}, {"loans", "book"}} {
+		want, err := w.Extent(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got.Extent(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !have.Equal(want) {
+			t.Errorf("extent of %v = %s, want %s", parts, have, want)
+		}
+	}
+	rw := got.(*Relational)
+	lt, _ := rw.DB().Table("loans")
+	if fks := lt.ForeignKeys(); len(fks) != 1 || fks[0].Column != "book" || fks[0].RefTable != "books" {
+		t.Errorf("foreign keys not restored: %v", fks)
+	}
+}
+
+// TestRelationalSnapshotPlainDecode checks a snapshot decoded without
+// UseNumber (cells as float64) still restores when values are integral.
+func TestRelationalSnapshotPlainDecode(t *testing.T) {
+	db := rel.NewDB("S")
+	tb := db.MustCreateTable("t", []rel.Column{{Name: "id", Type: rel.Int}}, "")
+	tb.MustInsert(int64(42))
+	w, err := NewRelational("S", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := json.Marshal(snap)
+	var decoded Snapshot
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(&decoded); err != nil {
+		t.Fatalf("plain-decoded snapshot did not restore: %v", err)
+	}
+}
+
+func TestStaticSnapshotRoundTrip(t *testing.T) {
+	st := NewStatic("Mat")
+	if err := st.Add(hdm.MustScheme("<<p>>"), hdm.Nodal, "sql", "table",
+		iql.Bag(iql.Int(1), iql.Int(2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(hdm.MustScheme("<<p, name>>"), hdm.Link, "sql", "column",
+		iql.Bag(iql.Tuple(iql.Int(1), iql.Str("a")))); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := json.Marshal(snap)
+	var decoded Snapshot
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(&decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hdm.Identical(got.Schema(), st.Schema()) {
+		t.Fatal("static schema not restored")
+	}
+	want, _ := st.Extent([]string{"p", "name"})
+	have, err := got.Extent([]string{"p", "name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !have.Equal(want) {
+		t.Errorf("static extent = %s, want %s", have, want)
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	cases := []*Snapshot{
+		nil,
+		{Kind: "relational"},
+		{Kind: "alien", Name: "x"},
+		{Kind: "relational", Name: "x", Tables: []TableSnapshot{{Name: "t", Columns: []string{"noType"}}}},
+		{Kind: "relational", Name: "x", Tables: []TableSnapshot{{Name: "t", Columns: []string{"c:int"}, Rows: [][]any{{"notInt"}}}}},
+		{Kind: "relational", Name: "x", Tables: []TableSnapshot{{Name: "t", Columns: []string{"c:int"}, Rows: [][]any{{1.0, 2.0}}}}},
+		{Kind: "static", Name: "x", Objects: []ObjectSnapshot{{Scheme: "<<", Kind: "nodal"}}},
+		{Kind: "static", Name: "x", Objects: []ObjectSnapshot{{Scheme: "<<a>>", Kind: "banana"}}},
+		{Kind: "static", Name: "x", Objects: []ObjectSnapshot{{Scheme: "<<a>>", Kind: "nodal", Extent: iql.ValueDTO{Kind: "?"}}}},
+	}
+	for i, snap := range cases {
+		if _, err := Restore(snap); err == nil {
+			t.Errorf("case %d: corrupt snapshot accepted", i)
+		}
+	}
+}
