@@ -463,6 +463,85 @@ func BenchmarkServerQuery(b *testing.B) {
 	})
 }
 
+// benchServerPost posts JSON to a path and decodes the JSON response.
+func benchServerPost(b *testing.B, ts *httptest.Server, path string, body map[string]any) map[string]any {
+	b.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		b.Fatalf("%s status %d: %v", path, resp.StatusCode, out)
+	}
+	return out
+}
+
+// BenchmarkIterationWarmCache measures the payoff of dependency-tracked
+// invalidation: after an integration iteration that touches an
+// unrelated scheme (<<UScan>> from Archive), a warm repeated query over
+// <<UBook, isbn>> is still answered from cache — pinned queries straight
+// from the result cache, current-version queries from warm extent memos
+// — instead of being re-unfolded from the sources as the old
+// purge-everything path forced.
+func BenchmarkIterationWarmCache(b *testing.B) {
+	const q = "count([{k, x} | {k, x} <- <<UBook, isbn>>])"
+	ts := benchServerSetup(b) // federate (v0) + intersect I1 (v1)
+
+	// Warm the result cache at the published version 1.
+	pinned := map[string]any{"query": q, "version": 1}
+	benchServerPost(b, ts, "/query", pinned)
+
+	// One unrelated iteration: integrate Archive's scans. Its touch-set
+	// ({UScan, UScan|format}) is disjoint from every warm UBook answer.
+	benchServerPost(b, ts, "/refine", map[string]any{
+		"name": "scans",
+		"mapping": map[string]any{
+			"target": "<<UScan, format>>",
+			"forward": []map[string]any{
+				{"source": "Archive", "query": "[{'ARC', k, x} | {k, x} <- <<scans, format>>]"},
+			},
+		},
+	})
+
+	b.Run("pinned-result-cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := benchServerPost(b, ts, "/query", pinned)
+			if !out["result_cached"].(bool) {
+				b.Fatal("warm pinned query was not served from the result cache after an unrelated iteration")
+			}
+		}
+	})
+
+	b.Run("current-extents-warm", func(b *testing.B) {
+		sess, err := benchSrv.Sessions().Get("default", false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cur := map[string]any{"query": q}
+		benchServerPost(b, ts, "/query", cur) // warm at the new version
+		memo0, src0 := sess.ExtentCacheStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchServerPost(b, ts, "/query", map[string]any{"query": q, "no_cache": true})
+		}
+		b.StopTimer()
+		memo1, src1 := sess.ExtentCacheStats()
+		if memo1.Misses != memo0.Misses || src1.Misses != src0.Misses {
+			b.Fatalf("re-unfolding happened after an unrelated iteration: memo misses %d->%d, source misses %d->%d",
+				memo0.Misses, memo1.Misses, src0.Misses, src1.Misses)
+		}
+	})
+}
+
 // BenchmarkSchemeParse measures scheme parsing/printing round trips.
 func BenchmarkSchemeParse(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,393 @@
+// Package cache provides the unified cache substrate of the dataspace:
+// a generic, size-aware, dependency-tagged store with LRU eviction.
+//
+// Every entry carries a cost in bytes and a set of scheme-key
+// dependencies. The store enforces two independent bounds — a maximum
+// entry count and a byte budget — by evicting least-recently-used
+// entries, and supports selective invalidation: InvalidateDeps(keys...)
+// evicts exactly the entries whose dependency set intersects the given
+// scheme keys, which is how an integration iteration drops the derived
+// state it touched while keeping every other warm answer live.
+//
+// GetOrCompute adds singleflight-style coalescing: concurrent misses of
+// the same key share one computation instead of racing to recompute it
+// (e.g. two queries unfolding onto the same source extent fetch it
+// once).
+//
+// The store backs all cache layers of the system: the query processor's
+// virtual-extent memo and source-extent cache, and the server's parsed
+// IQL plan cache and per-session result cache.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// MaxEntries bounds the number of entries; <= 0 means unbounded.
+	MaxEntries int
+	// MaxBytes bounds the summed entry costs; <= 0 means unbounded.
+	MaxBytes int64
+	// Disabled turns the store off: every Get misses and Put is a
+	// no-op (GetOrCompute still computes, without caching).
+	Disabled bool
+}
+
+// Stats is a point-in-time snapshot of one store's counters.
+type Stats struct {
+	Len      int    `json:"len"`
+	Capacity int    `json:"capacity"`
+	Bytes    int64  `json:"bytes"`
+	MaxBytes int64  `json:"max_bytes"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	// Evictions counts entries dropped to honour MaxEntries/MaxBytes.
+	Evictions uint64 `json:"evictions"`
+	// Invalidations counts entries dropped by InvalidateDeps.
+	Invalidations uint64 `json:"invalidations"`
+	// Oversize counts inserts rejected because a single entry's cost
+	// exceeded the whole byte budget.
+	Oversize uint64 `json:"oversize"`
+	Purges   uint64 `json:"purges"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one cache slot.
+type entry[V any] struct {
+	key  string
+	val  V
+	cost int64
+	deps []string
+}
+
+// flight is one in-progress GetOrCompute computation; waiters block on
+// done and then read val/err (the close provides the happens-before).
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Store is a bounded, mutex-guarded, dependency-tagged LRU cache. It is
+// safe for concurrent use.
+type Store[V any] struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	disabled   bool
+
+	ll    *list.List
+	items map[string]*list.Element
+	// byDep indexes entry keys by dependency key, so InvalidateDeps is
+	// proportional to the touched entries, not the cache size.
+	byDep  map[string]map[string]struct{}
+	flight map[string]*flight[V]
+	bytes  int64
+
+	// gen counts invalidation events (InvalidateDeps and Purge calls);
+	// Generation/PutAt use it to reject values computed before an
+	// invalidation that should have covered them.
+	gen uint64
+
+	hits          uint64
+	misses        uint64
+	evictions     uint64
+	invalidations uint64
+	oversize      uint64
+	purges        uint64
+}
+
+// New returns an empty store.
+func New[V any](opts Options) *Store[V] {
+	return &Store[V]{
+		maxEntries: opts.MaxEntries,
+		maxBytes:   opts.MaxBytes,
+		disabled:   opts.Disabled,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		byDep:      make(map[string]map[string]struct{}),
+		flight:     make(map[string]*flight[V]),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Store[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes a value with its byte cost and dependency
+// keys, evicting least-recently-used entries while either bound is
+// exceeded. An entry whose cost alone exceeds the byte budget is not
+// cached.
+func (c *Store[V]) Put(key string, val V, cost int64, deps []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, val, cost, deps)
+}
+
+func (c *Store[V]) putLocked(key string, val V, cost int64, deps []string) {
+	if c.disabled {
+		return
+	}
+	if cost < 0 {
+		cost = 0
+	}
+	if c.maxBytes > 0 && cost > c.maxBytes {
+		c.oversize++
+		// An oversize refresh must still drop the stale cached value.
+		if el, ok := c.items[key]; ok {
+			c.removeLocked(el)
+		}
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		// Refresh in place: re-index dependencies and re-count cost.
+		en := el.Value.(*entry[V])
+		c.unindexLocked(en)
+		c.bytes -= en.cost
+		en.val, en.cost, en.deps = val, cost, deps
+		c.bytes += cost
+		c.indexLocked(en)
+		c.ll.MoveToFront(el)
+	} else {
+		en := &entry[V]{key: key, val: val, cost: cost, deps: deps}
+		c.items[key] = c.ll.PushFront(en)
+		c.bytes += cost
+		c.indexLocked(en)
+	}
+	for (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeLocked(oldest)
+		c.evictions++
+	}
+}
+
+// GetOrCompute returns the cached value for key, or computes it exactly
+// once across concurrent callers: the first miss runs compute while
+// later misses of the same key wait for and share its outcome
+// (including errors; errors are never cached). compute returns the
+// value and its byte cost. The hit result reports whether the value
+// came from cache or a coalesced in-flight computation rather than this
+// caller's own compute.
+func (c *Store[V]) GetOrCompute(key string, deps []string, compute func() (V, int64, error)) (V, bool, error) {
+	c.mu.Lock()
+	if !c.disabled {
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			c.hits++
+			v := el.Value.(*entry[V]).val
+			c.mu.Unlock()
+			return v, true, nil
+		}
+	}
+	if f, ok := c.flight[key]; ok {
+		c.hits++ // coalesced: this caller pays no computation
+		c.mu.Unlock()
+		<-f.done
+		return f.val, true, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.flight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	var (
+		val  V
+		cost int64
+		err  error
+	)
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		// compute panicked: unregister the flight and fail the waiters
+		// instead of wedging every future lookup of this key, then let
+		// the panic continue unwinding.
+		f.err = fmt.Errorf("cache: computation for %q panicked", key)
+		c.mu.Lock()
+		delete(c.flight, key)
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	val, cost, err = compute()
+	completed = true
+
+	c.mu.Lock()
+	f.val, f.err = val, err
+	delete(c.flight, key)
+	if err == nil {
+		c.putLocked(key, val, cost, deps)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return val, false, err
+}
+
+// Generation returns the store's invalidation-event counter. Snapshot
+// it before computing a value and hand it to PutAt so that a value
+// whose computation raced with an invalidation is never cached stale.
+func (c *Store[V]) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// PutAt is Put, but only if no InvalidateDeps or Purge happened since
+// gen was observed via Generation; otherwise the value is discarded —
+// it may have been computed from state the invalidation retired.
+func (c *Store[V]) PutAt(gen uint64, key string, val V, cost int64, deps []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return
+	}
+	c.putLocked(key, val, cost, deps)
+}
+
+// InvalidateDeps evicts every entry whose dependency set intersects
+// keys and returns how many entries were dropped.
+func (c *Store[V]) InvalidateDeps(keys ...string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	dropped := 0
+	for _, k := range keys {
+		for ek := range c.byDep[k] {
+			if el, ok := c.items[ek]; ok {
+				c.removeLocked(el)
+				dropped++
+			}
+		}
+	}
+	c.invalidations += uint64(dropped)
+	return dropped
+}
+
+// Purge discards every entry (counters are kept).
+func (c *Store[V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.byDep = make(map[string]map[string]struct{})
+	c.bytes = 0
+	c.purges++
+}
+
+// SetMaxBytes adjusts the byte budget, evicting LRU entries if the new
+// budget is already exceeded. budget <= 0 removes the bound.
+func (c *Store[V]) SetMaxBytes(budget int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = budget
+	for c.maxBytes > 0 && c.bytes > c.maxBytes {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeLocked(oldest)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Store[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the summed cost of all cached entries.
+func (c *Store[V]) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats snapshots the store's counters.
+func (c *Store[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Len:           c.ll.Len(),
+		Capacity:      c.maxEntries,
+		Bytes:         c.bytes,
+		MaxBytes:      c.maxBytes,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Oversize:      c.oversize,
+		Purges:        c.purges,
+	}
+}
+
+func (c *Store[V]) removeLocked(el *list.Element) {
+	en := el.Value.(*entry[V])
+	c.ll.Remove(el)
+	delete(c.items, en.key)
+	c.bytes -= en.cost
+	c.unindexLocked(en)
+}
+
+func (c *Store[V]) indexLocked(en *entry[V]) {
+	for _, d := range en.deps {
+		set := c.byDep[d]
+		if set == nil {
+			set = make(map[string]struct{})
+			c.byDep[d] = set
+		}
+		set[en.key] = struct{}{}
+	}
+}
+
+func (c *Store[V]) unindexLocked(en *entry[V]) {
+	for _, d := range en.deps {
+		if set := c.byDep[d]; set != nil {
+			delete(set, en.key)
+			if len(set) == 0 {
+				delete(c.byDep, d)
+			}
+		}
+	}
+}
+
+// Dedup returns the distinct keys in first-seen order. It is the
+// shared key-set helper for building dependency sets.
+func Dedup(keys []string) []string {
+	seen := make(map[string]bool, len(keys))
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

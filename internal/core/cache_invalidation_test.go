@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/dataspace/automed/internal/iql"
+)
+
+// The property behind selective cache invalidation: after any workflow
+// iteration, an integrator that evicts only the touched schemes must
+// answer every probe — every object of every published schema version,
+// values and warnings — byte-identically to a reference integrator that
+// purges all cached work, while demonstrably keeping untouched memoised
+// extents live.
+
+// probe is one observed answer: the canonically sorted value rendering
+// plus the warnings, both deterministic.
+type probe struct {
+	value string
+	warns []string
+}
+
+// probeAll queries the extent of every object of every published
+// version, returning answers keyed by "version/scheme".
+func probeAll(t *testing.T, ig *Integrator) map[string]probe {
+	t.Helper()
+	out := make(map[string]probe)
+	for _, sv := range ig.Versions() {
+		for _, o := range sv.Schema.Objects() {
+			q := o.Scheme.String()
+			res, err := ig.QueryAt(context.Background(), sv.Version, q)
+			if err != nil {
+				t.Fatalf("version %d: probing %s: %v", sv.Version, q, err)
+			}
+			sorted, err := iql.SortBag(res.Value)
+			if err != nil {
+				sorted = res.Value
+			}
+			out[fmt.Sprintf("%d/%s", sv.Version, q)] = probe{
+				value: sorted.String(),
+				warns: res.Warnings,
+			}
+		}
+	}
+	return out
+}
+
+func diffProbes(t *testing.T, step string, sel, ref map[string]probe) {
+	t.Helper()
+	if len(sel) != len(ref) {
+		t.Fatalf("after %s: selective answered %d probes, reference %d", step, len(sel), len(ref))
+	}
+	for k, sp := range sel {
+		rp, ok := ref[k]
+		if !ok {
+			t.Fatalf("after %s: reference lacks probe %s", step, k)
+		}
+		if sp.value != rp.value {
+			t.Errorf("after %s: %s diverged:\n selective: %s\n reference: %s", step, k, sp.value, rp.value)
+		}
+		if len(sp.warns) != len(rp.warns) {
+			t.Errorf("after %s: %s warnings diverged: %v vs %v", step, k, sp.warns, rp.warns)
+			continue
+		}
+		for i := range sp.warns {
+			if sp.warns[i] != rp.warns[i] {
+				t.Errorf("after %s: %s warning %d diverged: %q vs %q", step, k, i, sp.warns[i], rp.warns[i])
+			}
+		}
+	}
+}
+
+// invalidationPlan is the workflow the equivalence test steps through;
+// it covers intersect (multi-source and single-source), refine of a new
+// object, refine adding a derivation to an existing object, and an
+// auto-extend (Range Void Any) target so warning replay is exercised.
+func invalidationPlan() []struct {
+	name string
+	run  func(*Integrator) error
+} {
+	i1 := append(bookMappings(),
+		// Library-only attribute inside a two-source intersection: the
+		// Shop pathway receives an auto extend Range Void Any, so
+		// queries over it raise (and must replay) warnings.
+		Attribute("<<UBook, shelf>>",
+			From("Library", "[{'LIB', k, x} | {k, x} <- <<books, shelf>>]")),
+	)
+	return []struct {
+		name string
+		run  func(*Integrator) error
+	}{
+		{"federate", func(ig *Integrator) error {
+			_, err := ig.Federate("F")
+			return err
+		}},
+		{"I1", func(ig *Integrator) error {
+			_, err := ig.Intersect("I1", i1)
+			return err
+		}},
+		{"refine-prices", func(ig *Integrator) error {
+			return ig.Refine("prices", Attribute("<<UBook, price>>",
+				From("Shop", "[{'SHOP', k, x} | {k, x} <- <<items, price>>]")))
+		}},
+		{"refine-title2", func(ig *Integrator) error {
+			// A second derivation for an already-integrated object:
+			// its cached extent is stale and must be recomputed.
+			return ig.Refine("title2", Attribute("<<UBook, title>>",
+				From("Library", "[{'LIB2', k, x} | {k, x} <- <<books, title>>]")))
+		}},
+		{"I2", func(ig *Integrator) error {
+			_, err := ig.Intersect("I2", []Mapping{
+				Entity("<<UScan>>",
+					From("Archive", "[{'ARC', k} | k <- <<scans>>]")),
+				Attribute("<<UScan, format>>",
+					From("Archive", "[{'ARC', k, x} | {k, x} <- <<scans, format>>]")),
+			})
+			return err
+		}},
+	}
+}
+
+func TestSelectiveInvalidationEquivalence(t *testing.T) {
+	sel := newIntegrator(t) // selective invalidation (the normal path)
+	ref := newIntegrator(t) // reference: full purge after every step
+
+	for _, step := range invalidationPlan() {
+		if err := step.run(sel); err != nil {
+			t.Fatalf("%s (selective): %v", step.name, err)
+		}
+		if err := step.run(ref); err != nil {
+			t.Fatalf("%s (reference): %v", step.name, err)
+		}
+		// The reference integrator recomputes everything from scratch.
+		ref.Processor().InvalidateCache()
+		// Probe twice: the first pass answers partly from caches warmed
+		// by earlier steps (the selective path under test), the second
+		// entirely from caches warmed by the first.
+		diffProbes(t, step.name, probeAll(t, sel), probeAll(t, ref))
+		diffProbes(t, step.name+" (warm)", probeAll(t, sel), probeAll(t, ref))
+	}
+}
+
+// TestIterationKeepsUntouchedExtentsWarm pins the survival half of the
+// contract at the processor level: after an iteration, a memoised
+// extent for an untouched scheme is served from cache, while the
+// touched scheme's stale entry is gone and recomputed.
+func TestIterationKeepsUntouchedExtentsWarm(t *testing.T) {
+	ig := newIntegrator(t)
+	if _, err := ig.Federate("F"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ig.Intersect("I1", bookMappings()); err != nil {
+		t.Fatal(err)
+	}
+	warm := func(q string) Result {
+		t.Helper()
+		res, err := ig.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	warm("<<UBook, isbn>>")
+	before := warm("<<UBook, title>>")
+
+	// An iteration touching only <<UBook, title>>.
+	if err := ig.Refine("title2", Attribute("<<UBook, title>>",
+		From("Library", "[{'LIB2', k, x} | {k, x} <- <<books, title>>]"))); err != nil {
+		t.Fatal(err)
+	}
+
+	memo0, _ := ig.Processor().CacheStats()
+	isbn := warm("<<UBook, isbn>>") // untouched: must be a memo hit
+	memo1, _ := ig.Processor().CacheStats()
+	if memo1.Hits != memo0.Hits+1 || memo1.Misses != memo0.Misses {
+		t.Fatalf("untouched scheme not served from cache: hits %d->%d misses %d->%d",
+			memo0.Hits, memo1.Hits, memo0.Misses, memo1.Misses)
+	}
+	if isbn.Value.Len() != 5 {
+		t.Fatalf("isbn extent = %s", isbn.Value)
+	}
+
+	after := warm("<<UBook, title>>") // touched: must be recomputed
+	memo2, _ := ig.Processor().CacheStats()
+	if memo2.Misses != memo1.Misses+1 {
+		t.Fatalf("touched scheme served stale from cache: misses %d->%d", memo1.Misses, memo2.Misses)
+	}
+	// The recomputation reflects the new derivation: three more titles.
+	if after.Value.Len() != before.Value.Len()+3 {
+		t.Fatalf("title extent %d -> %d elements, want +3 from the new derivation",
+			before.Value.Len(), after.Value.Len())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/dataspace/automed/internal/cache"
 	"github.com/dataspace/automed/internal/hdm"
 	"github.com/dataspace/automed/internal/iql"
 	"github.com/dataspace/automed/internal/query"
@@ -36,6 +37,12 @@ type Intersection struct {
 	// by delete (not contract) steps: these become redundant in the
 	// global schema (the − operator's operands).
 	DeletedBySource map[string][]hdm.Scheme
+	// Touched lists the distinct scheme keys whose derivations this
+	// iteration added or changed (targets, tool-generated parents and
+	// derived concepts) — the touch-set that selective cache
+	// invalidation evicts by. It is transient workflow state, not part
+	// of the durable snapshot.
+	Touched []string
 	// Counts tallies the steps generated for this intersection.
 	Counts StepCounts
 }
@@ -558,6 +565,22 @@ func (ig *Integrator) Intersect(name string, mappings []Mapping, enables ...stri
 			ig.derivedObjs = append(ig.derivedObjs, objMeta{scheme: f.target, kind: f.kind})
 		}
 	}
+
+	// The iteration's touch-set: every object this intersection gave a
+	// new derivation. RegisterPathway/Define invalidate per call; this
+	// union is recorded for the serving layer's result caches and
+	// re-applied here so one iteration is one invalidation event.
+	var touched []string
+	for _, tsc := range in.Targets {
+		touched = append(touched, tsc.Key())
+	}
+	for _, f := range fwds {
+		if f.source == "" {
+			touched = append(touched, f.target.Key())
+		}
+	}
+	in.Touched = cache.Dedup(touched)
+	ig.proc.InvalidateSchemes(in.Touched...)
 
 	ig.intersections = append(ig.intersections, in)
 	// Workflow step 5: the tool automatically creates a new global

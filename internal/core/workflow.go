@@ -42,6 +42,9 @@ func (ig *Integrator) Refine(name string, m Mapping, enables ...string) error {
 		ig.proc.Define(tsc, e, "refine:"+name, f.Source)
 		counts.ManualAdds++
 	}
+	// The refinement's touch-set is its single target; each Define
+	// above already evicted the cached extents depending on it, so
+	// every other warm answer stays live across the new version.
 	ig.derivedObjs = append(ig.derivedObjs, objMeta{scheme: tsc, kind: kind})
 	if _, err := ig.rebuildGlobal(ig.autoDrop); err != nil {
 		return err
@@ -174,6 +177,10 @@ func (ig *Integrator) rebuildGlobal(dropRedundant bool) (*hdm.Schema, error) {
 type Result struct {
 	Value    iql.Value
 	Warnings []string
+	// Deps lists the distinct scheme keys (source and virtual) the
+	// evaluation touched, sorted — the dependency closure a cached
+	// copy of this result must be invalidated under.
+	Deps []string
 	// Version is the global schema version the query was resolved
 	// against (0 = federated schema).
 	Version int
@@ -246,11 +253,11 @@ func (ig *Integrator) QueryExprAt(ctx context.Context, version int, e iql.Expr) 
 	if resolveErr != nil {
 		return Result{}, resolveErr
 	}
-	v, warns, err := ig.proc.EvalContext(ctx, canon)
+	v, warns, deps, err := ig.proc.EvalContext(ctx, canon)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Value: v, Warnings: warns, Version: ver, Schema: target.Name()}, nil
+	return Result{Value: v, Warnings: warns, Deps: deps, Version: ver, Schema: target.Name()}, nil
 }
 
 // Extent returns the extent of one global schema object.

@@ -56,14 +56,41 @@ func (e *Env) Lookup(name string) (Value, bool) {
 	return Value{}, false
 }
 
+// StepBudget is an evaluation step counter shared by several
+// Evaluators, so that one logical query keeps a single budget across
+// every sub-evaluation it spawns (e.g. the query processor unfolding
+// each view definition with its own Evaluator). It is not safe for
+// concurrent use; share a budget only within one evaluation session.
+type StepBudget struct {
+	// Max bounds the total steps; 0 means unlimited.
+	Max  int
+	used int
+}
+
+// Used returns the steps consumed so far.
+func (b *StepBudget) Used() int { return b.used }
+
+func (b *StepBudget) take() error {
+	b.used++
+	if b.Max > 0 && b.used > b.Max {
+		return fmt.Errorf("iql: evaluation exceeded %d steps", b.Max)
+	}
+	return nil
+}
+
 // Evaluator evaluates IQL expressions against an extent source. The
 // zero-value MaxSteps disables the step limit.
 type Evaluator struct {
 	// Ext resolves scheme references. If nil, NoExtents is used.
 	Ext Extents
 	// MaxSteps bounds the number of evaluation steps as a defence
-	// against runaway comprehensions; 0 means unlimited.
+	// against runaway comprehensions; 0 means unlimited. Ignored when
+	// Budget is set.
 	MaxSteps int
+	// Budget, when non-nil, is a step budget shared with other
+	// evaluators of the same logical query; it takes precedence over
+	// MaxSteps and is NOT reset by Eval.
+	Budget *StepBudget
 	// Ctx, when non-nil, is polled during evaluation so that long
 	// evaluations honour per-request timeouts and cancellation.
 	Ctx context.Context
@@ -103,7 +130,11 @@ const ctxCheckInterval = 1024
 
 func (ev *Evaluator) step() error {
 	ev.steps++
-	if ev.MaxSteps > 0 && ev.steps > ev.MaxSteps {
+	if ev.Budget != nil {
+		if err := ev.Budget.take(); err != nil {
+			return err
+		}
+	} else if ev.MaxSteps > 0 && ev.steps > ev.MaxSteps {
 		return fmt.Errorf("iql: evaluation exceeded %d steps", ev.MaxSteps)
 	}
 	if ev.Ctx != nil && ev.steps&(ctxCheckInterval-1) == 0 {

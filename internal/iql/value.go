@@ -113,6 +113,23 @@ func Any() Value { return Value{Kind: KindAny} }
 // IsNull reports whether v is the null value.
 func (v Value) IsNull() bool { return v.Kind == KindNull }
 
+// valueOverhead approximates the in-memory size of one Value struct
+// header (kind + scalar fields + string and slice headers on 64-bit).
+const valueOverhead = 64
+
+// Footprint estimates the value's in-memory size in bytes: the struct
+// header plus string payloads, recursively over tuple components and
+// bag elements. It is the cost measure used by the size-aware caches to
+// enforce their byte budgets; an estimate is sufficient because budgets
+// bound aggregate memory, not exact allocations.
+func (v Value) Footprint() int64 {
+	n := int64(valueOverhead + len(v.S))
+	for _, it := range v.Items {
+		n += it.Footprint()
+	}
+	return n
+}
+
 // IsCollection reports whether v can be enumerated: a bag or Void.
 func (v Value) IsCollection() bool { return v.Kind == KindBag || v.Kind == KindVoid }
 

@@ -1,0 +1,284 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+)
+
+// countingExtents wraps static extents and counts fetches per scheme
+// key, for asserting which extents were recomputed.
+type countingExtents struct {
+	mu    sync.Mutex
+	data  map[string]iql.Value
+	calls map[string]int
+}
+
+func (c *countingExtents) Extent(parts []string) (iql.Value, error) {
+	key := strings.Join(parts, "|")
+	c.mu.Lock()
+	c.calls[key]++
+	v, ok := c.data["<<"+strings.Join(parts, ", ")+">>"]
+	c.mu.Unlock()
+	if !ok {
+		return iql.Value{}, fmt.Errorf("no extent for %s", key)
+	}
+	return v, nil
+}
+
+func (c *countingExtents) count(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls[key]
+}
+
+// countingProcessor builds a processor over one source schema with two
+// independent tables t and w, and two virtual objects u (over t) and
+// v (over w).
+func countingProcessor(t *testing.T) (*Processor, *countingExtents) {
+	t.Helper()
+	ext := &countingExtents{
+		data: map[string]iql.Value{
+			"<<t>>": iql.Bag(iql.Int(1), iql.Int(2)),
+			"<<w>>": iql.Bag(iql.Int(10)),
+		},
+		calls: make(map[string]int),
+	}
+	sch := hdm.NewSchema("S")
+	sch.MustAdd(hdm.NewObject(hdm.MustScheme("<<t>>"), hdm.Nodal, "", ""))
+	sch.MustAdd(hdm.NewObject(hdm.MustScheme("<<w>>"), hdm.Nodal, "", ""))
+	p := New()
+	if err := p.AddExtents("S", sch, ext); err != nil {
+		t.Fatal(err)
+	}
+	p.Define(hdm.MustScheme("<<u>>"), iql.MustParse("[k | k <- <<t>>]"), "test", "S")
+	p.Define(hdm.MustScheme("<<v>>"), iql.MustParse("[k | k <- <<w>>]"), "test", "S")
+	return p, ext
+}
+
+// TestSelectiveInvalidation is the processor-level contract of the
+// dependency-tagged memo: invalidating one scheme recomputes only the
+// extents that depend on it, while unrelated memoised extents survive.
+func TestSelectiveInvalidation(t *testing.T) {
+	p, ext := countingProcessor(t)
+	mustExtent := func(key string) iql.Value {
+		t.Helper()
+		v, err := p.Extent([]string{key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	mustExtent("u")
+	mustExtent("v")
+	mustExtent("u")
+	mustExtent("v")
+	if ext.count("t") != 1 || ext.count("w") != 1 {
+		t.Fatalf("fetches = t:%d w:%d, want 1/1 (memoised)", ext.count("t"), ext.count("w"))
+	}
+
+	// Invalidate t: u must recompute (and refetch t), v must not.
+	if n := p.InvalidateSchemes("t"); n == 0 {
+		t.Fatal("InvalidateSchemes(t) evicted nothing")
+	}
+	mustExtent("u")
+	mustExtent("v")
+	if ext.count("t") != 2 {
+		t.Fatalf("t fetched %d times after invalidation, want 2 (recomputed)", ext.count("t"))
+	}
+	if ext.count("w") != 1 {
+		t.Fatalf("w fetched %d times, want 1 (untouched extent survived)", ext.count("w"))
+	}
+
+	// Invalidating the virtual key itself drops its memo entry — but
+	// not the source-extent cache below it, so the recomputation
+	// re-unfolds without refetching the source.
+	memoBefore, _ := p.CacheStats()
+	if n := p.InvalidateSchemes("u"); n != 1 {
+		t.Fatalf("InvalidateSchemes(u) evicted %d entries, want 1 (u's memo)", n)
+	}
+	mustExtent("u")
+	memoAfter, _ := p.CacheStats()
+	if memoAfter.Misses != memoBefore.Misses+1 {
+		t.Fatalf("memo misses %d -> %d, want one recompute of u", memoBefore.Misses, memoAfter.Misses)
+	}
+	if ext.count("t") != 2 {
+		t.Fatalf("t fetched %d times after invalidating u, want 2 (source extent cache survived)", ext.count("t"))
+	}
+}
+
+// TestDefineInvalidatesDependents verifies that registering a new
+// derivation for an object evicts the memoised extents of everything
+// that referenced it — including references that previously resolved
+// straight to a source object.
+func TestDefineInvalidatesDependents(t *testing.T) {
+	p, _ := countingProcessor(t)
+	// g is defined over u; u over t.
+	p.Define(hdm.MustScheme("<<g>>"), iql.MustParse("[k | k <- <<u>>]"), "test", "")
+	v, err := p.Extent([]string{"g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 2 {
+		t.Fatalf("g = %s", v)
+	}
+	// A new derivation for u must flow into g's next answer.
+	p.Define(hdm.MustScheme("<<u>>"), iql.MustParse("[k | k <- <<w>>]"), "test", "S")
+	v, err = p.Extent([]string{"g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 3 {
+		t.Fatalf("g after new derivation for u = %s, want 3 elements", v)
+	}
+
+	// An unscoped reference that resolved to a source object must also
+	// be invalidated when that name later gains a virtual definition.
+	p.Define(hdm.MustScheme("<<h>>"), iql.MustParse("[k | k <- <<w>>]"), "test", "")
+	v, _ = p.Extent([]string{"h"})
+	if v.Len() != 1 {
+		t.Fatalf("h = %s", v)
+	}
+	// w becomes virtual: h's cached extent depended on the reference
+	// key "w" and must be recomputed through the new definition.
+	p.Define(hdm.MustScheme("<<w>>"), iql.MustParse("[0 | k <- <<t>>]"), "test", "S")
+	v, err = p.Extent([]string{"h"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h now unfolds w's virtual definition (2 zeros from t) unioned
+	// with nothing else; the stale answer had 1 element.
+	if v.Len() != 2 {
+		t.Fatalf("h after w became virtual = %s, want 2 elements", v)
+	}
+}
+
+// TestWarningsReplayAcrossInvalidation pins the memo contract that
+// survived the refactor: warnings replay on memo hits, and selective
+// invalidation does not duplicate or lose them.
+func TestWarningsReplayAcrossInvalidation(t *testing.T) {
+	p2, _ := countingProcessor(t)
+	p2.DefineDerivation(hdm.MustScheme("<<lower>>"), Derivation{
+		Query: iql.MustParse("[k | k <- <<t>>]"), Lower: true, Via: "pw", Scope: "S",
+	})
+	for i := 0; i < 2; i++ {
+		_, warns, _, err := p2.EvalContext(context.Background(), iql.MustParse("count(<<lower>>)"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(warns) != 1 {
+			t.Fatalf("round %d: warnings = %v, want 1 incompleteness warning", i, warns)
+		}
+	}
+	p2.InvalidateSchemes("t")
+	_, warns, deps, err := p2.EvalContext(context.Background(), iql.MustParse("count(<<lower>>)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 1 {
+		t.Fatalf("post-invalidation warnings = %v, want 1", warns)
+	}
+	// The dependency set names both the virtual object and its source.
+	wantDeps := map[string]bool{"lower": true, "t": true}
+	for _, d := range deps {
+		delete(wantDeps, d)
+	}
+	if len(wantDeps) != 0 {
+		t.Fatalf("deps = %v, missing %v", deps, wantDeps)
+	}
+}
+
+// slowExtents blocks every fetch until released, counting concurrent
+// fetches of the same key.
+type slowExtents struct {
+	gate    chan struct{}
+	fetches atomic.Int64
+}
+
+func (s *slowExtents) Extent(parts []string) (iql.Value, error) {
+	s.fetches.Add(1)
+	<-s.gate
+	return iql.Bag(iql.Int(1), iql.Int(2)), nil
+}
+
+// TestConcurrentSourceFetchCoalesced reproduces the duplicate-fetch bug
+// the cache subsystem fixes: goroutines missing the source-extent cache
+// simultaneously must share one wrapper fetch, not race to duplicate
+// it.
+func TestConcurrentSourceFetchCoalesced(t *testing.T) {
+	ext := &slowExtents{gate: make(chan struct{})}
+	sch := hdm.NewSchema("S")
+	sch.MustAdd(hdm.NewObject(hdm.MustScheme("<<t>>"), hdm.Nodal, "", ""))
+	p := New()
+	if err := p.AddExtents("S", sch, ext); err != nil {
+		t.Fatal(err)
+	}
+	p.Define(hdm.MustScheme("<<u>>"), iql.MustParse("[k | k <- <<t>>]"), "test", "S")
+
+	const workers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := p.Extent([]string{"u"}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(start)
+	// Release the (single) in-flight fetch once everyone has had a
+	// chance to pile up behind it.
+	close(ext.gate)
+	wg.Wait()
+	if n := ext.fetches.Load(); n != 1 {
+		t.Fatalf("source extent fetched %d times under concurrency, want 1", n)
+	}
+}
+
+// TestSharedStepBudget verifies MaxSteps bounds the whole query, not
+// each derivation separately: two derivations that fit individually
+// must together exhaust the per-query budget.
+func TestSharedStepBudget(t *testing.T) {
+	p, _ := countingProcessor(t)
+	// u has one derivation over t; add a second derivation so the
+	// union evaluates two comprehensions.
+	p.Define(hdm.MustScheme("<<u>>"), iql.MustParse("[k | k <- <<w>>]"), "test", "S")
+
+	// Find the whole-query step cost, then set the budget between the
+	// halves and the total: per-derivation budgeting would pass, a
+	// shared budget must fail.
+	b := &iql.StepBudget{}
+	s := p.newSession(nil)
+	s.budget = b
+	ev := &iql.Evaluator{Ext: s, Budget: b}
+	if _, err := ev.Eval(iql.MustParse("count(<<u>>)"), nil); err != nil {
+		t.Fatal(err)
+	}
+	total := b.Used()
+	if total < 4 {
+		t.Fatalf("unexpectedly cheap query: %d steps", total)
+	}
+
+	p.InvalidateCache()
+	p.MaxSteps = total - 1
+	if _, err := p.Eval(iql.MustParse("count(<<u>>)")); err == nil {
+		t.Fatalf("query within per-derivation budgets but beyond the shared %d-step budget succeeded", total-1)
+	} else if !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	p.InvalidateCache()
+	p.MaxSteps = total
+	if _, err := p.Eval(iql.MustParse("count(<<u>>)")); err != nil {
+		t.Fatalf("query at exactly the budget failed: %v", err)
+	}
+}

@@ -17,6 +17,13 @@
 // schema of data source ES_i first, exactly as the paper's
 // transformations are written (e.g. <<protein>> inside Pedro's pathway
 // means Pedro's protein table even though PepSeeker also has one).
+//
+// Both extent caches — the virtual-extent memo and the source-extent
+// cache — are dependency-tagged cache.Stores: every memoised extent
+// records the transitive set of scheme keys its computation touched, so
+// that registering new derivations (an integration iteration) evicts
+// exactly the affected entries via InvalidateSchemes instead of purging
+// all cached work.
 package query
 
 import (
@@ -26,6 +33,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/dataspace/automed/internal/cache"
 	"github.com/dataspace/automed/internal/hdm"
 	"github.com/dataspace/automed/internal/iql"
 	"github.com/dataspace/automed/internal/transform"
@@ -55,12 +63,27 @@ type source struct {
 }
 
 // cachedExtent memoises a virtual object's extent together with the
-// incompleteness warnings its computation raised, so cache hits replay
-// the warnings instead of silently reporting an incomplete answer as
-// complete.
+// incompleteness warnings its computation raised (cache hits replay the
+// warnings instead of silently reporting an incomplete answer as
+// complete) and the transitive set of scheme keys the computation
+// touched (its dependency set, which cache hits replay into the current
+// session so enclosing computations inherit it).
 type cachedExtent struct {
 	val   iql.Value
 	warns []string
+	deps  []string
+}
+
+// cost estimates the entry's in-memory size for the byte budget.
+func (ce cachedExtent) cost() int64 {
+	n := ce.val.Footprint()
+	for _, w := range ce.warns {
+		n += int64(len(w)) + 16
+	}
+	for _, d := range ce.deps {
+		n += int64(len(d)) + 16
+	}
+	return n
 }
 
 // Processor answers IQL queries over virtual schemas backed by data
@@ -69,21 +92,38 @@ type Processor struct {
 	mu       sync.Mutex
 	sources  []source
 	defs     map[string][]Derivation
-	cache    map[string]cachedExtent
-	srcCache map[string]iql.Value
+	memo     *cache.Store[cachedExtent]
+	srcExt   *cache.Store[iql.Value]
 	warnings map[string]bool
-	// MaxSteps bounds IQL evaluation per query; 0 means unlimited.
+	// MaxSteps bounds IQL evaluation per query; 0 means unlimited. The
+	// budget is shared across every derivation a query unfolds, not per
+	// derivation.
 	MaxSteps int
 }
 
-// New returns an empty processor.
+// New returns an empty processor. Its extent caches are unbounded until
+// SetCacheBytes installs a byte budget.
 func New() *Processor {
 	return &Processor{
 		defs:     make(map[string][]Derivation),
-		cache:    make(map[string]cachedExtent),
-		srcCache: make(map[string]iql.Value),
+		memo:     cache.New[cachedExtent](cache.Options{}),
+		srcExt:   cache.New[iql.Value](cache.Options{}),
 		warnings: make(map[string]bool),
 	}
+}
+
+// SetCacheBytes bounds each extent cache layer (the virtual-extent memo
+// and the source-extent cache) to budget bytes, evicting LRU entries
+// beyond it; budget <= 0 removes the bound.
+func (p *Processor) SetCacheBytes(budget int64) {
+	p.memo.SetMaxBytes(budget)
+	p.srcExt.SetMaxBytes(budget)
+}
+
+// CacheStats snapshots the two extent cache layers: the virtual-extent
+// memo and the source-extent cache.
+func (p *Processor) CacheStats() (memo, src cache.Stats) {
+	return p.memo.Stats(), p.srcExt.Stats()
 }
 
 // Sourcer is the subset of wrapper behaviour the processor needs; it is
@@ -139,25 +179,30 @@ func (p *Processor) SourceNames() []string {
 // defines n by o; id(a,b) defines each of a, b by the other (cycles are
 // cut during evaluation, yielding the union across an ident chain
 // exactly once; self-ids register nothing). delete and contract steps
-// induce no forward definitions.
+// induce no forward definitions. Cached extents depending on the newly
+// defined objects are selectively invalidated; unrelated entries stay
+// live.
 func (p *Processor) RegisterPathway(pw *transform.Pathway, scope string) error {
 	if pw == nil {
 		return fmt.Errorf("query: nil pathway")
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	via := pw.Source + "->" + pw.Target
+	var defined []string
 	for _, t := range pw.Steps {
 		switch t.Kind {
 		case transform.Add:
 			p.defs[t.Object.Key()] = append(p.defs[t.Object.Key()],
 				Derivation{Query: t.Query, Via: via, Scope: scope})
+			defined = append(defined, t.Object.Key())
 		case transform.Extend:
 			p.defs[t.Object.Key()] = append(p.defs[t.Object.Key()],
 				Derivation{Query: t.Query, Lower: true, Via: via, Scope: scope})
+			defined = append(defined, t.Object.Key())
 		case transform.Rename:
 			p.defs[t.To.Key()] = append(p.defs[t.To.Key()],
 				Derivation{Query: iql.Ref(t.Object.Parts()...), Via: via, Scope: scope})
+			defined = append(defined, t.To.Key())
 		case transform.ID:
 			if t.Object.Key() == t.To.Key() {
 				continue // self-id: no definitional content in one namespace
@@ -166,20 +211,23 @@ func (p *Processor) RegisterPathway(pw *transform.Pathway, scope string) error {
 				Derivation{Query: iql.Ref(t.To.Parts()...), Via: via, Scope: scope})
 			p.defs[t.To.Key()] = append(p.defs[t.To.Key()],
 				Derivation{Query: iql.Ref(t.Object.Parts()...), Via: via, Scope: scope})
+			defined = append(defined, t.Object.Key(), t.To.Key())
 		case transform.Delete, transform.Contract:
 			// No forward definition.
 		}
 	}
-	p.invalidateLocked()
+	p.mu.Unlock()
+	p.InvalidateSchemes(defined...)
 	return nil
 }
 
-// Define installs a single ad-hoc derivation for a virtual object.
+// Define installs a single ad-hoc derivation for a virtual object,
+// selectively invalidating cached extents that depend on it.
 func (p *Processor) Define(sc hdm.Scheme, q iql.Expr, via, scope string) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.defs[sc.Key()] = append(p.defs[sc.Key()], Derivation{Query: q, Via: via, Scope: scope})
-	p.invalidateLocked()
+	p.mu.Unlock()
+	p.InvalidateSchemes(sc.Key())
 }
 
 // Derivations returns the registered derivations for an object (for
@@ -202,9 +250,9 @@ func (p *Processor) HasDefinition(sc hdm.Scheme) bool {
 // AllDerivations, used when rebuilding a processor from a snapshot.
 func (p *Processor) DefineDerivation(sc hdm.Scheme, d Derivation) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.defs[sc.Key()] = append(p.defs[sc.Key()], d)
-	p.invalidateLocked()
+	p.mu.Unlock()
+	p.InvalidateSchemes(sc.Key())
 }
 
 // ObjectDerivations pairs a virtual object's scheme key with its
@@ -244,17 +292,25 @@ func (p *Processor) DefinedObjects() []string {
 	return out
 }
 
-// InvalidateCache clears memoised extents (call after source data
-// changes).
+// InvalidateCache clears every memoised extent wholesale. It remains
+// for source-data changes of unknown extent; integration iterations use
+// the selective InvalidateSchemes instead.
 func (p *Processor) InvalidateCache() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.invalidateLocked()
+	p.memo.Purge()
+	p.srcExt.Purge()
 }
 
-func (p *Processor) invalidateLocked() {
-	p.cache = make(map[string]cachedExtent)
-	p.srcCache = make(map[string]iql.Value)
+// InvalidateSchemes evicts exactly the cached extents whose dependency
+// set intersects keys — each memoised extent knows the transitive set
+// of source and virtual scheme keys its computation touched — and
+// returns how many entries were dropped. Unrelated cached extents
+// survive, which is what keeps warm answers live across integration
+// iterations.
+func (p *Processor) InvalidateSchemes(keys ...string) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	return p.memo.InvalidateDeps(keys...) + p.srcExt.InvalidateDeps(keys...)
 }
 
 // Warnings returns accumulated incompleteness warnings, sorted.
@@ -302,6 +358,10 @@ type session struct {
 	// ctx, when non-nil, cancels long evaluations (per-request
 	// timeouts); it is handed to every evaluator the session spawns.
 	ctx context.Context
+	// budget is the evaluation step budget shared by every evaluator
+	// this session spawns, so MaxSteps bounds the whole query rather
+	// than each derivation separately.
+	budget *iql.StepBudget
 	// warnings, when non-nil, collects the incompleteness warnings
 	// raised during this one evaluation.
 	warnings map[string]bool
@@ -309,6 +369,24 @@ type session struct {
 	// virtual extent caches the slice it contributed so that memo-
 	// cache hits replay the warnings of the computation they reuse.
 	warnLog []string
+	// depLog is the ordered stream of scheme keys this evaluation
+	// touched (source and virtual); each virtual extent caches the
+	// slice it contributed as its dependency set, and memo-cache hits
+	// replay the reused computation's dependencies, so the log is
+	// always the transitive touch-set of the evaluation so far.
+	depLog []string
+}
+
+// newSession builds an evaluation session with a fresh per-query step
+// budget.
+func (p *Processor) newSession(ctx context.Context, scopes ...string) *session {
+	return &session{
+		p:       p,
+		onStack: make(map[string]bool),
+		scopes:  scopes,
+		ctx:     ctx,
+		budget:  &iql.StepBudget{Max: p.MaxSteps},
+	}
 }
 
 func (s *session) scope() string {
@@ -316,6 +394,18 @@ func (s *session) scope() string {
 		return ""
 	}
 	return s.scopes[len(s.scopes)-1]
+}
+
+// dep records a touched scheme key.
+func (s *session) dep(key string) {
+	s.depLog = append(s.depLog, key)
+}
+
+// deps returns the distinct scheme keys this session touched, sorted.
+func (s *session) deps() []string {
+	out := cache.Dedup(s.depLog)
+	sort.Strings(out)
+	return out
 }
 
 // Extent implements iql.Extents for evaluation within a session.
@@ -326,15 +416,13 @@ func (s *session) Extent(parts []string) (iql.Value, error) {
 // Extent returns the extent of the referenced object: virtual objects
 // by unfolding their derivations, source objects from their wrapper.
 func (p *Processor) Extent(parts []string) (iql.Value, error) {
-	s := &session{p: p, onStack: make(map[string]bool)}
-	return p.extentIn(s, parts)
+	return p.extentIn(p.newSession(nil), parts)
 }
 
 // ScopedExtent resolves parts as if referenced from within the given
 // source scope (used by tools displaying per-source extents).
 func (p *Processor) ScopedExtent(scope string, parts []string) (iql.Value, error) {
-	s := &session{p: p, onStack: make(map[string]bool), scopes: []string{scope}}
-	return p.extentIn(s, parts)
+	return p.extentIn(p.newSession(nil, scope), parts)
 }
 
 func (p *Processor) extentIn(s *session, parts []string) (iql.Value, error) {
@@ -342,7 +430,7 @@ func (p *Processor) extentIn(s *session, parts []string) (iql.Value, error) {
 	// matching the paper's per-pathway query context.
 	if sc := s.scope(); sc != "" {
 		if src, obj, ok := p.resolveIn(sc, parts); ok {
-			return p.sourceExtent(src, obj)
+			return p.sourceExtent(s, src, obj)
 		}
 	}
 
@@ -350,18 +438,17 @@ func (p *Processor) extentIn(s *session, parts []string) (iql.Value, error) {
 	key := strings.Join(parts, "|")
 	p.mu.Lock()
 	derivs, virtual := p.defs[key]
+	p.mu.Unlock()
 	if virtual {
-		if ce, ok := p.cache[key]; ok {
-			p.mu.Unlock()
+		if ce, ok := p.memo.Get(key); ok {
+			// Replay the reused computation's warnings and dependency
+			// set so the enclosing evaluation inherits both.
 			for _, w := range ce.warns {
 				p.warnIn(s, w)
 			}
+			s.depLog = append(s.depLog, ce.deps...)
 			return ce.val, nil
 		}
-	}
-	p.mu.Unlock()
-
-	if virtual {
 		return p.virtualExtent(s, key, parts, derivs)
 	}
 
@@ -385,7 +472,11 @@ func (p *Processor) extentIn(s *session, parts []string) (iql.Value, error) {
 	case 0:
 		return iql.Value{}, fmt.Errorf("query: unknown schema object <<%s>>", strings.Join(parts, ", "))
 	case 1:
-		return p.sourceExtent(hits[0].src, hits[0].sc)
+		// The reference key itself is a dependency: a later derivation
+		// registered under it changes this resolution from source to
+		// virtual, so dependents must be invalidated then.
+		s.dep(key)
+		return p.sourceExtent(s, hits[0].src, hits[0].sc)
 	default:
 		names := make([]string, len(hits))
 		for i, h := range hits {
@@ -413,22 +504,21 @@ func (p *Processor) resolveIn(name string, parts []string) (source, hdm.Scheme, 
 	return source{}, hdm.Scheme{}, false
 }
 
-func (p *Processor) sourceExtent(src source, sc hdm.Scheme) (iql.Value, error) {
-	ck := src.name + "\x00" + sc.Key()
-	p.mu.Lock()
-	if v, ok := p.srcCache[ck]; ok {
-		p.mu.Unlock()
-		return v, nil
-	}
-	p.mu.Unlock()
-	v, err := src.ext.Extent(sc.Parts())
-	if err != nil {
-		return iql.Value{}, err
-	}
-	p.mu.Lock()
-	p.srcCache[ck] = v
-	p.mu.Unlock()
-	return v, nil
+// sourceExtent fetches (or reuses) one source object's extent.
+// Concurrent misses of the same object coalesce into a single wrapper
+// fetch via the cache's singleflight GetOrCompute.
+func (p *Processor) sourceExtent(s *session, src source, sc hdm.Scheme) (iql.Value, error) {
+	key := sc.Key()
+	s.dep(key)
+	ck := src.name + "\x00" + key
+	v, _, err := p.srcExt.GetOrCompute(ck, []string{key}, func() (iql.Value, int64, error) {
+		v, err := src.ext.Extent(sc.Parts())
+		if err != nil {
+			return iql.Value{}, 0, err
+		}
+		return v, v.Footprint(), nil
+	})
+	return v, err
 }
 
 func (p *Processor) virtualExtent(s *session, key string, parts []string, derivs []Derivation) (iql.Value, error) {
@@ -440,11 +530,16 @@ func (p *Processor) virtualExtent(s *session, key string, parts []string, derivs
 	savedCut := s.cut
 	s.cut = false
 	warnMark := len(s.warnLog)
+	depMark := len(s.depLog)
+	// The object's own key heads its dependency set: invalidating it
+	// (e.g. a new derivation registered for it) must evict this memo
+	// entry and everything computed on top of it.
+	s.dep(key)
 	var acc []iql.Value
 	var evalErr error
 	for _, d := range derivs {
 		s.scopes = append(s.scopes, d.Scope)
-		ev := &iql.Evaluator{Ext: s, MaxSteps: p.MaxSteps, Ctx: s.ctx}
+		ev := &iql.Evaluator{Ext: s, Budget: s.budget, Ctx: s.ctx}
 		v, err := ev.Eval(d.Query, nil)
 		s.scopes = s.scopes[:len(s.scopes)-1]
 		if err != nil {
@@ -475,13 +570,11 @@ func (p *Processor) virtualExtent(s *session, key string, parts []string, derivs
 	}
 	out := iql.BagOf(acc)
 	if !s.cut {
-		ce := cachedExtent{val: out}
+		ce := cachedExtent{val: out, deps: cache.Dedup(s.depLog[depMark:])}
 		if n := len(s.warnLog) - warnMark; n > 0 {
 			ce.warns = append([]string(nil), s.warnLog[warnMark:]...)
 		}
-		p.mu.Lock()
-		p.cache[key] = ce
-		p.mu.Unlock()
+		p.memo.Put(key, ce, ce.cost(), ce.deps)
 	}
 	s.cut = s.cut || savedCut
 	return out, nil
@@ -489,41 +582,39 @@ func (p *Processor) virtualExtent(s *session, key string, parts []string, derivs
 
 // Eval evaluates a parsed IQL expression against the processor.
 func (p *Processor) Eval(e iql.Expr) (iql.Value, error) {
-	s := &session{p: p, onStack: make(map[string]bool)}
-	ev := &iql.Evaluator{Ext: s, MaxSteps: p.MaxSteps}
+	s := p.newSession(nil)
+	ev := &iql.Evaluator{Ext: s, Budget: s.budget}
 	return ev.Eval(e, nil)
 }
 
 // EvalContext evaluates a parsed IQL expression under a context (for
-// per-request timeouts and cancellation) and returns the
-// incompleteness warnings raised by this evaluation alone, sorted.
-// Unlike the ClearWarnings/Eval/Warnings sequence, it is safe under
-// concurrent queries: each evaluation collects its own warnings.
-func (p *Processor) EvalContext(ctx context.Context, e iql.Expr) (iql.Value, []string, error) {
-	s := &session{
-		p:        p,
-		onStack:  make(map[string]bool),
-		ctx:      ctx,
-		warnings: make(map[string]bool),
-	}
-	ev := &iql.Evaluator{Ext: s, MaxSteps: p.MaxSteps, Ctx: ctx}
+// per-request timeouts and cancellation) and returns, alongside the
+// value, the incompleteness warnings raised by this evaluation alone
+// and the distinct scheme keys it touched (its dependency set, for
+// selective result-cache invalidation), both sorted. Unlike the
+// ClearWarnings/Eval/Warnings sequence, it is safe under concurrent
+// queries: each evaluation collects its own warnings.
+func (p *Processor) EvalContext(ctx context.Context, e iql.Expr) (iql.Value, []string, []string, error) {
+	s := p.newSession(ctx)
+	s.warnings = make(map[string]bool)
+	ev := &iql.Evaluator{Ext: s, Budget: s.budget, Ctx: ctx}
 	v, err := ev.Eval(e, nil)
 	if err != nil {
-		return iql.Value{}, nil, err
+		return iql.Value{}, nil, nil, err
 	}
 	warns := make([]string, 0, len(s.warnings))
 	for w := range s.warnings {
 		warns = append(warns, w)
 	}
 	sort.Strings(warns)
-	return v, warns, nil
+	return v, warns, s.deps(), nil
 }
 
 // EvalScoped evaluates an expression whose unqualified references
 // resolve against the named source schema first.
 func (p *Processor) EvalScoped(e iql.Expr, scope string) (iql.Value, error) {
-	s := &session{p: p, onStack: make(map[string]bool), scopes: []string{scope}}
-	ev := &iql.Evaluator{Ext: s, MaxSteps: p.MaxSteps}
+	s := p.newSession(nil, scope)
+	ev := &iql.Evaluator{Ext: s, Budget: s.budget}
 	return ev.Eval(e, nil)
 }
 

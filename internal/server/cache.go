@@ -1,120 +1,9 @@
 package server
 
-import (
-	"container/list"
-	"sync"
-)
+import "github.com/dataspace/automed/internal/cache"
 
-// CacheStats is a point-in-time snapshot of one cache's counters.
-type CacheStats struct {
-	Len       int    `json:"len"`
-	Capacity  int    `json:"capacity"`
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Purges    uint64 `json:"purges"`
-}
-
-// HitRate returns hits / (hits + misses), or 0 before any lookup.
-func (s CacheStats) HitRate() float64 {
-	total := s.Hits + s.Misses
-	if total == 0 {
-		return 0
-	}
-	return float64(s.Hits) / float64(total)
-}
-
-// lruEntry is one cache slot.
-type lruEntry[V any] struct {
-	key string
-	val V
-}
-
-// LRU is a bounded, mutex-guarded least-recently-used cache. It backs
-// both the parsed-plan cache and the query-result cache.
-type LRU[V any] struct {
-	mu        sync.Mutex
-	capacity  int
-	ll        *list.List
-	items     map[string]*list.Element
-	hits      uint64
-	misses    uint64
-	evictions uint64
-	purges    uint64
-}
-
-// NewLRU returns a cache holding at most capacity entries; capacity
-// <= 0 disables the cache (every Get misses, Put is a no-op).
-func NewLRU[V any](capacity int) *LRU[V] {
-	return &LRU[V]{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-	}
-}
-
-// Get returns the cached value and marks it most recently used.
-func (c *LRU[V]) Get(key string) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		return el.Value.(*lruEntry[V]).val, true
-	}
-	c.misses++
-	var zero V
-	return zero, false
-}
-
-// Put inserts or refreshes a value, evicting the least recently used
-// entry when the cache is full.
-func (c *LRU[V]) Put(key string, val V) {
-	if c.capacity <= 0 {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry[V]).val = val
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
-	if c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry[V]).key)
-		c.evictions++
-	}
-}
-
-// Purge discards every entry (counters are kept).
-func (c *LRU[V]) Purge() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ll.Init()
-	c.items = make(map[string]*list.Element)
-	c.purges++
-}
-
-// Len returns the number of cached entries.
-func (c *LRU[V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
-}
-
-// Stats snapshots the cache counters.
-func (c *LRU[V]) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Len:       c.ll.Len(),
-		Capacity:  c.capacity,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Purges:    c.purges,
-	}
-}
+// CacheStats is the server-facing name for the unified cache
+// subsystem's stats snapshot; all server cache layers (parsed plans,
+// per-session results, and — through the query processor — extent
+// memos and source extents) are backed by cache.Store.
+type CacheStats = cache.Stats

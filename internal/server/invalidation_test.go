@@ -1,0 +1,113 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestSelectiveResultInvalidation verifies the serving-layer half of
+// the cache tentpole: a warm answer for a scheme an iteration did not
+// touch stays live in the result cache across the new schema version,
+// while a warm answer for a touched scheme is evicted and recomputed
+// with the new derivations.
+func TestSelectiveResultInvalidation(t *testing.T) {
+	_, c := newTestClient(t, DefaultConfig())
+	registerBookstore(c, "", 3)
+	c.must("POST", "/federate", map[string]any{}, http.StatusCreated)
+	c.must("POST", "/intersect", map[string]any{"name": "I1", "mappings": ubookMappings}, http.StatusCreated)
+
+	// Pin both probes to version 1 so the cache key is version-stable
+	// across later iterations.
+	isbn := map[string]any{"query": "count(<<UBook, isbn>>)", "version": 1}
+	entity := map[string]any{"query": "count(<<UBook>>)", "version": 1}
+
+	if r := c.must("POST", "/query", isbn, http.StatusOK); r["result_cached"].(bool) {
+		t.Fatal("first isbn query unexpectedly cached")
+	}
+	if r := c.must("POST", "/query", isbn, http.StatusOK); !r["result_cached"].(bool) {
+		t.Fatal("repeat isbn query missed the result cache")
+	}
+	first := c.must("POST", "/query", entity, http.StatusOK)
+	if first["value"].(float64) != 6 {
+		t.Fatalf("count(UBook) = %v, want 6", first["value"])
+	}
+	c.must("POST", "/query", entity, http.StatusOK)
+
+	// An iteration that touches only <<UBook>>: a new Library-side
+	// derivation for the entity. <<UBook, isbn>> is untouched.
+	c.must("POST", "/refine", map[string]any{
+		"name": "ubook2",
+		"mapping": map[string]any{
+			"target": "<<UBook>>",
+			"forward": []map[string]any{
+				{"source": "Library", "query": "[{'LIB2', k} | k <- <<books>>]"},
+			},
+		},
+	}, http.StatusCreated)
+
+	// Untouched scheme: the warm answer survived the iteration.
+	surv := c.must("POST", "/query", isbn, http.StatusOK)
+	if !surv["result_cached"].(bool) {
+		t.Fatal("warm answer for untouched scheme was evicted by an unrelated iteration")
+	}
+	// Touched scheme: the stale answer was evicted; the recomputation
+	// sees the new derivation (3 more books), even at the pinned
+	// version (derivations are global; versions pin schema membership).
+	rec := c.must("POST", "/query", entity, http.StatusOK)
+	if rec["result_cached"].(bool) {
+		t.Fatal("stale answer for touched scheme served from the result cache")
+	}
+	if rec["value"].(float64) != 9 {
+		t.Fatalf("count(UBook) after refine = %v, want 9", rec["value"])
+	}
+
+	// The metrics surface the new cache layers and invalidation work.
+	m := c.must("GET", "/metrics", nil, http.StatusOK)
+	rc := m["result_cache"].(map[string]any)
+	if rc["invalidations"].(float64) < 1 {
+		t.Fatalf("result cache invalidations = %v, want >= 1", rc["invalidations"])
+	}
+	for _, layer := range []string{"extent_cache", "source_extent_cache"} {
+		lc, ok := m[layer].(map[string]any)
+		if !ok {
+			t.Fatalf("/metrics lacks %s", layer)
+		}
+		if lc["bytes"].(float64) <= 0 {
+			t.Fatalf("%s bytes = %v, want > 0", layer, lc["bytes"])
+		}
+	}
+	if m["cache_bytes_total"].(float64) <= 0 {
+		t.Fatalf("cache_bytes_total = %v, want > 0", m["cache_bytes_total"])
+	}
+}
+
+// TestResultCacheByteBudget verifies the -cache-bytes budget reaches
+// the per-session result cache: a tiny budget forces evictions instead
+// of unbounded growth.
+func TestResultCacheByteBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 2 << 10 // 2 KiB: a handful of small answers
+	srv, c := newTestClient(t, cfg)
+	registerBookstore(c, "", 50)
+	c.must("POST", "/federate", map[string]any{}, http.StatusCreated)
+	c.must("POST", "/intersect", map[string]any{"name": "I1", "mappings": ubookMappings}, http.StatusCreated)
+
+	// Distinct large-ish answers until the budget must evict.
+	for _, q := range []string{
+		"<<UBook, isbn>>", "<<UBook>>", "[x | {k, x} <- <<UBook, isbn>>]",
+		"<<library_books, title>>", "<<shop_items, barcode>>",
+	} {
+		c.must("POST", "/query", map[string]any{"query": q}, http.StatusOK)
+	}
+	sess, err := srv.Sessions().Get("default", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess.ResultCacheStats()
+	if st.Bytes > cfg.CacheBytes {
+		t.Fatalf("result cache bytes %d exceed budget %d", st.Bytes, cfg.CacheBytes)
+	}
+	if st.Evictions+st.Oversize == 0 {
+		t.Fatalf("no evictions under a %d-byte budget: %+v", cfg.CacheBytes, st)
+	}
+}

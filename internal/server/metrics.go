@@ -102,7 +102,14 @@ type MetricsSnapshot struct {
 	Latency       LatencySnapshot `json:"query_latency"`
 	PlanCache     CacheSnapshot   `json:"plan_cache"`
 	ResultCache   CacheSnapshot   `json:"result_cache"`
-	Sessions      int             `json:"sessions"`
+	ExtentCache   CacheSnapshot   `json:"extent_cache"`
+	SourceCache   CacheSnapshot   `json:"source_extent_cache"`
+	// CacheBytes / CacheEvictions / CacheInvalidations aggregate the
+	// four cache layers above.
+	CacheBytes         int64  `json:"cache_bytes_total"`
+	CacheEvictions     uint64 `json:"cache_evictions_total"`
+	CacheInvalidations uint64 `json:"cache_invalidations_total"`
+	Sessions           int    `json:"sessions"`
 }
 
 // CacheSnapshot extends CacheStats with the derived hit rate.
@@ -116,8 +123,10 @@ func snapshotCache(s CacheStats) CacheSnapshot {
 }
 
 // Snapshot gathers the current counter values; cache stats are summed
-// across the given per-session caches.
-func (m *Metrics) Snapshot(plan, result CacheStats, sessions int) MetricsSnapshot {
+// across the given per-session caches (plan = shared parsed plans,
+// result = per-session answers, extent = virtual-extent memos, src =
+// source extents).
+func (m *Metrics) Snapshot(plan, result, extent, src CacheStats, sessions int) MetricsSnapshot {
 	m.mu.Lock()
 	lat := LatencySnapshot{
 		Count:   m.latCount,
@@ -133,19 +142,24 @@ func (m *Metrics) Snapshot(plan, result CacheStats, sessions int) MetricsSnapsho
 	m.mu.Unlock()
 
 	return MetricsSnapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		RequestsTotal: m.requestsTotal.Load(),
-		QueriesTotal:  m.queriesTotal.Load(),
-		QueryErrors:   m.queryErrors.Load(),
-		QueryTimeouts: m.queryTimeouts.Load(),
-		Iterations:    m.iterations.Load(),
-		Snapshots:     m.snapshots.Load(),
-		SnapshotErrs:  m.snapshotErrors.Load(),
-		Restores:      m.sessionRestores.Load(),
-		Latency:       lat,
-		PlanCache:     snapshotCache(plan),
-		ResultCache:   snapshotCache(result),
-		Sessions:      sessions,
+		UptimeSeconds:      time.Since(m.start).Seconds(),
+		RequestsTotal:      m.requestsTotal.Load(),
+		QueriesTotal:       m.queriesTotal.Load(),
+		QueryErrors:        m.queryErrors.Load(),
+		QueryTimeouts:      m.queryTimeouts.Load(),
+		Iterations:         m.iterations.Load(),
+		Snapshots:          m.snapshots.Load(),
+		SnapshotErrs:       m.snapshotErrors.Load(),
+		Restores:           m.sessionRestores.Load(),
+		Latency:            lat,
+		PlanCache:          snapshotCache(plan),
+		ResultCache:        snapshotCache(result),
+		ExtentCache:        snapshotCache(extent),
+		SourceCache:        snapshotCache(src),
+		CacheBytes:         plan.Bytes + result.Bytes + extent.Bytes + src.Bytes,
+		CacheEvictions:     plan.Evictions + result.Evictions + extent.Evictions + src.Evictions,
+		CacheInvalidations: plan.Invalidations + result.Invalidations + extent.Invalidations + src.Invalidations,
+		Sessions:           sessions,
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"github.com/dataspace/automed/internal/cache"
 )
 
 // Config tunes the dataspace server.
@@ -16,6 +18,10 @@ type Config struct {
 	// ResultCacheSize bounds each session's query-result cache;
 	// <= 0 disables result caching.
 	ResultCacheSize int
+	// CacheBytes is the byte budget applied to each size-aware cache
+	// layer per session (query results, extent memo, source extents);
+	// LRU entries are evicted beyond it. <= 0 means unbounded.
+	CacheBytes int64
 	// QueryTimeout is the default per-query evaluation deadline;
 	// requests may shorten it via timeout_ms. 0 means no deadline.
 	QueryTimeout time.Duration
@@ -29,6 +35,7 @@ func DefaultConfig() Config {
 	return Config{
 		PlanCacheSize:   512,
 		ResultCacheSize: 4096,
+		CacheBytes:      256 << 20,
 		QueryTimeout:    30 * time.Second,
 	}
 }
@@ -39,7 +46,7 @@ func DefaultConfig() Config {
 type Server struct {
 	cfg     Config
 	reg     *Registry
-	plans   *LRU[plan]
+	plans   *cache.Store[plan]
 	metrics *Metrics
 	mux     *http.ServeMux
 	// persistMu serialises all access to the store — opening it,
@@ -58,9 +65,13 @@ type Server struct {
 // New builds a server.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:     cfg,
-		reg:     NewRegistry(cfg.ResultCacheSize, cfg.MaxSteps),
-		plans:   NewLRU[plan](cfg.PlanCacheSize),
+		cfg: cfg,
+		reg: NewRegistry(cfg.ResultCacheSize, cfg.CacheBytes, cfg.MaxSteps),
+		plans: cache.New[plan](cache.Options{
+			MaxEntries: cfg.PlanCacheSize,
+			MaxBytes:   cfg.CacheBytes,
+			Disabled:   cfg.PlanCacheSize <= 0,
+		}),
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 	}
@@ -128,7 +139,7 @@ func (s *Server) RestoreSessions() (int, error) {
 		return 0, err
 	}
 	for _, state := range states {
-		sess, err := sessionFromState(state, s.cfg.ResultCacheSize, s.cfg.MaxSteps)
+		sess, err := sessionFromState(state, s.cfg.ResultCacheSize, s.cfg.CacheBytes, s.cfg.MaxSteps)
 		if err != nil {
 			return 0, err
 		}
@@ -180,7 +191,7 @@ func (s *Server) restoreSession(name string) (*Session, error) {
 	if state.Name != name {
 		return nil, fmt.Errorf("%w: %s is for session %q, not %q", errBadSnapshot, fileName(name), state.Name, name)
 	}
-	sess, err := sessionFromState(state, s.cfg.ResultCacheSize, s.cfg.MaxSteps)
+	sess, err := sessionFromState(state, s.cfg.ResultCacheSize, s.cfg.CacheBytes, s.cfg.MaxSteps)
 	if err != nil {
 		return nil, err
 	}
@@ -236,13 +247,32 @@ func (s *Server) PurgePlans() { s.plans.Purge() }
 func (s *Server) resultStats() CacheStats {
 	var sum CacheStats
 	for _, sess := range s.reg.All() {
-		st := sess.ResultCacheStats()
-		sum.Len += st.Len
-		sum.Capacity += st.Capacity
-		sum.Hits += st.Hits
-		sum.Misses += st.Misses
-		sum.Evictions += st.Evictions
-		sum.Purges += st.Purges
+		addStats(&sum, sess.ResultCacheStats())
 	}
 	return sum
+}
+
+// extentStats sums the query processors' extent-memo and source-extent
+// cache stats across all sessions.
+func (s *Server) extentStats() (memo, src CacheStats) {
+	var m, sc CacheStats
+	for _, sess := range s.reg.All() {
+		mm, ss := sess.ExtentCacheStats()
+		addStats(&m, mm)
+		addStats(&sc, ss)
+	}
+	return m, sc
+}
+
+func addStats(dst *CacheStats, st CacheStats) {
+	dst.Len += st.Len
+	dst.Capacity += st.Capacity
+	dst.Bytes += st.Bytes
+	dst.MaxBytes += st.MaxBytes
+	dst.Hits += st.Hits
+	dst.Misses += st.Misses
+	dst.Evictions += st.Evictions
+	dst.Invalidations += st.Invalidations
+	dst.Oversize += st.Oversize
+	dst.Purges += st.Purges
 }

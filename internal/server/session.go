@@ -5,11 +5,14 @@
 // published global schema version.
 //
 // The serving layer adds what a library cannot: a session registry of
-// live integrations, a bounded LRU cache of parsed IQL plans, a
-// per-session result cache keyed by (schema version, normalised query)
-// that is invalidated whenever an integration iteration publishes a new
-// global schema, per-request timeouts via context cancellation, and
-// metrics (query counts, latencies, cache hit rates).
+// live integrations, a bounded cache of parsed IQL plans, a per-session
+// result cache keyed by (schema version, normalised query) whose
+// entries are tagged with the dependency closure of their evaluation —
+// an integration iteration evicts only the answers whose schemes it
+// touched, keeping warm answers for untouched schemes live across
+// schema versions — per-request timeouts via context cancellation, and
+// metrics (query counts, latencies, per-cache-layer hit rates, bytes
+// and evictions).
 package server
 
 import (
@@ -18,6 +21,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/dataspace/automed/internal/cache"
 	"github.com/dataspace/automed/internal/core"
 	"github.com/dataspace/automed/internal/iql"
 	"github.com/dataspace/automed/internal/wrapper"
@@ -36,18 +40,32 @@ type plan struct {
 // its queries via mu; queries additionally hold the integrator's read
 // lock for their whole evaluation.
 type Session struct {
-	name     string
-	maxSteps int
+	name       string
+	maxSteps   int
+	cacheBytes int64
 
 	mu       sync.RWMutex
 	wrappers []wrapper.Wrapper
 	ig       *core.Integrator
 
-	results *LRU[core.Result]
+	// results caches query answers keyed by (version, normalised
+	// query); every entry is tagged with the dependency closure of its
+	// evaluation (core.Result.Deps), so integration iterations evict
+	// only the entries whose schemes they touched.
+	results *cache.Store[core.Result]
 }
 
-func newSession(name string, resultCapacity, maxSteps int) *Session {
-	return &Session{name: name, maxSteps: maxSteps, results: NewLRU[core.Result](resultCapacity)}
+func newSession(name string, resultCapacity int, cacheBytes int64, maxSteps int) *Session {
+	return &Session{
+		name:       name,
+		maxSteps:   maxSteps,
+		cacheBytes: cacheBytes,
+		results: cache.New[core.Result](cache.Options{
+			MaxEntries: resultCapacity,
+			MaxBytes:   cacheBytes,
+			Disabled:   resultCapacity <= 0,
+		}),
+	}
 }
 
 // Name returns the session name.
@@ -121,11 +139,13 @@ func (s *Session) Federate(name string, autoDrop bool) (*core.Integrator, error)
 	}
 	ig.SetAutoDrop(autoDrop)
 	ig.Processor().MaxSteps = s.maxSteps
+	ig.Processor().SetCacheBytes(s.cacheBytes)
 	if _, err := ig.Federate(name); err != nil {
 		return nil, err
 	}
+	// No result-cache purge: queries need a federated integrator, so
+	// the cache is necessarily empty here.
 	s.ig = ig
-	s.results.Purge()
 	return ig, nil
 }
 
@@ -140,9 +160,10 @@ func (s *Session) integrator() (*core.Integrator, error) {
 	return s.ig, nil
 }
 
-// Intersect runs one integration iteration and invalidates the result
-// cache: the new global schema version may answer cached queries
-// differently (and redundant objects may have been dropped).
+// Intersect runs one integration iteration and selectively invalidates
+// the result cache: only cached answers whose dependency closure
+// intersects the iteration's touch-set are evicted; warm answers for
+// untouched schemes stay live across the new schema version.
 func (s *Session) Intersect(name string, mappings []core.Mapping, enables ...string) (*core.Intersection, error) {
 	ig, err := s.integrator()
 	if err != nil {
@@ -152,12 +173,12 @@ func (s *Session) Intersect(name string, mappings []core.Mapping, enables ...str
 	if err != nil {
 		return nil, err
 	}
-	s.results.Purge()
+	s.results.InvalidateDeps(in.Touched...)
 	return in, nil
 }
 
-// Refine applies an ad-hoc single-schema transformation and invalidates
-// the result cache.
+// Refine applies an ad-hoc single-schema transformation and evicts the
+// cached answers that depend on its target.
 func (s *Session) Refine(name string, m core.Mapping, enables ...string) error {
 	ig, err := s.integrator()
 	if err != nil {
@@ -166,7 +187,13 @@ func (s *Session) Refine(name string, m core.Mapping, enables ...string) error {
 	if err := ig.Refine(name, m, enables...); err != nil {
 		return err
 	}
-	s.results.Purge()
+	if tsc, err := m.TargetScheme(); err == nil {
+		s.results.InvalidateDeps(tsc.Key())
+	} else {
+		// Unreachable after a successful Refine; purge defensively so
+		// an unparseable target can never leave stale answers live.
+		s.results.Purge()
+	}
 	return nil
 }
 
@@ -180,7 +207,7 @@ type QueryOutcome struct {
 // Query answers an IQL query against the requested schema version
 // (core.CurrentVersion for the latest), consulting the plan cache and
 // — unless noCache — the result cache.
-func (s *Session) Query(ctx context.Context, plans *LRU[plan], src string, version int, noCache bool) (core.Result, QueryOutcome, error) {
+func (s *Session) Query(ctx context.Context, plans *cache.Store[plan], src string, version int, noCache bool) (core.Result, QueryOutcome, error) {
 	ig, err := s.integrator()
 	if err != nil {
 		return core.Result{}, QueryOutcome{}, err
@@ -196,7 +223,7 @@ func (s *Session) Query(ctx context.Context, plans *LRU[plan], src string, versi
 			return core.Result{}, out, err
 		}
 		pl = plan{expr: e, norm: e.String()}
-		plans.Put(src, pl)
+		plans.Put(src, pl, planCost(src, pl), nil)
 	}
 
 	ver := version
@@ -211,6 +238,12 @@ func (s *Session) Query(ctx context.Context, plans *LRU[plan], src string, versi
 		}
 	}
 
+	// Snapshot the invalidation generation before evaluating: if an
+	// iteration's InvalidateDeps lands between our evaluation (under
+	// the integrator's read lock) and the insert below, PutAt discards
+	// the result — it was computed from pre-iteration derivations and
+	// caching it would dodge the invalidation that covered it.
+	gen := s.results.Generation()
 	res, err := ig.QueryExprAt(ctx, version, pl.expr)
 	if err != nil {
 		return core.Result{}, out, err
@@ -219,9 +252,28 @@ func (s *Session) Query(ctx context.Context, plans *LRU[plan], src string, versi
 		// res.Version can differ from ver only if an iteration raced
 		// between GlobalVersion and evaluation; skip caching then
 		// rather than file the result under the wrong version.
-		s.results.Put(key, res)
+		s.results.PutAt(gen, key, res, resultCost(res), res.Deps)
 	}
 	return res, out, nil
+}
+
+// resultCost estimates a cached result's in-memory size for the result
+// cache's byte budget.
+func resultCost(r core.Result) int64 {
+	n := r.Value.Footprint() + int64(len(r.Schema)) + 64
+	for _, w := range r.Warnings {
+		n += int64(len(w)) + 16
+	}
+	for _, d := range r.Deps {
+		n += int64(len(d)) + 16
+	}
+	return n
+}
+
+// planCost estimates a cached plan's size: the source text it is keyed
+// by plus its normalised rendering (the AST is of the same order).
+func planCost(src string, pl plan) int64 {
+	return int64(len(src) + 2*len(pl.norm) + 64)
 }
 
 // Export captures the session's durable state: the integrator snapshot
@@ -252,16 +304,19 @@ func (s *Session) Export() (*sessionState, error) {
 }
 
 // sessionFromState rebuilds a session from its durable state. The
-// restored session starts with an empty result cache; extents and
-// query results repopulate on demand.
-func sessionFromState(state *sessionState, resultCapacity, maxSteps int) (*Session, error) {
-	sess := newSession(state.Name, resultCapacity, maxSteps)
+// restored session starts cold: every cache layer (results, extent
+// memo, source extents) is empty and warms on demand, so restore never
+// replays stale derived state — the snapshot holds definitions, not
+// materialisations.
+func sessionFromState(state *sessionState, resultCapacity int, cacheBytes int64, maxSteps int) (*Session, error) {
+	sess := newSession(state.Name, resultCapacity, cacheBytes, maxSteps)
 	if state.Integrator != nil {
 		ig, err := core.Import(state.Integrator)
 		if err != nil {
 			return nil, fmt.Errorf("server: restoring session %q: %w", state.Name, err)
 		}
 		ig.Processor().MaxSteps = maxSteps
+		ig.Processor().SetCacheBytes(cacheBytes)
 		sess.ig = ig
 		sess.wrappers = ig.Sources()
 		return sess, nil
@@ -279,6 +334,17 @@ func sessionFromState(state *sessionState, resultCapacity, maxSteps int) (*Sessi
 // ResultCacheStats snapshots the session's result cache.
 func (s *Session) ResultCacheStats() CacheStats { return s.results.Stats() }
 
+// ExtentCacheStats snapshots the session's query-processor cache
+// layers: the virtual-extent memo and the source-extent cache. Both are
+// zero before federation.
+func (s *Session) ExtentCacheStats() (memo, src CacheStats) {
+	ig, err := s.integrator()
+	if err != nil {
+		return CacheStats{}, CacheStats{}
+	}
+	return ig.Processor().CacheStats()
+}
+
 // PurgeResults empties the session's result cache.
 func (s *Session) PurgeResults() { s.results.Purge() }
 
@@ -287,16 +353,19 @@ type Registry struct {
 	mu             sync.RWMutex
 	sessions       map[string]*Session
 	resultCapacity int
+	cacheBytes     int64
 	maxSteps       int
 }
 
 // NewRegistry returns an empty registry; each session's result cache
-// holds at most resultCapacity entries, and each session's queries are
-// bounded to maxSteps IQL evaluation steps (0 = unlimited).
-func NewRegistry(resultCapacity, maxSteps int) *Registry {
+// holds at most resultCapacity entries within a cacheBytes byte budget,
+// and each session's queries are bounded to maxSteps IQL evaluation
+// steps (0 = unlimited).
+func NewRegistry(resultCapacity int, cacheBytes int64, maxSteps int) *Registry {
 	return &Registry{
 		sessions:       make(map[string]*Session),
 		resultCapacity: resultCapacity,
+		cacheBytes:     cacheBytes,
 		maxSteps:       maxSteps,
 	}
 }
@@ -320,7 +389,7 @@ func (r *Registry) Get(name string, create bool) (*Session, error) {
 	if s, ok := r.sessions[name]; ok {
 		return s, nil
 	}
-	s = newSession(name, r.resultCapacity, r.maxSteps)
+	s = newSession(name, r.resultCapacity, r.cacheBytes, r.maxSteps)
 	r.sessions[name] = s
 	return s, nil
 }
