@@ -338,14 +338,29 @@ func Distinct(v Value) (Value, error) {
 }
 
 // SortBag returns a bag with elements in canonical key order, for
-// deterministic display.
+// deterministic display. Each element's key is computed exactly once
+// (decorate-sort-undecorate); the comparator never rebuilds keys, so a
+// sort costs O(n) key constructions instead of O(n log n). The sort is
+// stable, so elements whose keys tie (e.g. 5 and 5.0) keep their bag
+// order.
 func SortBag(v Value) (Value, error) {
 	els, err := v.Elements()
 	if err != nil {
 		return Value{}, err
 	}
-	out := append([]Value(nil), els...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	type decorated struct {
+		key string
+		val Value
+	}
+	dec := make([]decorated, len(els))
+	for i, e := range els {
+		dec[i] = decorated{key: e.Key(), val: e}
+	}
+	sort.SliceStable(dec, func(i, j int) bool { return dec[i].key < dec[j].key })
+	out := make([]Value, len(els))
+	for i, d := range dec {
+		out[i] = d.val
+	}
 	return BagOf(out), nil
 }
 
