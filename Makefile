@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench run fuzz-seeds golden
+.PHONY: ci fmt vet build test race bench bench-smoke run fuzz-seeds golden
 
-# ci is the full local gate: formatting, static checks, build, tests
-# under the race detector, the persistence-format guards (fuzz seed
-# corpus + golden snapshot), and a one-iteration pass over every
-# benchmark so the bench harness stays compiling.
-ci: fmt vet build race fuzz-seeds golden bench
+# ci is the full local gate: formatting, static checks (go vet), build,
+# tests under the race detector, the persistence-format guards (fuzz
+# seed corpus + golden snapshot), and a one-iteration -benchmem pass
+# over every benchmark so the bench harness can't silently rot.
+ci: fmt vet build race fuzz-seeds golden bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -25,8 +25,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the tier benchmarks at full fidelity and writes the parsed
+# results (ns/op, B/op, allocs/op per benchmark) to BENCH_PR4.json, the
+# committed perf baseline of the current PR.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
+
+# bench-smoke is the ci benchmark gate: one iteration of everything,
+# with allocation accounting compiled in.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 
 # fuzz-seeds runs every committed fuzz seed (malformed snapshot corpus)
 # as plain tests — the CI-safe equivalent of a -fuzztime run.

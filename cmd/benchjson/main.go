@@ -1,0 +1,160 @@
+// Command benchjson runs the repository's tier benchmarks with
+// -benchmem and writes the parsed results (benchmark name → ns/op,
+// B/op, allocs/op) to a JSON file, so each perf PR can commit a
+// machine-readable baseline (e.g. BENCH_PR4.json) next to the prose
+// benchstat table.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-out BENCH.json] [-bench regex] [-benchtime 1s] [-count 1] [pkg...]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+)
+
+// defaultBench selects the tier benchmarks: the four serving-path
+// benchmarks the perf acceptance gates on plus the value-runtime
+// microbenchmarks.
+const defaultBench = "BenchmarkIQLEval|BenchmarkTable1$|BenchmarkFederationScaling|BenchmarkServerQuery" +
+	"|BenchmarkValueHash|BenchmarkDistinct$|BenchmarkMemberFilter|BenchmarkJoinIndexBuild"
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the written JSON document.
+type File struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Bench      string   `json:"bench"`
+	Benchtime  string   `json:"benchtime"`
+	Count      int      `json:"count"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkX-8   123   456 ns/op   789 B/op   12 allocs/op`
+// (the -benchmem fields are optional for benchmarks that disable them).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "output JSON file")
+	bench := flag.String("bench", defaultBench, "benchmark regex (go test -bench)")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime")
+	count := flag.Int("count", 1, "go test -count; multiple runs are averaged per benchmark")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+
+	args := append([]string{"test", "-run", "^$", "-bench", *bench,
+		"-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count)}, pkgs...)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = io.MultiWriter(os.Stdout, &buf)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n", err)
+		os.Exit(1)
+	}
+
+	results, err := parse(&buf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
+		os.Exit(1)
+	}
+	doc := File{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Bench:      *bench,
+		Benchtime:  *benchtime,
+		Count:      *count,
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// parse extracts benchmark lines, averaging repeated runs of the same
+// benchmark (from -count > 1) into one entry, in first-seen order.
+func parse(r io.Reader) ([]Result, error) {
+	type acc struct {
+		Result
+		runs int64
+	}
+	var order []string
+	accs := map[string]*acc{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bytesOp, allocsOp int64
+		if m[4] != "" {
+			bytesOp, _ = strconv.ParseInt(m[4], 10, 64)
+			allocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		a, ok := accs[m[1]]
+		if !ok {
+			a = &acc{Result: Result{Name: m[1]}}
+			accs[m[1]] = a
+			order = append(order, m[1])
+		}
+		a.runs++
+		a.Iterations += iters
+		a.NsPerOp += ns
+		a.BytesPerOp += bytesOp
+		a.AllocsPerOp += allocsOp
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		a := accs[name]
+		out = append(out, Result{
+			Name:        name,
+			Iterations:  a.Iterations / a.runs,
+			NsPerOp:     a.NsPerOp / float64(a.runs),
+			BytesPerOp:  a.BytesPerOp / a.runs,
+			AllocsPerOp: a.AllocsPerOp / a.runs,
+		})
+	}
+	return out, nil
+}

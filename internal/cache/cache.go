@@ -248,6 +248,16 @@ func (c *Store[V]) GetOrCompute(key string, deps []string, compute func() (V, in
 	return val, false, err
 }
 
+// Peek reports whether key is cached, without bumping its LRU position
+// or the hit/miss counters. Prefetchers use it to decide what is worth
+// warming; real lookups should use Get so the stats stay honest.
+func (c *Store[V]) Peek(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 // Generation returns the store's invalidation-event counter. Snapshot
 // it before computing a value and hand it to PutAt so that a value
 // whose computation raced with an invalidation is never cached stale.

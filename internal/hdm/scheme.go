@@ -15,9 +15,18 @@ import (
 )
 
 // Scheme identifies a schema object by an ordered, non-empty list of
-// name parts. The zero value is the empty (invalid) scheme.
+// name parts. The zero value is the empty (invalid) scheme. The
+// canonical map key is computed once at construction: schemes are keyed
+// far more often than they are built (every extent lookup, definition
+// registration and cache probe keys its scheme), so Key never joins.
 type Scheme struct {
 	parts []string
+	key   string
+}
+
+// mkScheme builds a scheme from owned parts, precomputing its key.
+func mkScheme(parts []string) Scheme {
+	return Scheme{parts: parts, key: strings.Join(parts, "|")}
 }
 
 // NewScheme builds a scheme from its parts. Parts are trimmed of
@@ -28,7 +37,7 @@ func NewScheme(parts ...string) Scheme {
 	for i, p := range parts {
 		cp[i] = strings.TrimSpace(p)
 	}
-	return Scheme{parts: cp}
+	return mkScheme(cp)
 }
 
 // ParseScheme parses the textual form of a scheme. Both the bare form
@@ -113,8 +122,15 @@ func (s Scheme) Parts() []string {
 }
 
 // Key returns a canonical string usable as a map key. Distinct schemes
-// have distinct keys because parts may not contain '|'.
-func (s Scheme) Key() string { return strings.Join(s.parts, "|") }
+// have distinct keys because parts may not contain '|'. The key is
+// precomputed at construction; only schemes built outside the package
+// constructors fall back to joining.
+func (s Scheme) Key() string {
+	if s.key == "" && len(s.parts) > 0 {
+		return strings.Join(s.parts, "|")
+	}
+	return s.key
+}
 
 // String renders the scheme in its delimited textual form, e.g.
 // "<<protein, accession_num>>". ParseScheme(s.String()) == s.
@@ -143,7 +159,7 @@ func (s Scheme) WithPrefix(prefix string) Scheme {
 	}
 	cp := s.Parts()
 	cp[0] = prefix + "_" + cp[0]
-	return Scheme{parts: cp}
+	return mkScheme(cp)
 }
 
 // HasPrefix reports whether the first part carries the given provenance
@@ -160,7 +176,7 @@ func (s Scheme) TrimPrefix(prefix string) Scheme {
 	}
 	cp := s.Parts()
 	cp[0] = strings.TrimPrefix(cp[0], prefix+"_")
-	return Scheme{parts: cp}
+	return mkScheme(cp)
 }
 
 // Extend returns a new scheme with additional trailing parts, e.g.
@@ -171,7 +187,7 @@ func (s Scheme) Extend(parts ...string) Scheme {
 	for _, p := range parts {
 		cp = append(cp, strings.TrimSpace(p))
 	}
-	return Scheme{parts: cp}
+	return mkScheme(cp)
 }
 
 // Parent returns the scheme with the final part removed; the zero scheme
@@ -180,7 +196,7 @@ func (s Scheme) Parent() Scheme {
 	if len(s.parts) <= 1 {
 		return Scheme{}
 	}
-	return Scheme{parts: s.Parts()[:len(s.parts)-1]}
+	return mkScheme(s.Parts()[:len(s.parts)-1])
 }
 
 // SuffixOf reports whether s is a (proper or improper) suffix of t. It is

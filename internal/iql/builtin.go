@@ -99,9 +99,8 @@ func (ev *Evaluator) evalCall(n *Call, env *Env) (Value, error) {
 		if err != nil {
 			return Value{}, fmt.Errorf("iql: member: %w", err)
 		}
-		k := args[1].Key()
 		for _, e := range els {
-			if e.Key() == k {
+			if e.Equal(args[1]) {
 				return Bool(true), nil
 			}
 		}

@@ -25,35 +25,56 @@ var NoExtents Extents = ExtentsFunc(func(parts []string) (Value, error) {
 	return Value{}, fmt.Errorf("iql: no extent source for <<%s>>", strings.Join(parts, ", "))
 })
 
-// Env is a lexically scoped variable environment.
+// Env is a lexically scoped variable environment. Scopes bind very few
+// variables (a generator pattern's worth), so bindings live in parallel
+// inline slices: Bind never allocates a map, Lookup is a short linear
+// scan, and a scope can be reset and reused across the iterations of a
+// generator without reallocating.
 type Env struct {
-	vars   map[string]Value
+	names  []string
+	vals   []Value
 	parent *Env
 }
 
 // NewEnv returns an empty top-level environment.
 func NewEnv() *Env { return &Env{} }
 
-// Child returns a new scope nested in e. The scope's map is allocated
-// lazily on first Bind, keeping non-binding scopes allocation-free.
+// Child returns a new scope nested in e. Binding storage is allocated
+// lazily on first Bind, keeping non-binding scopes cheap.
 func (e *Env) Child() *Env { return &Env{parent: e} }
 
-// Bind sets a variable in the current scope.
+// Bind sets a variable in the current scope, overwriting an existing
+// same-scope binding.
 func (e *Env) Bind(name string, v Value) {
-	if e.vars == nil {
-		e.vars = make(map[string]Value, 4)
+	for i, n := range e.names {
+		if n == name {
+			e.vals[i] = v
+			return
+		}
 	}
-	e.vars[name] = v
+	e.names = append(e.names, name)
+	e.vals = append(e.vals, v)
 }
 
 // Lookup finds a variable in the current or any enclosing scope.
 func (e *Env) Lookup(name string) (Value, bool) {
 	for s := e; s != nil; s = s.parent {
-		if v, ok := s.vars[name]; ok {
-			return v, true
+		for i, n := range s.names {
+			if n == name {
+				return s.vals[i], true
+			}
 		}
 	}
 	return Value{}, false
+}
+
+// resetBindings drops the scope's bindings but keeps their storage, so
+// the evaluator can reuse one child scope across all iterations of a
+// generator instead of allocating a scope (and its bindings) per
+// element.
+func (e *Env) resetBindings() {
+	e.names = e.names[:0]
+	e.vals = e.vals[:0]
 }
 
 // StepBudget is an evaluation step counter shared by several
@@ -94,12 +115,25 @@ type Evaluator struct {
 	// Ctx, when non-nil, is polled during evaluation so that long
 	// evaluations honour per-request timeouts and cancellation.
 	Ctx context.Context
+	// Indexes, when non-nil, caches built hash-join indexes across
+	// evaluations keyed by source-extent identity, so re-evaluating a
+	// join over an unchanged (memoised) extent skips the index build.
+	// Share one cache across evaluators over the same extent store.
+	Indexes *JoinIndexCache
 
 	steps int
+	// plans caches per-Comp static analysis and reusable evaluation
+	// state (see compCtxFor); keyed by AST node identity, so it stays
+	// valid for as long as the expression trees it has seen do.
+	plans map[*Comp]*compCtx
 }
 
-// NewEvaluator returns an evaluator over the given extent source.
-func NewEvaluator(ext Extents) *Evaluator { return &Evaluator{Ext: ext} }
+// NewEvaluator returns an evaluator over the given extent source, with
+// a private join-index cache (extents are immutable, so reusing an
+// index for an unchanged element array is always sound).
+func NewEvaluator(ext Extents) *Evaluator {
+	return &Evaluator{Ext: ext, Indexes: NewJoinIndexCache(0)}
+}
 
 // Eval evaluates an expression in an environment (nil for empty).
 func (ev *Evaluator) Eval(e Expr, env *Env) (Value, error) {
@@ -257,11 +291,14 @@ func (ev *Evaluator) eval(e Expr, env *Env) (Value, error) {
 	return Value{}, fmt.Errorf("iql: cannot evaluate %T", e)
 }
 
-// evalComp evaluates a comprehension through a per-invocation context
-// that memoises constant generator sources and hash-indexes equi-join
-// filters (see opt.go), keeping multi-generator joins near-linear.
+// evalComp evaluates a comprehension through a context that memoises
+// constant generator sources and hash-indexes equi-join filters (see
+// opt.go), keeping multi-generator joins near-linear. Contexts are
+// cached per Comp node, so a nested comprehension re-entered once per
+// enclosing binding pays its analysis and allocations once.
 func (ev *Evaluator) evalComp(c *Comp, env *Env) (Value, error) {
-	ctx := newCompCtx(ev, c)
+	ctx := ev.compCtxFor(c)
+	defer ctx.release()
 	var out []Value
 	if err := ctx.run(0, env, &out); err != nil {
 		return Value{}, err

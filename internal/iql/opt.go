@@ -2,7 +2,7 @@ package iql
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 )
 
 // Comprehension evaluation with light query optimisation, in the spirit
@@ -17,23 +17,47 @@ import (
 //     "v = e" (or "e = v"), where each v is bound by the generator's
 //     pattern and each e depends only on variables bound by *earlier*
 //     generators, is executed by probing a hash index on the composite
-//     of the v components instead of scanning and filtering. Equality
-//     uses the same canonical keys as the '=' operator, so results are
-//     identical.
+//     of the v components instead of scanning and filtering. The index
+//     buckets by structural Hash and confirms with Equal — exactly the
+//     '=' operator's semantics — so results are identical.
+//
+// The static analysis (which sources are constant, which filter runs
+// are joinable) depends only on the AST, so it is computed once per
+// *Comp node and cached on the Evaluator; nested comprehensions
+// re-entered once per enclosing binding reuse their compCtx — including
+// its qualifier-state slice and probe scratch buffer — instead of
+// re-analysing and re-allocating every time.
 type compCtx struct {
 	ev   *Evaluator
 	comp *Comp
 
-	constSrc []bool  // source has no free variables
-	srcVal   []Value // memoised source value (valid when srcSet)
-	srcSet   []bool
+	// quals holds per-qualifier state, static analysis and
+	// per-invocation state together, in one allocation.
+	quals []qualState
 
-	// joins[i] lists the indexed equi-join conditions for generator i
-	// (empty = plain scan); consumed[i] is how many following filter
-	// qualifiers the index subsumes.
-	joins    [][]joinCond
-	consumed []int
-	index    []map[string][]Value
+	// probeScratch holds the composite probe key components between a
+	// probe's evaluation and its index lookup; Probe never retains the
+	// key, so one buffer serves every probe of the invocation.
+	probeScratch []Value
+
+	// active guards the cached ctx against re-entrant use; a Comp node
+	// cannot syntactically contain itself, so re-entry is impossible
+	// today, but a fresh ctx is used if that ever changes.
+	active bool
+}
+
+// qualState is one qualifier's analysis results and evaluation state.
+type qualState struct {
+	// Static analysis, computed once per Comp node.
+	constSrc bool       // source has no free variables
+	joins    []joinCond // indexed equi-join conditions (empty = scan)
+	consumed int        // following filters subsumed by the index
+	joinSpec string     // join-key component positions (index cache key)
+
+	// Per-invocation state, cleared by reset().
+	srcSet bool
+	srcVal Value // memoised source value (valid when srcSet)
+	index  *ValueIndex
 }
 
 // joinCond pairs the tuple component of the generator-bound variable
@@ -45,21 +69,48 @@ type joinCond struct {
 
 const wholeElement = -1
 
+// compCtxFor returns the (cached) evaluation context for a Comp node,
+// analysing it on first sight and resetting per-invocation state on
+// reuse.
+func (ev *Evaluator) compCtxFor(c *Comp) *compCtx {
+	if ctx, ok := ev.plans[c]; ok && !ctx.active {
+		ctx.reset()
+		ctx.active = true
+		return ctx
+	}
+	ctx := newCompCtx(ev, c)
+	ctx.active = true
+	if _, ok := ev.plans[c]; !ok {
+		if ev.plans == nil {
+			ev.plans = make(map[*Comp]*compCtx)
+		}
+		ev.plans[c] = ctx
+	}
+	return ctx
+}
+
 func newCompCtx(ev *Evaluator, c *Comp) *compCtx {
-	n := len(c.Quals)
 	ctx := &compCtx{
-		ev:       ev,
-		comp:     c,
-		constSrc: make([]bool, n),
-		srcVal:   make([]Value, n),
-		srcSet:   make([]bool, n),
-		joins:    make([][]joinCond, n),
-		consumed: make([]int, n),
-		index:    make([]map[string][]Value, n),
+		ev:    ev,
+		comp:  c,
+		quals: make([]qualState, len(c.Quals)),
 	}
 	ctx.analyze()
 	return ctx
 }
+
+// reset clears per-invocation state (memoised sources and join
+// indexes), keeping the static analysis and the allocated slices.
+func (ctx *compCtx) reset() {
+	for i := range ctx.quals {
+		ctx.quals[i].srcSet = false
+		ctx.quals[i].srcVal = Value{}
+		ctx.quals[i].index = nil
+	}
+}
+
+// release returns the ctx to its plan cache slot.
+func (ctx *compCtx) release() { ctx.active = false }
 
 // analyze marks constant sources and joinable generator/filter runs.
 func (ctx *compCtx) analyze() {
@@ -69,15 +120,26 @@ func (ctx *compCtx) analyze() {
 		if !isGen {
 			continue
 		}
-		ctx.constSrc[i] = len(FreeVars(g.Src)) == 0
-		if ctx.constSrc[i] {
+		qs := &ctx.quals[i]
+		qs.constSrc = len(FreeVars(g.Src)) == 0
+		if qs.constSrc {
 			for j := i + 1; j < len(ctx.comp.Quals); j++ {
 				cond, ok := joinableFilter(g, ctx.comp.Quals[j], bound)
 				if !ok {
 					break
 				}
-				ctx.joins[i] = append(ctx.joins[i], cond)
-				ctx.consumed[i]++
+				qs.joins = append(qs.joins, cond)
+				qs.consumed++
+			}
+			if len(qs.joins) > 0 {
+				var spec []byte
+				for n, jc := range qs.joins {
+					if n > 0 {
+						spec = append(spec, ',')
+					}
+					spec = strconv.AppendInt(spec, int64(jc.comp), 10)
+				}
+				qs.joinSpec = string(spec)
 			}
 		}
 		bindPatternVars(g.Pat, bound)
@@ -143,8 +205,9 @@ func joinableFilter(g *Generator, next Qual, boundBefore map[string]bool) (joinC
 // source returns the generator's elements, memoised for constant
 // sources.
 func (ctx *compCtx) source(i int, g *Generator, env *Env) ([]Value, error) {
-	if ctx.constSrc[i] && ctx.srcSet[i] {
-		return ctx.srcVal[i].Elements()
+	qs := &ctx.quals[i]
+	if qs.constSrc && qs.srcSet {
+		return qs.srcVal.Elements()
 	}
 	v, err := ctx.ev.eval(g.Src, env)
 	if err != nil {
@@ -153,50 +216,128 @@ func (ctx *compCtx) source(i int, g *Generator, env *Env) ([]Value, error) {
 	if _, err := v.Elements(); err != nil {
 		return nil, fmt.Errorf("iql: generator source %s: %w", g.Src, err)
 	}
-	if ctx.constSrc[i] {
-		ctx.srcVal[i] = v
-		ctx.srcSet[i] = true
+	if qs.constSrc {
+		qs.srcVal = v
+		qs.srcSet = true
 	}
 	return v.Elements()
 }
 
-// compositeKey renders the composite index key of an element for
-// generator i; ok=false when the element's shape cannot satisfy the
-// pattern.
-func (ctx *compCtx) compositeKey(i int, el Value) (string, bool) {
-	var b strings.Builder
-	for n, jc := range ctx.joins[i] {
-		if n > 0 {
-			b.WriteByte('\x00')
-		}
-		if jc.comp == wholeElement {
-			b.WriteString(el.Key())
-			continue
-		}
-		if el.Kind != KindTuple || jc.comp >= len(el.Items) {
-			return "", false
-		}
-		b.WriteString(el.Items[jc.comp].Key())
+// joinComponent extracts one composite-key component of an element;
+// ok=false when the element's shape cannot satisfy the pattern.
+func joinComponent(jc joinCond, el Value) (Value, bool) {
+	if jc.comp == wholeElement {
+		return el, true
 	}
-	return b.String(), true
+	if el.Kind != KindTuple || jc.comp >= len(el.Items) {
+		return Value{}, false
+	}
+	return el.Items[jc.comp], true
 }
 
-// buildIndex hashes the generator's elements on the composite join key.
-func (ctx *compCtx) buildIndex(i int, els []Value) map[string][]Value {
-	if ctx.index[i] != nil {
-		return ctx.index[i]
+// joinIndexCacheMin is the source size below which indexes are rebuilt
+// rather than cached across evaluations (tiny builds are cheaper than
+// occupying a cache slot).
+const joinIndexCacheMin = 32
+
+// buildIndex returns the hash index of the generator's elements on the
+// composite join key, consulting the evaluator's cross-evaluation
+// index cache for large memoised sources: the element array's identity
+// plus the component spec fully determine the index, so an unchanged
+// extent is indexed once, not once per evaluation.
+func (ctx *compCtx) buildIndex(i int, els []Value) *ValueIndex {
+	qs := &ctx.quals[i]
+	if qs.index != nil {
+		return qs.index
 	}
-	idx := make(map[string][]Value, len(els))
-	for _, el := range els {
-		key, ok := ctx.compositeKey(i, el)
-		if !ok {
-			continue // shape mismatch: pattern would not bind anyway
+	if c := ctx.ev.Indexes; c != nil && len(els) >= joinIndexCacheMin {
+		key := joinIndexKey{data: &els[0], n: len(els), spec: qs.joinSpec}
+		if idx, ok := c.get(key); ok {
+			qs.index = idx
+			return idx
 		}
-		idx[key] = append(idx[key], el)
+		idx := ctx.buildIndexRaw(i, els)
+		// The index (and its identity key) keeps the extent rows alive,
+		// so charge the cache their footprint plus index overhead.
+		cost := int64(len(els)) * 48
+		for _, el := range els {
+			cost += el.Footprint()
+		}
+		c.put(key, idx, cost)
+		return idx
 	}
-	ctx.index[i] = idx
+	return ctx.buildIndexRaw(i, els)
+}
+
+// buildIndexRaw hashes the generator's elements on the composite join
+// key. A single-condition key is the component value itself;
+// multi-condition keys are tuples whose Items slices are carved out of
+// one shared backing array, so the build costs O(1) allocations beyond
+// the index.
+func (ctx *compCtx) buildIndexRaw(i int, els []Value) *ValueIndex {
+	qs := &ctx.quals[i]
+	jcs := qs.joins
+	idx := NewValueIndex(len(els))
+	var backing []Value
+	if len(jcs) > 1 {
+		backing = make([]Value, 0, len(jcs)*len(els))
+	}
+	for _, el := range els {
+		var key Value
+		if len(jcs) == 1 {
+			k, ok := joinComponent(jcs[0], el)
+			if !ok {
+				continue // shape mismatch: pattern would not bind anyway
+			}
+			key = k
+		} else {
+			start := len(backing)
+			ok := true
+			for _, jc := range jcs {
+				c, okc := joinComponent(jc, el)
+				if !okc {
+					ok = false
+					break
+				}
+				backing = append(backing, c)
+			}
+			if !ok {
+				backing = backing[:start]
+				continue
+			}
+			key = Value{Kind: KindTuple, Items: backing[start:len(backing):len(backing)]}
+		}
+		idx.Add(key, el)
+	}
+	qs.index = idx
 	return idx
 }
+
+// probeKey evaluates generator i's probe expressions into the shared
+// scratch buffer and returns the composite probe key. The key aliases
+// the scratch, which is safe because ValueIndex.Probe never retains it.
+func (ctx *compCtx) probeKey(i int, env *Env) (Value, error) {
+	jcs := ctx.quals[i].joins
+	if cap(ctx.probeScratch) < len(jcs) {
+		ctx.probeScratch = make([]Value, len(jcs))
+	}
+	scratch := ctx.probeScratch[:len(jcs)]
+	for n, jc := range jcs {
+		v, err := ctx.ev.eval(jc.probe, env)
+		if err != nil {
+			return Value{}, err
+		}
+		scratch[n] = v
+	}
+	if len(jcs) == 1 {
+		return scratch[0], nil
+	}
+	return Value{Kind: KindTuple, Items: scratch}, nil
+}
+
+// outPrealloc caps how far a generator source's length is trusted as a
+// size hint for the output slice.
+const outPrealloc = 1024
 
 // run evaluates qualifiers from position i under env, appending head
 // values for complete bindings.
@@ -230,40 +371,65 @@ func (ctx *compCtx) run(i int, env *Env, out *[]Value) error {
 			return err
 		}
 		next := i + 1
-		if len(ctx.joins[i]) > 0 {
+		var joinedFirst Value
+		joined := false
+		if len(ctx.quals[i].joins) > 0 {
 			// Indexed equi-join: probe instead of scan; the consumed
 			// filters are subsumed by the index lookup.
-			var probe strings.Builder
-			for n, jc := range ctx.joins[i] {
-				if n > 0 {
-					probe.WriteByte('\x00')
-				}
-				v, err := ev.eval(jc.probe, env)
-				if err != nil {
-					return err
-				}
-				probe.WriteString(v.Key())
-			}
-			els = ctx.buildIndex(i, els)[probe.String()]
-			next = i + 1 + ctx.consumed[i]
-		}
-		for _, el := range els {
-			if err := ev.step(); err != nil {
-				return err
-			}
-			child := env.Child()
-			ok, err := bindPattern(q.Pat, el, child)
+			idx := ctx.buildIndex(i, els)
+			key, err := ctx.probeKey(i, env)
 			if err != nil {
 				return err
 			}
+			next = i + 1 + ctx.quals[i].consumed
+			first, rest, ok := idx.Probe(key)
 			if !ok {
-				continue // non-matching elements are skipped
+				return nil
 			}
-			if err := ctx.run(next, child, out); err != nil {
+			joinedFirst, joined = first, true
+			els = rest
+		}
+		if cap(*out) == 0 && len(els) > 0 {
+			// First growth: trust the generator's cardinality as a size
+			// hint so comprehension outputs don't grow append-by-append.
+			hint := len(els)
+			if hint > outPrealloc {
+				hint = outPrealloc
+			}
+			*out = make([]Value, 0, hint)
+		}
+		// One child scope serves every iteration: bindings are reset per
+		// element, and nothing retains the scope once run returns (IQL
+		// has no closures), so per-element scope allocation is avoided.
+		child := env.Child()
+		if joined {
+			if err := ctx.runElement(q, joinedFirst, next, child, out); err != nil {
+				return err
+			}
+		}
+		for _, el := range els {
+			if err := ctx.runElement(q, el, next, child, out); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	return fmt.Errorf("iql: unknown qualifier %T", ctx.comp.Quals[i])
+}
+
+// runElement binds one generator element into the reused child scope
+// and continues evaluation from qualifier next.
+func (ctx *compCtx) runElement(q *Generator, el Value, next int, child *Env, out *[]Value) error {
+	if err := ctx.ev.step(); err != nil {
+		return err
+	}
+	child.resetBindings()
+	ok, err := bindPattern(q.Pat, el, child)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil // non-matching elements are skipped
+	}
+	return ctx.run(next, child, out)
 }

@@ -230,8 +230,15 @@ func (v Value) writeKey(b *strings.Builder) {
 
 // Equal reports whether two values are equal; bags compare as multisets,
 // and integral floats equal same-valued ints. Scalar and tuple
-// comparisons take allocation-free fast paths; only bags fall back to
-// canonical keys.
+// comparisons take allocation-free fast paths; bags are compared as
+// hash-bucketed multisets (see bagEqual) — no canonical key strings are
+// built anywhere.
+//
+// NaN is never equal to anything, itself included, at every nesting
+// depth. (The '=' operator always behaved this way for top-level
+// scalars; elements inside bags historically compared via canonical
+// key strings, which made NaN self-equal there only. Equality is now
+// uniformly IEEE-like instead of depth-dependent.)
 func (v Value) Equal(w Value) bool {
 	switch {
 	case v.Kind == KindInt && w.Kind == KindInt:
@@ -252,12 +259,19 @@ func (v Value) Equal(w Value) bool {
 			}
 		}
 		return true
-	case v.Kind != w.Kind && v.Kind != KindBag && w.Kind != KindBag:
-		// Distinct non-collection kinds (numeric cross-kind handled
-		// above) can never be equal.
+	}
+	if v.Kind != w.Kind {
+		// Cross-kind numeric equality was handled above; any other kind
+		// mix can never be equal.
 		return false
 	}
-	return v.Key() == w.Key()
+	switch v.Kind {
+	case KindBag:
+		return bagEqual(v.Items, w.Items)
+	case KindNull, KindVoid, KindAny:
+		return true
+	}
+	return false
 }
 
 // Compare orders two scalar values. It returns an error for incomparable
@@ -319,18 +333,17 @@ func Union(a, b Value) (Value, error) {
 }
 
 // Distinct returns a bag with duplicate elements removed, preserving
-// first-occurrence order.
+// first-occurrence order. Duplicates are detected through a hash-
+// bucketed ValueSet, so no canonical key strings are built.
 func Distinct(v Value) (Value, error) {
 	els, err := v.Elements()
 	if err != nil {
 		return Value{}, err
 	}
-	seen := make(map[string]bool, len(els))
+	seen := NewValueSet(len(els))
 	out := make([]Value, 0, len(els))
 	for _, e := range els {
-		k := e.Key()
-		if !seen[k] {
-			seen[k] = true
+		if seen.Add(e) {
 			out = append(out, e)
 		}
 	}

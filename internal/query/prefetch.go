@@ -1,0 +1,246 @@
+package query
+
+import (
+	"context"
+	"strings"
+	"sync"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+)
+
+// Concurrent extent prefetch. A multi-generator comprehension over the
+// integrated schema unfolds onto several data source extents; fetching
+// them one by one during evaluation serialises the wrappers' latencies.
+// Before evaluating a query, the processor statically collects the
+// scheme references the comprehension will enumerate — generator
+// sources, aggregate/member arguments, union operands — expands those
+// that name virtual objects one definition level at a time (skipping
+// anything already memoised), and warms the source-extent cache for the
+// distinct source objects concurrently. The fetches go through the
+// cache's singleflight GetOrCompute, so a prefetch in flight coalesces
+// with the evaluation that needs it (and with concurrent queries)
+// instead of duplicating wrapper work.
+//
+// Prefetch is advisory: errors are swallowed (the serial evaluation
+// path re-fetches and surfaces them with full context), the walk is
+// bounded, and cancellation of the request context stops scheduling.
+
+const (
+	// prefetchWorkers bounds concurrent wrapper fetches per query.
+	prefetchWorkers = 8
+	// prefetchMaxTasks bounds how many distinct source extents one
+	// query's prefetch may schedule.
+	prefetchMaxTasks = 64
+	// prefetchMaxDepth bounds the virtual-definition expansion depth.
+	prefetchMaxDepth = 4
+)
+
+// prefetchTask names one source object to warm.
+type prefetchTask struct {
+	src source
+	sc  hdm.Scheme
+}
+
+// prefetch warms the source-extent cache for the distinct, not yet
+// cached source extents the expression will enumerate, fetching them
+// concurrently. It blocks until the scheduled fetches finish (so the
+// following serial evaluation hits the cache) and is a no-op when
+// fewer than two extents need fetching.
+func (p *Processor) prefetch(ctx context.Context, e iql.Expr, scope string) {
+	if ctx != nil && ctx.Err() != nil {
+		return
+	}
+	pf := prefetcher{p: p}
+	pf.visitExpr(e, scope, 0)
+	tasks := pf.tasks
+	if len(tasks) < 2 {
+		return // a single fetch gains nothing from concurrency
+	}
+	workers := prefetchWorkers
+	if len(tasks) < workers {
+		workers = len(tasks)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+scheduling:
+	for _, t := range tasks {
+		if ctx == nil {
+			sem <- struct{}{}
+		} else {
+			// Cancellable slot acquisition: a timed-out request must not
+			// park behind slow in-flight fetches.
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				break scheduling
+			}
+		}
+		wg.Add(1)
+		go func(t prefetchTask) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			key := t.sc.Key()
+			ck := t.src.name + "\x00" + key
+			// Errors are not cached and not reported here: the serial
+			// evaluation re-fetches and wraps them with query context.
+			_, _, _ = p.srcExt.GetOrCompute(ck, []string{key}, func() (iql.Value, int64, error) {
+				v, err := t.src.ext.Extent(t.sc.Parts())
+				if err != nil {
+					return iql.Value{}, 0, err
+				}
+				return v, v.Footprint(), nil
+			})
+		}(t)
+	}
+	if ctx == nil {
+		wg.Wait()
+		return
+	}
+	// Wait for the scheduled fetches (so the serial evaluation hits the
+	// cache), but give up as soon as the request is cancelled: detached
+	// workers only touch the cache, whose singleflight makes their
+	// completion safe to abandon.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}
+
+// prefetcher collects the distinct, not yet cached source extents an
+// expression will enumerate. References are resolved the same way
+// evaluation resolves them (scope first, then virtual definitions, then
+// unambiguous global resolution); virtual references that are not
+// memoised are expanded into their derivations' references, scoped per
+// derivation, with cycles cut by a visited set. Bookkeeping maps are
+// allocated lazily so a fully warm walk costs no allocations beyond
+// the walk itself.
+type prefetcher struct {
+	p           *Processor
+	tasks       []prefetchTask
+	seenTask    map[string]bool
+	seenVirtual map[string]bool
+}
+
+func (pf *prefetcher) addSource(src source, sc hdm.Scheme) {
+	ck := src.name + "\x00" + sc.Key()
+	if pf.seenTask[ck] || pf.p.srcExt.Peek(ck) {
+		return
+	}
+	if pf.seenTask == nil {
+		pf.seenTask = make(map[string]bool, 8)
+	}
+	pf.seenTask[ck] = true
+	pf.tasks = append(pf.tasks, prefetchTask{src: src, sc: sc})
+}
+
+func (pf *prefetcher) visitRef(parts []string, scope string, depth int) {
+	if len(pf.tasks) >= prefetchMaxTasks || depth > prefetchMaxDepth {
+		return
+	}
+	p := pf.p
+	// 1. The current scope's source schema wins for unqualified
+	// references (mirrors extentIn).
+	if scope != "" {
+		if src, sc, ok := p.resolveIn(scope, parts); ok {
+			pf.addSource(src, sc)
+			return
+		}
+	}
+	// 2. Virtual objects: expand their derivations unless the extent is
+	// already memoised.
+	key := strings.Join(parts, "|")
+	p.mu.Lock()
+	derivs, virtual := p.defs[key]
+	p.mu.Unlock()
+	if virtual {
+		if pf.seenVirtual[key] || p.memo.Peek(key) {
+			return
+		}
+		if pf.seenVirtual == nil {
+			pf.seenVirtual = make(map[string]bool, 8)
+		}
+		pf.seenVirtual[key] = true
+		for _, d := range derivs {
+			pf.visitExpr(d.Query, d.Scope, depth+1)
+		}
+		return
+	}
+	// 3. Unambiguous global source resolution (ambiguous references
+	// will fail evaluation; there is nothing useful to warm for them).
+	if hits := p.resolveGlobal(parts); len(hits) == 1 {
+		pf.addSource(hits[0].src, hits[0].sc)
+	}
+}
+
+// visitEnumerated dispatches an expression in enumerated position: a
+// scheme reference is visited directly, anything else is walked.
+func (pf *prefetcher) visitEnumerated(e iql.Expr, scope string, depth int) {
+	if ref, ok := e.(*iql.SchemeRef); ok {
+		pf.visitRef(ref.Parts, scope, depth)
+		return
+	}
+	pf.visitExpr(e, scope, depth)
+}
+
+// visitExpr walks the scheme references the expression will enumerate
+// when evaluated: generator sources of comprehensions (at any nesting
+// depth), references passed to builtins, and the operands of bag
+// union. References in other positions (e.g. a branch of an if) may
+// never be evaluated, so they are not prefetched.
+func (pf *prefetcher) visitExpr(e iql.Expr, scope string, depth int) {
+	switch n := e.(type) {
+	case nil:
+		return
+	case *iql.SchemeRef:
+		// A bare reference at the top of a query (or of a derivation
+		// body) is enumerated directly.
+		pf.visitRef(n.Parts, scope, depth)
+	case *iql.Comp:
+		for _, q := range n.Quals {
+			switch qq := q.(type) {
+			case *iql.Generator:
+				pf.visitEnumerated(qq.Src, scope, depth)
+			case *iql.Filter:
+				pf.visitExpr(qq.Cond, scope, depth)
+			}
+		}
+		pf.visitExpr(n.Head, scope, depth)
+	case *iql.Call:
+		for _, a := range n.Args {
+			pf.visitEnumerated(a, scope, depth)
+		}
+	case *iql.Binary:
+		if n.Op == "++" {
+			pf.visitEnumerated(n.L, scope, depth)
+			pf.visitEnumerated(n.R, scope, depth)
+			return
+		}
+		pf.visitExpr(n.L, scope, depth)
+		pf.visitExpr(n.R, scope, depth)
+	case *iql.Unary:
+		pf.visitExpr(n.X, scope, depth)
+	case *iql.TupleExpr:
+		for _, x := range n.Elems {
+			pf.visitExpr(x, scope, depth)
+		}
+	case *iql.BagExpr:
+		for _, x := range n.Elems {
+			pf.visitExpr(x, scope, depth)
+		}
+	case *iql.RangeExpr:
+		// Evaluating a Range yields its lower bound.
+		pf.visitEnumerated(n.Lo, scope, depth)
+	case *iql.LetExpr:
+		pf.visitEnumerated(n.Val, scope, depth)
+		pf.visitExpr(n.Body, scope, depth)
+	case *iql.IfExpr:
+		// Only the condition is certain to be evaluated.
+		pf.visitExpr(n.Cond, scope, depth)
+	}
+}

@@ -89,11 +89,16 @@ func (ce cachedExtent) cost() int64 {
 // Processor answers IQL queries over virtual schemas backed by data
 // source wrappers. It is safe for concurrent use.
 type Processor struct {
-	mu       sync.Mutex
-	sources  []source
-	defs     map[string][]Derivation
-	memo     *cache.Store[cachedExtent]
-	srcExt   *cache.Store[iql.Value]
+	mu      sync.Mutex
+	sources []source
+	defs    map[string][]Derivation
+	memo    *cache.Store[cachedExtent]
+	srcExt  *cache.Store[iql.Value]
+	// joinIdx caches built hash-join indexes across every evaluator the
+	// processor spawns, keyed by extent identity (see iql.JoinIndexCache):
+	// a large memoised extent joined by many queries is indexed once per
+	// extent version.
+	joinIdx  *iql.JoinIndexCache
 	warnings map[string]bool
 	// MaxSteps bounds IQL evaluation per query; 0 means unlimited. The
 	// budget is shared across every derivation a query unfolds, not per
@@ -108,16 +113,19 @@ func New() *Processor {
 		defs:     make(map[string][]Derivation),
 		memo:     cache.New[cachedExtent](cache.Options{}),
 		srcExt:   cache.New[iql.Value](cache.Options{}),
+		joinIdx:  iql.NewJoinIndexCache(0),
 		warnings: make(map[string]bool),
 	}
 }
 
-// SetCacheBytes bounds each extent cache layer (the virtual-extent memo
-// and the source-extent cache) to budget bytes, evicting LRU entries
-// beyond it; budget <= 0 removes the bound.
+// SetCacheBytes bounds each extent cache layer (the virtual-extent
+// memo, the source-extent cache, and the join-index cache — whose
+// entries retain the extents they index) to budget bytes, evicting
+// entries beyond it; budget <= 0 removes the bound.
 func (p *Processor) SetCacheBytes(budget int64) {
 	p.memo.SetMaxBytes(budget)
 	p.srcExt.SetMaxBytes(budget)
+	p.joinIdx.SetMaxBytes(budget)
 }
 
 // CacheStats snapshots the two extent cache layers: the virtual-extent
@@ -127,7 +135,10 @@ func (p *Processor) CacheStats() (memo, src cache.Stats) {
 }
 
 // Sourcer is the subset of wrapper behaviour the processor needs; it is
-// satisfied by wrapper implementations.
+// satisfied by wrapper implementations. Extent must tolerate concurrent
+// calls: the processor prefetches the extents a query enumerates in
+// parallel (misses of the same object are still coalesced to a single
+// fetch by the source-extent cache).
 type Sourcer interface {
 	SchemaName() string
 	Schema() *hdm.Schema
@@ -298,6 +309,9 @@ func (p *Processor) DefinedObjects() []string {
 func (p *Processor) InvalidateCache() {
 	p.memo.Purge()
 	p.srcExt.Purge()
+	// Stale join indexes are harmless (they are keyed by retained extent
+	// identity), but a full purge is the moment to drop their memory.
+	p.joinIdx.Purge()
 }
 
 // InvalidateSchemes evicts exactly the cached extents whose dependency
@@ -310,7 +324,14 @@ func (p *Processor) InvalidateSchemes(keys ...string) int {
 	if len(keys) == 0 {
 		return 0
 	}
-	return p.memo.InvalidateDeps(keys...) + p.srcExt.InvalidateDeps(keys...)
+	dropped := p.memo.InvalidateDeps(keys...) + p.srcExt.InvalidateDeps(keys...)
+	// Join indexes retain the extent arrays they were built over, so an
+	// iteration must not leave indexes of retired extent versions
+	// pinned. The cache has no per-scheme dependency tracking; purging
+	// it wholesale is cheap because indexes rebuild on demand from the
+	// (still warm) surviving extents.
+	p.joinIdx.Purge()
+	return dropped
 }
 
 // Warnings returns accumulated incompleteness warnings, sorted.
@@ -414,8 +435,10 @@ func (s *session) Extent(parts []string) (iql.Value, error) {
 }
 
 // Extent returns the extent of the referenced object: virtual objects
-// by unfolding their derivations, source objects from their wrapper.
+// by unfolding their derivations (their source extents are prefetched
+// concurrently first), source objects from their wrapper.
 func (p *Processor) Extent(parts []string) (iql.Value, error) {
+	p.prefetch(nil, iql.Ref(parts...), "")
 	return p.extentIn(p.newSession(nil), parts)
 }
 
@@ -453,21 +476,7 @@ func (p *Processor) extentIn(s *session, parts []string) (iql.Value, error) {
 	}
 
 	// 3. Unambiguous global source resolution.
-	p.mu.Lock()
-	srcs := append([]source(nil), p.sources...)
-	p.mu.Unlock()
-	type hit struct {
-		src source
-		sc  hdm.Scheme
-	}
-	var hits []hit
-	for _, src := range srcs {
-		obj, err := src.schema.Resolve(parts)
-		if err != nil {
-			continue
-		}
-		hits = append(hits, hit{src: src, sc: obj.Scheme})
-	}
+	hits := p.resolveGlobal(parts)
 	switch len(hits) {
 	case 0:
 		return iql.Value{}, fmt.Errorf("query: unknown schema object <<%s>>", strings.Join(parts, ", "))
@@ -485,6 +494,34 @@ func (p *Processor) extentIn(s *session, parts []string) (iql.Value, error) {
 		return iql.Value{}, fmt.Errorf("query: <<%s>> is ambiguous across sources %s",
 			strings.Join(parts, ", "), strings.Join(names, ", "))
 	}
+}
+
+// refHit is one source schema in which a reference resolves.
+type refHit struct {
+	src source
+	sc  hdm.Scheme
+}
+
+// resolveGlobal resolves parts against every registered source schema,
+// returning each hit. It is the shared global-resolution step of
+// evaluation (extentIn) and prefetch: exactly one hit means the source
+// is authoritative, several mean the reference is ambiguous.
+func (p *Processor) resolveGlobal(parts []string) []refHit {
+	// Copy the source list under the lock, resolve unlocked: Resolve
+	// walks each schema, and holding p.mu across that would serialise
+	// every concurrent query's reference resolution.
+	p.mu.Lock()
+	srcs := append([]source(nil), p.sources...)
+	p.mu.Unlock()
+	var hits []refHit
+	for _, src := range srcs {
+		obj, err := src.schema.Resolve(parts)
+		if err != nil {
+			continue
+		}
+		hits = append(hits, refHit{src: src, sc: obj.Scheme})
+	}
+	return hits
 }
 
 // resolveIn resolves parts against one named source schema.
@@ -539,7 +576,7 @@ func (p *Processor) virtualExtent(s *session, key string, parts []string, derivs
 	var evalErr error
 	for _, d := range derivs {
 		s.scopes = append(s.scopes, d.Scope)
-		ev := &iql.Evaluator{Ext: s, Budget: s.budget, Ctx: s.ctx}
+		ev := &iql.Evaluator{Ext: s, Budget: s.budget, Ctx: s.ctx, Indexes: p.joinIdx}
 		v, err := ev.Eval(d.Query, nil)
 		s.scopes = s.scopes[:len(s.scopes)-1]
 		if err != nil {
@@ -580,10 +617,13 @@ func (p *Processor) virtualExtent(s *session, key string, parts []string, derivs
 	return out, nil
 }
 
-// Eval evaluates a parsed IQL expression against the processor.
+// Eval evaluates a parsed IQL expression against the processor,
+// prefetching the source extents the expression enumerates
+// concurrently before the serial evaluation walks them.
 func (p *Processor) Eval(e iql.Expr) (iql.Value, error) {
+	p.prefetch(nil, e, "")
 	s := p.newSession(nil)
-	ev := &iql.Evaluator{Ext: s, Budget: s.budget}
+	ev := &iql.Evaluator{Ext: s, Budget: s.budget, Indexes: p.joinIdx}
 	return ev.Eval(e, nil)
 }
 
@@ -595,9 +635,10 @@ func (p *Processor) Eval(e iql.Expr) (iql.Value, error) {
 // ClearWarnings/Eval/Warnings sequence, it is safe under concurrent
 // queries: each evaluation collects its own warnings.
 func (p *Processor) EvalContext(ctx context.Context, e iql.Expr) (iql.Value, []string, []string, error) {
+	p.prefetch(ctx, e, "")
 	s := p.newSession(ctx)
 	s.warnings = make(map[string]bool)
-	ev := &iql.Evaluator{Ext: s, Budget: s.budget, Ctx: ctx}
+	ev := &iql.Evaluator{Ext: s, Budget: s.budget, Ctx: ctx, Indexes: p.joinIdx}
 	v, err := ev.Eval(e, nil)
 	if err != nil {
 		return iql.Value{}, nil, nil, err
@@ -613,8 +654,9 @@ func (p *Processor) EvalContext(ctx context.Context, e iql.Expr) (iql.Value, []s
 // EvalScoped evaluates an expression whose unqualified references
 // resolve against the named source schema first.
 func (p *Processor) EvalScoped(e iql.Expr, scope string) (iql.Value, error) {
+	p.prefetch(nil, e, scope)
 	s := p.newSession(nil, scope)
-	ev := &iql.Evaluator{Ext: s, Budget: s.budget}
+	ev := &iql.Evaluator{Ext: s, Budget: s.budget, Indexes: p.joinIdx}
 	return ev.Eval(e, nil)
 }
 

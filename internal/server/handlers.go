@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/dataspace/automed/internal/core"
@@ -26,12 +27,17 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// respBufPool recycles response-encoding buffers across requests.
+var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	// Encode before committing the status so an unencodable value
 	// (e.g. a NaN float loaded from source data) becomes a 500, not a
 	// 200 with a truncated body.
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
+	buf := respBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer respBufPool.Put(buf)
+	enc := json.NewEncoder(buf)
 	enc.SetEscapeHTML(false)
 	if err := enc.Encode(v); err != nil {
 		if _, isErr := v.(apiError); !isErr {
@@ -594,8 +600,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	resp := queryResp{
 		Session:      sess.Name(),
-		Value:        valueJSON(res.Value),
-		Rendered:     res.Value.String(),
+		Value:        res.JSONValue,
+		Rendered:     res.Rendered,
 		Warnings:     res.Warnings,
 		Version:      res.Version,
 		Schema:       res.Schema,

@@ -51,8 +51,9 @@ type Session struct {
 	// results caches query answers keyed by (version, normalised
 	// query); every entry is tagged with the dependency closure of its
 	// evaluation (core.Result.Deps), so integration iterations evict
-	// only the entries whose schemes they touched.
-	results *cache.Store[core.Result]
+	// only the entries whose schemes they touched. Entries carry their
+	// response renderings, so a hit skips re-rendering too.
+	results *cache.Store[Answer]
 }
 
 func newSession(name string, resultCapacity int, cacheBytes int64, maxSteps int) *Session {
@@ -60,7 +61,7 @@ func newSession(name string, resultCapacity int, cacheBytes int64, maxSteps int)
 		name:       name,
 		maxSteps:   maxSteps,
 		cacheBytes: cacheBytes,
-		results: cache.New[core.Result](cache.Options{
+		results: cache.New[Answer](cache.Options{
 			MaxEntries: resultCapacity,
 			MaxBytes:   cacheBytes,
 			Disabled:   resultCapacity <= 0,
@@ -204,13 +205,31 @@ type QueryOutcome struct {
 	ResultCached bool
 }
 
+// Answer pairs a query result with its response renderings. Both are
+// computed once, when the answer is first evaluated, and cached with
+// it, so a result-cache hit skips the canonical re-rendering (bag
+// sorting included) as well as the re-evaluation.
+type Answer struct {
+	core.Result
+	// JSONValue is the JSON-encodable shape of Result.Value.
+	JSONValue any
+	// Rendered is Result.Value in IQL source syntax.
+	Rendered string
+}
+
+// render fills the answer's response renderings from its result.
+func (a *Answer) render() {
+	a.JSONValue = valueJSON(a.Value)
+	a.Rendered = a.Value.String()
+}
+
 // Query answers an IQL query against the requested schema version
 // (core.CurrentVersion for the latest), consulting the plan cache and
 // — unless noCache — the result cache.
-func (s *Session) Query(ctx context.Context, plans *cache.Store[plan], src string, version int, noCache bool) (core.Result, QueryOutcome, error) {
+func (s *Session) Query(ctx context.Context, plans *cache.Store[plan], src string, version int, noCache bool) (Answer, QueryOutcome, error) {
 	ig, err := s.integrator()
 	if err != nil {
-		return core.Result{}, QueryOutcome{}, err
+		return Answer{}, QueryOutcome{}, err
 	}
 
 	var out QueryOutcome
@@ -220,7 +239,7 @@ func (s *Session) Query(ctx context.Context, plans *cache.Store[plan], src strin
 	} else {
 		e, err := iql.Parse(src)
 		if err != nil {
-			return core.Result{}, out, err
+			return Answer{}, out, err
 		}
 		pl = plan{expr: e, norm: e.String()}
 		plans.Put(src, pl, planCost(src, pl), nil)
@@ -232,9 +251,9 @@ func (s *Session) Query(ctx context.Context, plans *cache.Store[plan], src strin
 	}
 	key := fmt.Sprintf("%d\x00%s", ver, pl.norm)
 	if !noCache {
-		if res, ok := s.results.Get(key); ok {
+		if ans, ok := s.results.Get(key); ok {
 			out.ResultCached = true
-			return res, out, nil
+			return ans, out, nil
 		}
 	}
 
@@ -246,25 +265,29 @@ func (s *Session) Query(ctx context.Context, plans *cache.Store[plan], src strin
 	gen := s.results.Generation()
 	res, err := ig.QueryExprAt(ctx, version, pl.expr)
 	if err != nil {
-		return core.Result{}, out, err
+		return Answer{}, out, err
 	}
+	ans := Answer{Result: res}
+	ans.render()
 	if !noCache && res.Version == ver {
 		// res.Version can differ from ver only if an iteration raced
 		// between GlobalVersion and evaluation; skip caching then
 		// rather than file the result under the wrong version.
-		s.results.PutAt(gen, key, res, resultCost(res), res.Deps)
+		s.results.PutAt(gen, key, ans, resultCost(ans), res.Deps)
 	}
-	return res, out, nil
+	return ans, out, nil
 }
 
-// resultCost estimates a cached result's in-memory size for the result
-// cache's byte budget.
-func resultCost(r core.Result) int64 {
-	n := r.Value.Footprint() + int64(len(r.Schema)) + 64
-	for _, w := range r.Warnings {
+// resultCost estimates a cached answer's in-memory size for the result
+// cache's byte budget (the JSON shape is of the same order as the
+// rendering, counted twice to stay conservative).
+func resultCost(a Answer) int64 {
+	n := a.Value.Footprint() + int64(len(a.Schema)) + 64
+	n += 2 * int64(len(a.Rendered))
+	for _, w := range a.Warnings {
 		n += int64(len(w)) + 16
 	}
-	for _, d := range r.Deps {
+	for _, d := range a.Deps {
 		n += int64(len(d)) + 16
 	}
 	return n
