@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke run fuzz-seeds golden
+.PHONY: ci fmt vet build test race bench bench-smoke run fuzz-seeds golden test-wrappers
 
 # ci is the full local gate: formatting, static checks (go vet), build,
-# tests under the race detector, the persistence-format guards (fuzz
-# seed corpus + golden snapshot), and a one-iteration -benchmem pass
-# over every benchmark so the bench harness can't silently rot.
-ci: fmt vet build race fuzz-seeds golden bench-smoke
+# tests under the race detector, the wrapper conformance suite, the
+# persistence-format guards (fuzz seed corpus + golden snapshots), and
+# a one-iteration -benchmem pass over every benchmark so the bench
+# harness can't silently rot.
+ci: fmt vet build race test-wrappers fuzz-seeds golden bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -36,15 +37,24 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 
-# fuzz-seeds runs every committed fuzz seed (malformed snapshot corpus)
-# as plain tests — the CI-safe equivalent of a -fuzztime run.
+# fuzz-seeds runs every committed fuzz seed (malformed repo snapshots,
+# malformed REST payloads) as plain tests — the CI-safe equivalent of a
+# -fuzztime run.
 fuzz-seeds:
-	$(GO) test -run '^Fuzz' ./internal/repo
+	$(GO) test -run '^Fuzz' ./internal/repo ./internal/wrapper
 
-# golden checks the committed session snapshot still matches a fresh
-# export byte for byte and still loads (format stability).
+# golden checks the committed snapshots (full session, and the sql/rest
+# wrapper kinds) still match a fresh export byte for byte and still
+# load (format stability).
 golden:
 	$(GO) test -run 'TestGoldenSnapshot' ./internal/core
+
+# test-wrappers runs the wrapper conformance suite — every backend
+# (CSV, Static, XML, SQL via the in-process sqlmem driver, REST via
+# httptest) against the full Wrapper contract — under the race
+# detector. No network or external dependencies.
+test-wrappers:
+	$(GO) test -race ./internal/wrapper/... ./internal/sqlmem
 
 # run starts the dataspace daemon on :8080.
 run:

@@ -122,6 +122,27 @@ func OpenXML(name string, r io.Reader) (Wrapper, error) {
 	return wrapper.NewXML(name, r)
 }
 
+// SQLConfig and RESTConfig configure the remote-backend wrappers.
+type (
+	SQLConfig  = wrapper.SQLConfig
+	RESTConfig = wrapper.RESTConfig
+)
+
+// OpenSQL wraps a live relational database reached through
+// database/sql: the schema is introspected from the backend's catalog
+// and extents are streamed on demand. The configured driver must be
+// compiled into the binary.
+func OpenSQL(name string, cfg SQLConfig) (Wrapper, error) {
+	return wrapper.NewSQL(name, cfg)
+}
+
+// OpenREST wraps a JSON-over-HTTP endpoint serving arrays of flat
+// records as a source; collections are discovered from the endpoint
+// root unless declared.
+func OpenREST(name string, cfg RESTConfig) (Wrapper, error) {
+	return wrapper.NewREST(name, cfg)
+}
+
 // SetAutoDrop controls redundant-object dropping in the automatically
 // rebuilt global schemas (workflow step 5's optional election).
 func (s *System) SetAutoDrop(drop bool) { s.ig.SetAutoDrop(drop) }

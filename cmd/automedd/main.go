@@ -25,10 +25,15 @@
 // restarted daemon serves every previously published schema version
 // identically.
 //
-// Optionally preload CSV sources with repeatable -source name=dir
-// flags; they are registered into the default session and federated at
-// startup so the daemon is immediately queryable. Preloading is
-// skipped when a restored "default" session already exists.
+// Optionally preload sources with repeatable flags — CSV directories
+// (-source name=dir), SQL backends (-sql-source
+// name=driver:dialect:dsn; the driver must be compiled into the
+// binary), and JSON/REST endpoints (-rest-source name=url); they are
+// registered into the default session and federated at startup so the
+// daemon is immediately queryable. Preloading is skipped when a
+// restored "default" session already exists. Remote sources can also
+// be registered at runtime through the sql/rest variants of POST
+// /sources.
 package main
 
 import (
@@ -48,17 +53,29 @@ import (
 	"github.com/dataspace/automed/internal/wrapper"
 )
 
-// sourceFlags collects repeatable -source name=dir flags.
+// sourceFlags collects repeatable name=value source flags.
 type sourceFlags []string
 
 func (s *sourceFlags) String() string { return strings.Join(*s, ",") }
 
 func (s *sourceFlags) Set(v string) error {
 	if !strings.Contains(v, "=") {
-		return fmt.Errorf("want name=dir, got %q", v)
+		return fmt.Errorf("want name=spec, got %q", v)
 	}
 	*s = append(*s, v)
 	return nil
+}
+
+// parseSQLSpec splits a -sql-source value: name=driver:dialect:dsn.
+// The DSN comes last so its own colons survive; an empty dialect
+// segment selects the default (sqlite).
+func parseSQLSpec(v string) (name string, cfg wrapper.SQLConfig, err error) {
+	name, rest, _ := strings.Cut(v, "=")
+	parts := strings.SplitN(rest, ":", 3)
+	if name == "" || len(parts) != 3 || parts[0] == "" || parts[2] == "" {
+		return "", wrapper.SQLConfig{}, fmt.Errorf("want name=driver:dialect:dsn, got %q", v)
+	}
+	return name, wrapper.SQLConfig{Driver: parts[0], Dialect: parts[1], DSN: parts[2]}, nil
 }
 
 func main() {
@@ -71,8 +88,13 @@ func main() {
 		maxSteps    = flag.Int("max-steps", 0, "IQL evaluation step bound per query (0 = unlimited)")
 		dataDir     = flag.String("data-dir", "", "directory for durable session snapshots (empty = in-memory only)")
 		preload     sourceFlags
+		preloadSQL  sourceFlags
+		preloadREST sourceFlags
 	)
 	flag.Var(&preload, "source", "preload a CSV source as name=dir into the default session (repeatable)")
+	flag.Var(&preloadSQL, "sql-source",
+		"preload a SQL source as name=driver:dialect:dsn (dialect sqlite or information_schema, empty = sqlite; the driver must be compiled into this binary; repeatable)")
+	flag.Var(&preloadREST, "rest-source", "preload a JSON/REST source as name=url (collections discovered from the endpoint root; repeatable)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -92,7 +114,7 @@ func main() {
 		}
 		log.Printf("automedd: restored %d session(s) from %s", n, *dataDir)
 	}
-	if err := preloadSources(srv, preload); err != nil {
+	if err := preloadSources(srv, preload, preloadSQL, preloadREST); err != nil {
 		log.Fatalf("automedd: %v", err)
 	}
 
@@ -126,10 +148,11 @@ func main() {
 	}
 }
 
-// preloadSources wraps each name=dir CSV source into the default
-// session and federates so the daemon starts queryable.
-func preloadSources(srv *server.Server, specs sourceFlags) error {
-	if len(specs) == 0 {
+// preloadSources wraps each preloaded CSV, SQL and REST source into
+// the default session and federates so the daemon starts queryable.
+func preloadSources(srv *server.Server, csvSpecs, sqlSpecs, restSpecs sourceFlags) error {
+	total := len(csvSpecs) + len(sqlSpecs) + len(restSpecs)
+	if total == 0 {
 		return nil
 	}
 	sess, err := srv.Sessions().Get("default", true)
@@ -137,10 +160,10 @@ func preloadSources(srv *server.Server, specs sourceFlags) error {
 		return err
 	}
 	if sess.Federated() || len(sess.SourceNames()) > 0 {
-		log.Printf("automedd: default session restored from data dir; skipping -source preload")
+		log.Printf("automedd: default session restored from data dir; skipping source preload")
 		return nil
 	}
-	for _, spec := range specs {
+	for _, spec := range csvSpecs {
 		name, dir, _ := strings.Cut(spec, "=")
 		w, err := wrapper.NewCSVDir(name, dir)
 		if err != nil {
@@ -151,10 +174,35 @@ func preloadSources(srv *server.Server, specs sourceFlags) error {
 		}
 		log.Printf("automedd: preloaded source %s from %s", name, dir)
 	}
+	for _, spec := range sqlSpecs {
+		name, cfg, err := parseSQLSpec(spec)
+		if err != nil {
+			return err
+		}
+		w, err := wrapper.NewSQL(name, cfg)
+		if err != nil {
+			return fmt.Errorf("preloading %s: %w", spec, err)
+		}
+		if err := sess.AddSource(w); err != nil {
+			return err
+		}
+		log.Printf("automedd: preloaded SQL source %s (driver %s)", name, cfg.Driver)
+	}
+	for _, spec := range restSpecs {
+		name, endpoint, _ := strings.Cut(spec, "=")
+		w, err := wrapper.NewREST(name, wrapper.RESTConfig{Endpoint: endpoint})
+		if err != nil {
+			return fmt.Errorf("preloading %s: %w", spec, err)
+		}
+		if err := sess.AddSource(w); err != nil {
+			return err
+		}
+		log.Printf("automedd: preloaded REST source %s from %s", name, endpoint)
+	}
 	if _, err := sess.Federate("F", false); err != nil {
 		return err
 	}
-	log.Printf("automedd: federated %d source(s) as F (version 0)", len(specs))
+	log.Printf("automedd: federated %d source(s) as F (version 0)", total)
 	if srv.Store() != nil {
 		if _, err := srv.SnapshotSession(sess.Name()); err != nil {
 			return fmt.Errorf("persisting preloaded session: %w", err)

@@ -84,8 +84,10 @@ scheduling:
 			ck := t.src.name + "\x00" + key
 			// Errors are not cached and not reported here: the serial
 			// evaluation re-fetches and wraps them with query context.
+			// The request context rides into context-aware (remote)
+			// wrappers so a cancelled request abandons in-flight fetches.
 			_, _, _ = p.srcExt.GetOrCompute(ck, []string{key}, func() (iql.Value, int64, error) {
-				v, err := t.src.ext.Extent(t.sc.Parts())
+				v, err := t.src.fetch(ctx, t.sc)
 				if err != nil {
 					return iql.Value{}, 0, err
 				}

@@ -28,6 +28,7 @@ package query
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -55,11 +56,23 @@ type Derivation struct {
 	Scope string
 }
 
-// source is one registered extent provider.
+// source is one registered extent provider. extCtx is the provider's
+// context-aware fetch path, nil when it offers none.
 type source struct {
 	name   string
 	schema *hdm.Schema
 	ext    iql.Extents
+	extCtx ContextSourcer
+}
+
+// fetch retrieves one extent, routing through the provider's
+// context-aware path when it has one so remote backends observe
+// request cancellation; providers without one are called plainly.
+func (src source) fetch(ctx context.Context, sc hdm.Scheme) (iql.Value, error) {
+	if src.extCtx != nil && ctx != nil {
+		return src.extCtx.ExtentContext(ctx, sc.Parts())
+	}
+	return src.ext.Extent(sc.Parts())
 }
 
 // cachedExtent memoises a virtual object's extent together with the
@@ -145,14 +158,24 @@ type Sourcer interface {
 	Extent(parts []string) (iql.Value, error)
 }
 
+// ContextSourcer is the optional context-aware extension of an extent
+// provider: wrappers over remote backends (SQL over the wire, REST
+// endpoints) implement it so per-request timeouts and cancellation
+// propagate into the wire fetch instead of being checked only between
+// evaluation steps.
+type ContextSourcer interface {
+	ExtentContext(ctx context.Context, parts []string) (iql.Value, error)
+}
+
 // AddSource registers a data source. Source schema objects are
 // authoritative: references resolving in exactly one source schema are
-// answered by that source.
+// answered by that source. Sources additionally implementing
+// ContextSourcer get request contexts threaded into their fetches.
 func (p *Processor) AddSource(w Sourcer) error {
 	if w == nil {
 		return fmt.Errorf("query: nil source")
 	}
-	return p.AddExtents(w.SchemaName(), w.Schema(), iql.ExtentsFunc(w.Extent))
+	return p.AddExtents(w.SchemaName(), w.Schema(), w)
 }
 
 // AddExtents registers a generic extent provider with an explicit
@@ -169,7 +192,11 @@ func (p *Processor) AddExtents(name string, schema *hdm.Schema, ext iql.Extents)
 			return fmt.Errorf("query: source %q already registered", name)
 		}
 	}
-	p.sources = append(p.sources, source{name: name, schema: schema, ext: ext})
+	src := source{name: name, schema: schema, ext: ext}
+	if cs, ok := ext.(ContextSourcer); ok {
+		src.extCtx = cs
+	}
+	p.sources = append(p.sources, src)
 	return nil
 }
 
@@ -543,19 +570,33 @@ func (p *Processor) resolveIn(name string, parts []string) (source, hdm.Scheme, 
 
 // sourceExtent fetches (or reuses) one source object's extent.
 // Concurrent misses of the same object coalesce into a single wrapper
-// fetch via the cache's singleflight GetOrCompute.
+// fetch via the cache's singleflight GetOrCompute, and the session
+// context rides into context-aware wrappers. Coalescing shares errors,
+// so a fetch cancelled by its initiating request's deadline would fail
+// every waiter; a waiter whose own context is still live retries once
+// under it instead of inheriting a cancellation that was never its.
 func (p *Processor) sourceExtent(s *session, src source, sc hdm.Scheme) (iql.Value, error) {
 	key := sc.Key()
 	s.dep(key)
 	ck := src.name + "\x00" + key
-	v, _, err := p.srcExt.GetOrCompute(ck, []string{key}, func() (iql.Value, int64, error) {
-		v, err := src.ext.Extent(sc.Parts())
+	compute := func() (iql.Value, int64, error) {
+		v, err := src.fetch(s.ctx, sc)
 		if err != nil {
 			return iql.Value{}, 0, err
 		}
 		return v, v.Footprint(), nil
-	})
+	}
+	v, shared, err := p.srcExt.GetOrCompute(ck, []string{key}, compute)
+	if err != nil && shared && isCancellation(err) && (s.ctx == nil || s.ctx.Err() == nil) {
+		v, _, err = p.srcExt.GetOrCompute(ck, []string{key}, compute)
+	}
 	return v, err
+}
+
+// isCancellation reports whether err stems from context cancellation,
+// however the transport wrapped it.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func (p *Processor) virtualExtent(s *session, key string, parts []string, derivs []Derivation) (iql.Value, error) {

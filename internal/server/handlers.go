@@ -145,14 +145,45 @@ type tableSpec struct {
 	ForeignKeys []fkSpec `json:"foreign_keys,omitempty"`
 }
 
+// sqlSpec registers a live SQL backend reached through database/sql;
+// the daemon binary must have the named driver compiled in.
+type sqlSpec struct {
+	Driver string `json:"driver"`
+	DSN    string `json:"dsn"`
+	// Dialect selects introspection: "sqlite" (default) or
+	// "information_schema".
+	Dialect string `json:"dialect,omitempty"`
+	// TimeoutMs bounds each introspection query and extent fetch.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+type restCollectionSpec struct {
+	Name   string   `json:"name"`
+	Key    string   `json:"key,omitempty"`
+	Path   string   `json:"path,omitempty"`
+	Fields []string `json:"fields,omitempty"`
+}
+
+// restSpec registers a JSON/REST endpoint; collections are discovered
+// from the endpoint root when none are declared.
+type restSpec struct {
+	Endpoint    string               `json:"endpoint"`
+	Collections []restCollectionSpec `json:"collections,omitempty"`
+	// TimeoutMs bounds each fetch; MaxBytes bounds each response body.
+	TimeoutMs int   `json:"timeout_ms,omitempty"`
+	MaxBytes  int64 `json:"max_bytes,omitempty"`
+}
+
 type sourcesReq struct {
 	Session string `json:"session,omitempty"`
 	// Name is the data source schema name.
 	Name string `json:"name"`
-	// CSVDir loads a directory of typed-header CSV files; mutually
-	// exclusive with Tables.
+	// Exactly one of CSVDir, Tables, SQL or REST selects the backend.
+	// CSVDir loads a directory of typed-header CSV files.
 	CSVDir string      `json:"csv_dir,omitempty"`
 	Tables []tableSpec `json:"tables,omitempty"`
+	SQL    *sqlSpec    `json:"sql,omitempty"`
+	REST   *restSpec   `json:"rest,omitempty"`
 }
 
 type sourcesResp struct {
@@ -172,17 +203,43 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: source name is required"))
 		return
 	}
-	if (req.CSVDir == "") == (len(req.Tables) == 0) {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: provide exactly one of csv_dir or tables"))
+	variants := 0
+	for _, set := range []bool{req.CSVDir != "", len(req.Tables) > 0, req.SQL != nil, req.REST != nil} {
+		if set {
+			variants++
+		}
+	}
+	if variants != 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: provide exactly one of csv_dir, tables, sql or rest"))
 		return
 	}
 	var (
 		wrap wrapper.Wrapper
 		err  error
 	)
-	if req.CSVDir != "" {
+	switch {
+	case req.CSVDir != "":
 		wrap, err = wrapper.NewCSVDir(req.Name, req.CSVDir)
-	} else {
+	case req.SQL != nil:
+		wrap, err = wrapper.NewSQL(req.Name, wrapper.SQLConfig{
+			Driver:  req.SQL.Driver,
+			DSN:     req.SQL.DSN,
+			Dialect: req.SQL.Dialect,
+			Timeout: time.Duration(req.SQL.TimeoutMs) * time.Millisecond,
+		})
+	case req.REST != nil:
+		cfg := wrapper.RESTConfig{
+			Endpoint: req.REST.Endpoint,
+			Timeout:  time.Duration(req.REST.TimeoutMs) * time.Millisecond,
+			MaxBytes: req.REST.MaxBytes,
+		}
+		for _, c := range req.REST.Collections {
+			cfg.Collections = append(cfg.Collections, wrapper.RESTCollection{
+				Name: c.Name, Key: c.Key, Path: c.Path, Fields: c.Fields,
+			})
+		}
+		wrap, err = wrapper.NewREST(req.Name, cfg)
+	default:
 		wrap, err = buildInlineSource(req.Name, req.Tables)
 	}
 	if err != nil {

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/dataspace/automed/internal/rel"
+	"github.com/dataspace/automed/internal/sqlmem"
+)
+
+// remoteSQLDB registers the Library catalogue behind the sqlmem
+// driver, reachable over database/sql like any wire-protocol database.
+func remoteSQLDB(dsn string) {
+	db := rel.NewDB("Library")
+	books := db.MustCreateTable("books", []rel.Column{
+		{Name: "id", Type: rel.Int},
+		{Name: "isbn", Type: rel.String},
+		{Name: "title", Type: rel.String},
+	}, "id")
+	books.MustInsert(int64(1), "978-1", "Dataspaces")
+	books.MustInsert(int64(2), "978-2", "Schema Matching")
+	books.MustInsert(int64(3), "978-3", "AutoMed")
+	sqlmem.Register(dsn, db)
+}
+
+// remoteRESTBackend serves the Shop inventory as a JSON API.
+func remoteRESTBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/items" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, `[
+			{"id": "S1", "barcode": "978-1", "price": 10.5},
+			{"id": "S2", "barcode": "978-2", "price": 42.0},
+			{"id": "S3", "barcode": "978-9", "price": 7.0}
+		]`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// registerRemoteSources drives the POST /sources body variants for a
+// SQL and a REST backend.
+func registerRemoteSources(c *testClient, dsn, endpoint string) {
+	c.must("POST", "/sources", map[string]any{
+		"name": "Library",
+		"sql":  map[string]any{"driver": sqlmem.DriverName, "dsn": dsn},
+	}, http.StatusCreated)
+	c.must("POST", "/sources", map[string]any{
+		"name": "Shop",
+		"rest": map[string]any{
+			"endpoint": endpoint,
+			"collections": []map[string]any{
+				{"name": "items", "fields": []string{"barcode", "id", "price"}},
+			},
+		},
+	}, http.StatusCreated)
+}
+
+var remoteUBookMappings = []map[string]any{
+	{
+		"target": "<<UBook>>",
+		"forward": []map[string]any{
+			{"source": "Library", "query": "[{'LIB', k} | k <- <<books>>]"},
+			{"source": "Shop", "query": "[{'SHOP', k} | k <- <<items>>]"},
+		},
+	},
+	{
+		"target": "<<UBook, ref>>",
+		"forward": []map[string]any{
+			{"source": "Library", "query": "[{'LIB', k, x} | {k, x} <- <<books, isbn>>]"},
+			{"source": "Shop", "query": "[{'SHOP', k, x} | {k, x} <- <<items, barcode>>]"},
+		},
+	},
+}
+
+var remoteWorkload = []map[string]any{
+	{"query": "count(<<library_books>>)", "version": 0},
+	{"query": "[x | {k, x} <- <<shop_items, price>>; x > 10.0]", "version": 0},
+	{"query": "count(<<UBook>>)", "version": 1},
+	{"query": "[x | {s, k, x} <- <<UBook, ref>>]", "version": 1},
+	{"query": "count(<<UBook>>)"}, // latest
+}
+
+// TestRemoteSourcesCrashRecovery is the acceptance path for remote
+// participants: a full pay-as-you-go session over one SQL source and
+// one REST source — register, federate, intersect, query — survives a
+// daemon crash, rebuilt from -data-dir alone, with byte-identical
+// answers for every published schema version (the backends stay up; a
+// restored session reattaches to them live).
+func TestRemoteSourcesCrashRecovery(t *testing.T) {
+	const dsn = "server-remote-library"
+	remoteSQLDB(dsn)
+	shop := remoteRESTBackend(t)
+	dir := t.TempDir()
+
+	s1, c1 := newDurableClient(t, dir)
+	registerRemoteSources(c1, dsn, shop.URL)
+	c1.must("POST", "/federate", map[string]any{"name": "F"}, http.StatusCreated)
+	c1.must("POST", "/intersect", map[string]any{"name": "I1", "mappings": remoteUBookMappings}, http.StatusCreated)
+
+	before := make([]string, len(remoteWorkload))
+	for i, q := range remoteWorkload {
+		before[i] = canonicalAnswer(t, c1.must("POST", "/query", q, http.StatusOK))
+	}
+	// Both backends actually contribute: the ref extent carries the
+	// SQL-only and the REST-only identifiers.
+	if !strings.Contains(before[3], "978-3") || !strings.Contains(before[3], "978-9") {
+		t.Fatalf("integrated ref extent is missing backend data: %s", before[3])
+	}
+
+	// Crash: abandon the first server; a new one rebuilds from disk and
+	// reattaches to the still-running backends.
+	s2, c2 := newDurableClient(t, dir)
+	if n := s2.Sessions().Len(); n != 1 {
+		t.Fatalf("restored %d sessions, want 1", n)
+	}
+	_ = s1
+	for i, q := range remoteWorkload {
+		after := canonicalAnswer(t, c2.must("POST", "/query", q, http.StatusOK))
+		if after != before[i] {
+			t.Errorf("query %v differs after crash recovery:\nbefore %s\nafter  %s", q, before[i], after)
+		}
+	}
+
+	// The restored session keeps integrating across both backends.
+	c2.must("POST", "/refine", map[string]any{
+		"name": "prices",
+		"mapping": map[string]any{
+			"target": "<<UBook, price>>",
+			"forward": []map[string]any{
+				{"source": "Shop", "query": "[{'SHOP', k, x} | {k, x} <- <<items, price>>]"},
+			},
+		},
+	}, http.StatusCreated)
+	q := c2.must("POST", "/query", map[string]any{"query": "count(<<UBook, price>>)"}, http.StatusOK)
+	if q["value"].(float64) != 3 {
+		t.Fatalf("post-recovery price count = %v, want 3", q["value"])
+	}
+}
+
+// TestRemoteSourcesOutageFallback: after a snapshot, a session whose
+// backends vanished restores and still answers from the materialised
+// snapshot extents.
+func TestRemoteSourcesOutageFallback(t *testing.T) {
+	const dsn = "server-outage-library"
+	remoteSQLDB(dsn)
+	shop := remoteRESTBackend(t)
+	dir := t.TempDir()
+
+	_, c1 := newDurableClient(t, dir)
+	registerRemoteSources(c1, dsn, shop.URL)
+	c1.must("POST", "/federate", map[string]any{"name": "F"}, http.StatusCreated)
+	want := canonicalAnswer(t, c1.must("POST", "/query",
+		map[string]any{"query": "count(<<library_books>>) + count(<<shop_items>>)"}, http.StatusOK))
+
+	// Both backends die before the restart.
+	sqlmem.Unregister(dsn)
+	shop.Close()
+
+	_, c2 := newDurableClient(t, dir)
+	got := canonicalAnswer(t, c2.must("POST", "/query",
+		map[string]any{"query": "count(<<library_books>>) + count(<<shop_items>>)"}, http.StatusOK))
+	if got != want {
+		t.Errorf("fallback answer differs:\nbefore outage %s\nafter restore %s", want, got)
+	}
+}
+
+// TestSourcesVariantValidation: the endpoint requires exactly one
+// backend variant per registration.
+func TestSourcesVariantValidation(t *testing.T) {
+	_, c := newTestClient(t, DefaultConfig())
+	status, body := c.do("POST", "/sources", map[string]any{
+		"name":    "X",
+		"csv_dir": "/nowhere",
+		"sql":     map[string]any{"driver": "d", "dsn": "x"},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("two variants accepted: %d %v", status, body)
+	}
+	status, _ = c.do("POST", "/sources", map[string]any{"name": "X"})
+	if status != http.StatusBadRequest {
+		t.Fatal("zero variants accepted")
+	}
+	// A REST registration against a dead endpoint fails cleanly.
+	status, body = c.do("POST", "/sources", map[string]any{
+		"name": "R",
+		"rest": map[string]any{"endpoint": "http://127.0.0.1:9/api"},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("dead endpoint accepted: %d %v", status, body)
+	}
+}

@@ -1,0 +1,308 @@
+// Package sqlmem is an in-process database/sql driver backed by the
+// rel in-memory engine. It exists so the SQL wrapper (and every test
+// that needs a live database/sql backend) can run without cgo, network
+// access, or external driver modules: a rel.DB is registered under a
+// DSN, and database/sql connections to that DSN introspect and scan it
+// through the standard driver interfaces.
+//
+// The driver is deliberately not a SQL engine. It understands exactly
+// the statement shapes the wrapper's dialects emit — the sqlite_master
+// / PRAGMA table_info introspection queries, their information_schema
+// equivalents, and simple column projections — and rejects everything
+// else. Registered databases are read-only through this driver.
+//
+// A per-DSN artificial latency (SetDelay) makes connections slow on
+// demand, which is how tests exercise prefetch overlap and context
+// cancellation against a "remote" SQL backend.
+package sqlmem
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/dataspace/automed/internal/rel"
+)
+
+// DriverName is the name this package registers with database/sql.
+const DriverName = "sqlmem"
+
+func init() {
+	sql.Register(DriverName, drv{})
+}
+
+var (
+	mu      sync.Mutex
+	sources = make(map[string]*entry)
+)
+
+type entry struct {
+	db    *rel.DB
+	delay time.Duration
+}
+
+// Register installs (or replaces) the database served for a DSN.
+func Register(dsn string, db *rel.DB) {
+	mu.Lock()
+	defer mu.Unlock()
+	sources[dsn] = &entry{db: db}
+}
+
+// SetDelay makes every query against the DSN block for d first
+// (cancellable via the query context); it simulates a slow remote
+// backend. Registering the DSN again resets the delay.
+func SetDelay(dsn string, d time.Duration) {
+	mu.Lock()
+	defer mu.Unlock()
+	if e, ok := sources[dsn]; ok {
+		e.delay = d
+	}
+}
+
+// Unregister removes a DSN; live connections start failing, which is
+// how tests simulate a vanished backend.
+func Unregister(dsn string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(sources, dsn)
+}
+
+func lookup(dsn string) (*rel.DB, time.Duration, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	e, ok := sources[dsn]
+	if !ok {
+		return nil, 0, fmt.Errorf("sqlmem: no database registered for DSN %q", dsn)
+	}
+	return e.db, e.delay, nil
+}
+
+type drv struct{}
+
+// Open implements driver.Driver. The DSN is resolved per query, so a
+// database registered (or replaced) after sql.Open is still picked up.
+func (drv) Open(dsn string) (driver.Conn, error) {
+	if _, _, err := lookup(dsn); err != nil {
+		return nil, err
+	}
+	return &conn{dsn: dsn}, nil
+}
+
+type conn struct{ dsn string }
+
+func (c *conn) Prepare(q string) (driver.Stmt, error) { return &stmt{c: c, q: q}, nil }
+func (c *conn) Close() error                          { return nil }
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, fmt.Errorf("sqlmem: transactions are not supported")
+}
+
+// QueryContext implements driver.QueryerContext, the path database/sql
+// prefers; the artificial per-DSN delay is applied here under the
+// caller's context so cancellation interrupts a "slow" backend.
+func (c *conn) QueryContext(ctx context.Context, q string, args []driver.NamedValue) (driver.Rows, error) {
+	vals := make([]driver.Value, len(args))
+	for i, a := range args {
+		vals[i] = a.Value
+	}
+	return c.query(ctx, q, vals)
+}
+
+type stmt struct {
+	c *conn
+	q string
+}
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return -1 }
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return nil, fmt.Errorf("sqlmem: the driver is read-only")
+}
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.c.query(context.Background(), s.q, args)
+}
+
+func (c *conn) query(ctx context.Context, q string, args []driver.Value) (driver.Rows, error) {
+	db, delay, err := lookup(c.dsn)
+	if err != nil {
+		return nil, err
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return dispatch(db, q, args)
+}
+
+// normalize collapses runs of whitespace so statement matching is
+// insensitive to the formatting of the emitting dialect.
+func normalize(q string) string {
+	return strings.Join(strings.Fields(strings.TrimSpace(q)), " ")
+}
+
+// The introspection statements the wrapper dialects emit, normalized.
+// sqlmem hosts a single database per DSN, so the DATABASE() scoping of
+// the information_schema dialect is trivially satisfied.
+const (
+	qSQLiteTables = `SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name`
+	qInfoTables   = `SELECT table_name FROM information_schema.tables WHERE table_type = 'BASE TABLE' AND table_schema = DATABASE() ORDER BY table_name`
+	qInfoColumns  = `SELECT column_name FROM information_schema.columns WHERE table_schema = DATABASE() AND table_name = ? ORDER BY ordinal_position`
+	qInfoPK       = `SELECT kcu.column_name FROM information_schema.table_constraints tc JOIN information_schema.key_column_usage kcu ON kcu.constraint_name = tc.constraint_name AND kcu.table_schema = tc.table_schema AND kcu.table_name = tc.table_name WHERE tc.constraint_type = 'PRIMARY KEY' AND tc.table_schema = DATABASE() AND tc.table_name = ? ORDER BY kcu.ordinal_position`
+)
+
+func dispatch(db *rel.DB, rawQ string, args []driver.Value) (driver.Rows, error) {
+	q := normalize(rawQ)
+	switch q {
+	case qSQLiteTables, qInfoTables:
+		names := db.TableNames()
+		sort.Strings(names)
+		rows := make([][]driver.Value, len(names))
+		for i, n := range names {
+			rows[i] = []driver.Value{n}
+		}
+		return &memRows{cols: []string{"name"}, data: rows}, nil
+	case qInfoColumns:
+		t, err := argTable(db, args)
+		if err != nil {
+			return nil, err
+		}
+		var rows [][]driver.Value
+		for _, c := range t.Columns() {
+			rows = append(rows, []driver.Value{c.Name})
+		}
+		return &memRows{cols: []string{"column_name"}, data: rows}, nil
+	case qInfoPK:
+		t, err := argTable(db, args)
+		if err != nil {
+			return nil, err
+		}
+		return &memRows{
+			cols: []string{"column_name"},
+			data: [][]driver.Value{{t.PrimaryKey()}},
+		}, nil
+	}
+	if name, ok := strings.CutPrefix(q, "PRAGMA table_info("); ok {
+		name = strings.TrimSuffix(name, ")")
+		t, ok := db.Table(unquoteIdent(name))
+		if !ok {
+			return nil, fmt.Errorf("sqlmem: no such table: %s", name)
+		}
+		var rows [][]driver.Value
+		for i, c := range t.Columns() {
+			pk := int64(0)
+			if c.Name == t.PrimaryKey() {
+				pk = 1
+			}
+			rows = append(rows, []driver.Value{
+				int64(i), c.Name, sqliteTypeName(c.Type), int64(0), nil, pk,
+			})
+		}
+		return &memRows{
+			cols: []string{"cid", "name", "type", "notnull", "dflt_value", "pk"},
+			data: rows,
+		}, nil
+	}
+	return selectRows(db, q)
+}
+
+func argTable(db *rel.DB, args []driver.Value) (*rel.Table, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("sqlmem: want 1 argument, got %d", len(args))
+	}
+	name, ok := args[0].(string)
+	if !ok {
+		return nil, fmt.Errorf("sqlmem: table-name argument must be a string, got %T", args[0])
+	}
+	t, ok := db.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("sqlmem: no such table: %s", name)
+	}
+	return t, nil
+}
+
+// selectRows serves `SELECT <idents> FROM <table>` projections, the
+// only data statements the wrapper emits. Identifiers may be
+// double-quoted.
+func selectRows(db *rel.DB, q string) (driver.Rows, error) {
+	rest, ok := strings.CutPrefix(q, "SELECT ")
+	if !ok {
+		return nil, fmt.Errorf("sqlmem: unsupported statement %q", q)
+	}
+	colPart, table, ok := strings.Cut(rest, " FROM ")
+	if !ok || strings.ContainsAny(table, " ") {
+		return nil, fmt.Errorf("sqlmem: unsupported statement %q", q)
+	}
+	t, found := db.Table(unquoteIdent(table))
+	if !found {
+		return nil, fmt.Errorf("sqlmem: no such table: %s", table)
+	}
+	var cols []string
+	for _, c := range strings.Split(colPart, ",") {
+		cols = append(cols, unquoteIdent(strings.TrimSpace(c)))
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j, ok := t.ColIndex(c)
+		if !ok {
+			return nil, fmt.Errorf("sqlmem: table %q has no column %q", t.Name(), c)
+		}
+		idx[i] = j
+	}
+	data := make([][]driver.Value, t.Len())
+	for rn, row := range t.Rows() {
+		out := make([]driver.Value, len(idx))
+		for i, j := range idx {
+			out[i] = row[j] // rel cells are int64/float64/string/bool/nil: all driver.Values
+		}
+		data[rn] = out
+	}
+	return &memRows{cols: cols, data: data}, nil
+}
+
+func unquoteIdent(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return strings.ReplaceAll(s[1:len(s)-1], `""`, `"`)
+	}
+	return s
+}
+
+func sqliteTypeName(t rel.Type) string {
+	switch t {
+	case rel.Int:
+		return "INTEGER"
+	case rel.Float:
+		return "REAL"
+	case rel.Bool:
+		return "BOOLEAN"
+	}
+	return "TEXT"
+}
+
+// memRows streams a materialised result set.
+type memRows struct {
+	cols []string
+	data [][]driver.Value
+	i    int
+}
+
+func (r *memRows) Columns() []string { return r.cols }
+func (r *memRows) Close() error      { return nil }
+func (r *memRows) Next(dest []driver.Value) error {
+	if r.i >= len(r.data) {
+		return io.EOF
+	}
+	copy(dest, r.data[r.i])
+	r.i++
+	return nil
+}

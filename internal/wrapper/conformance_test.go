@@ -1,0 +1,146 @@
+package wrapper_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/rel"
+	"github.com/dataspace/automed/internal/sqlmem"
+	"github.com/dataspace/automed/internal/wrapper"
+	"github.com/dataspace/automed/internal/wrapper/wrappertest"
+)
+
+// conformanceDB is the fixture every relational-shaped factory shares:
+// two tables, every cell type, NULLs, and an int64 beyond float64
+// precision (the snapshot round-trip must keep it exact).
+func conformanceDB() *rel.DB {
+	db := rel.NewDB("S")
+	books := db.MustCreateTable("books", []rel.Column{
+		{Name: "id", Type: rel.Int},
+		{Name: "title", Type: rel.String},
+		{Name: "price", Type: rel.Float},
+		{Name: "instock", Type: rel.Bool},
+	}, "id")
+	books.MustInsert(int64(1), "Dataspaces", 10.5, true)
+	books.MustInsert(int64(2), nil, 20.0, false)
+	books.MustInsert(int64(1<<60+7), "Precision", nil, nil)
+	loans := db.MustCreateTable("loans", []rel.Column{
+		{Name: "loan", Type: rel.String},
+		{Name: "book", Type: rel.Int},
+	}, "loan")
+	loans.MustInsert("L1", int64(1))
+	loans.MustInsert("L2", nil)
+	return db
+}
+
+func TestWrapperConformanceCSV(t *testing.T) {
+	wrappertest.Run(t, func(t *testing.T) wrapper.Wrapper {
+		dir := t.TempDir()
+		if err := rel.WriteCSVDir(conformanceDB(), dir); err != nil {
+			t.Fatal(err)
+		}
+		w, err := wrapper.NewCSVDir("S", dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	})
+}
+
+func TestWrapperConformanceStatic(t *testing.T) {
+	wrappertest.Run(t, func(t *testing.T) wrapper.Wrapper {
+		st := wrapper.NewStatic("G")
+		if err := st.Add(hdm.MustScheme("<<UBook>>"), hdm.Nodal, "sql", "table",
+			iql.Bag(iql.Int(1), iql.Int(2))); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Add(hdm.MustScheme("<<UBook, title>>"), hdm.Link, "sql", "column",
+			iql.Bag(iql.Tuple(iql.Int(1), iql.Str("a")), iql.Tuple(iql.Int(2), iql.Str("b")))); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	})
+}
+
+const conformanceXML = `
+<library>
+  <book isbn="978-1"><title>Dataspaces</title><author>Franklin</author></book>
+  <book isbn="978-2"><title>Schema Matching</title></book>
+</library>`
+
+func TestWrapperConformanceXML(t *testing.T) {
+	wrappertest.Run(t, func(t *testing.T) wrapper.Wrapper {
+		w, err := wrapper.NewXML("X", strings.NewReader(conformanceXML))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	})
+}
+
+var conformanceDSN atomic.Int64
+
+func TestWrapperConformanceSQL(t *testing.T) {
+	for _, dialect := range []string{wrapper.DialectSQLite, wrapper.DialectInformationSchema} {
+		t.Run(dialect, func(t *testing.T) {
+			// One DSN per dialect run: the suite's factories must agree on
+			// the backing database but stay isolated from other tests.
+			dsn := fmt.Sprintf("conformance-%d", conformanceDSN.Add(1))
+			sqlmem.Register(dsn, conformanceDB())
+			wrappertest.Run(t, func(t *testing.T) wrapper.Wrapper {
+				w, err := wrapper.NewSQL("S", wrapper.SQLConfig{
+					Driver:  sqlmem.DriverName,
+					DSN:     dsn,
+					Dialect: dialect,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return w
+			})
+		})
+	}
+}
+
+// restBackend serves a fixed two-collection JSON API for the
+// conformance suite, httptest-hosted so fetches go over real HTTP.
+func restBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /books", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `[
+			{"id": 1, "title": "Dataspaces", "price": 10.5, "instock": true},
+			{"id": 2, "price": 20, "instock": false},
+			{"id": 1152921504606846983, "title": "Precision"}
+		]`)
+	})
+	mux.HandleFunc("GET /loans", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `[{"id": "L1", "book": 1}, {"id": "L2"}]`)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestWrapperConformanceREST(t *testing.T) {
+	srv := restBackend(t)
+	wrappertest.Run(t, func(t *testing.T) wrapper.Wrapper {
+		w, err := wrapper.NewREST("R", wrapper.RESTConfig{
+			Endpoint: srv.URL,
+			Collections: []wrapper.RESTCollection{
+				{Name: "books", Fields: []string{"id", "instock", "price", "title"}},
+				{Name: "loans", Fields: []string{"book", "id"}},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	})
+}

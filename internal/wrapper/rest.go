@@ -1,0 +1,454 @@
+package wrapper
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+)
+
+// RESTCollection declares one collection served by a JSON/REST source.
+type RESTCollection struct {
+	// Name is the collection (and nodal object) name.
+	Name string
+	// Key names the field holding each record's identifier; defaults
+	// to "id".
+	Key string
+	// Path is the endpoint-relative path serving the collection as a
+	// JSON array of flat objects; defaults to "/<name>".
+	Path string
+	// Fields lists the record fields to expose as <<c, f>> link
+	// objects. Empty means infer them from one fetch at construction.
+	Fields []string
+}
+
+// RESTConfig configures a JSON/REST data source.
+type RESTConfig struct {
+	// Endpoint is the base URL; collection paths are appended to it.
+	Endpoint string
+	// Collections declares the served collections. Empty means
+	// discover them from a GET of the endpoint itself, which must
+	// return a JSON object mapping collection names to arrays of flat
+	// objects.
+	Collections []RESTCollection
+	// Timeout bounds each HTTP fetch (default 10s).
+	Timeout time.Duration
+	// MaxBytes bounds each response body (default 8 MiB); larger
+	// responses fail the fetch rather than exhaust memory.
+	MaxBytes int64
+	// Client optionally overrides the HTTP client (tests inject
+	// in-memory transports; production setups add auth or pooling).
+	Client *http.Client
+}
+
+const (
+	defaultRESTTimeout  = 10 * time.Second
+	defaultRESTMaxBytes = 8 << 20
+)
+
+// restColl is the resolved shape of one collection.
+type restColl struct {
+	name   string
+	key    string
+	path   string
+	fields []string
+}
+
+// REST wraps a JSON-over-HTTP data source: each collection becomes a
+// nodal <<c>> object whose extent is the bag of record keys, and each
+// field a link <<c, f>> object of {key, value} pairs — the same
+// conventions as the relational wrappers, so REST participants join
+// integrations symmetrically. Every extent fetch is one GET of the
+// collection's endpoint with a timeout, a single retry on transport
+// errors and 5xx responses, and a response-size budget. A wrapper
+// restored from a snapshot additionally carries the snapshot's
+// materialised extents and degrades to them when the endpoint is
+// unreachable.
+type REST struct {
+	name     string
+	cfg      RESTConfig
+	client   *http.Client
+	schema   *hdm.Schema
+	colls    map[string]restColl
+	order    []string
+	fallback map[string]iql.Value // scheme key → materialised extent
+}
+
+// NewREST builds a REST wrapper, fetching the endpoint as needed to
+// discover collections or infer undeclared fields.
+func NewREST(name string, cfg RESTConfig) (*REST, error) {
+	if name == "" {
+		return nil, fmt.Errorf("wrapper: rest: source name is required")
+	}
+	if cfg.Endpoint == "" {
+		return nil, fmt.Errorf("wrapper: rest: source %q: endpoint is required", name)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = defaultRESTTimeout
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = defaultRESTMaxBytes
+	}
+	w := &REST{name: name, cfg: cfg, client: cfg.Client, colls: make(map[string]restColl)}
+	if w.client == nil {
+		w.client = &http.Client{}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+	var colls []restColl
+	var err error
+	if len(cfg.Collections) == 0 {
+		colls, err = w.discover(ctx)
+	} else {
+		colls, err = w.declared(ctx, cfg.Collections)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := w.buildSchema(colls); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// declared resolves explicitly declared collections, fetching once to
+// infer the fields of any collection that does not declare them.
+func (w *REST) declared(ctx context.Context, specs []RESTCollection) ([]restColl, error) {
+	out := make([]restColl, 0, len(specs))
+	for _, spec := range specs {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("wrapper: rest: source %q: collection name is required", w.name)
+		}
+		c := restColl{name: spec.Name, key: spec.Key, path: normalizePath(spec.Path, spec.Name), fields: append([]string(nil), spec.Fields...)}
+		if c.key == "" {
+			c.key = "id"
+		}
+		if len(c.fields) == 0 {
+			rows, err := w.fetchRows(ctx, c)
+			if err != nil {
+				return nil, fmt.Errorf("wrapper: rest: source %q: inferring fields of %q: %w", w.name, c.name, err)
+			}
+			c.fields = inferFields(rows)
+		}
+		if !contains(c.fields, c.key) {
+			c.fields = append(c.fields, c.key)
+			sort.Strings(c.fields)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// discover lists collections from a GET of the endpoint root, which
+// must return an object mapping collection names to arrays of flat
+// records; keys default to "id" when present, else the first field.
+func (w *REST) discover(ctx context.Context) ([]restColl, error) {
+	body, err := w.get(ctx, "")
+	if err != nil {
+		return nil, fmt.Errorf("wrapper: rest: source %q: discovering collections: %w", w.name, err)
+	}
+	var root map[string]json.RawMessage
+	if err := decodeStrict(body, w.cfg.MaxBytes, &root); err != nil {
+		return nil, fmt.Errorf("wrapper: rest: source %q: discovering collections: endpoint root is not a JSON object: %w", w.name, err)
+	}
+	names := make([]string, 0, len(root))
+	for n := range root {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]restColl, 0, len(names))
+	for _, n := range names {
+		rows, err := decodeRESTRows(strings.NewReader(string(root[n])), w.cfg.MaxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: rest: source %q: collection %q: %w", w.name, n, err)
+		}
+		fields := inferFields(rows)
+		key := "id"
+		if !contains(fields, key) {
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("wrapper: rest: source %q: collection %q has no records to infer a key from", w.name, n)
+			}
+			key = fields[0]
+		}
+		out = append(out, restColl{name: n, key: key, path: "/" + n, fields: fields})
+	}
+	return out, nil
+}
+
+// normalizePath resolves a collection's endpoint-relative path: empty
+// means "/<name>", and a declared path always gets its leading slash.
+func normalizePath(path, name string) string {
+	if path == "" {
+		path = name
+	}
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	return path
+}
+
+func inferFields(rows []map[string]iql.Value) []string {
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		for f := range r {
+			seen[f] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (w *REST) buildSchema(colls []restColl) error {
+	s := hdm.NewSchema(w.name)
+	for _, c := range colls {
+		if err := s.Add(hdm.NewObject(hdm.NewScheme(c.name), hdm.Nodal, "rest", "collection")); err != nil {
+			return fmt.Errorf("wrapper: rest: source %q: %w", w.name, err)
+		}
+		for _, f := range c.fields {
+			if err := s.Add(hdm.NewObject(hdm.NewScheme(c.name, f), hdm.Link, "rest", "field")); err != nil {
+				return fmt.Errorf("wrapper: rest: source %q: %w", w.name, err)
+			}
+		}
+		w.colls[c.name] = c
+		w.order = append(w.order, c.name)
+	}
+	w.schema = s
+	return nil
+}
+
+// SchemaName implements Wrapper.
+func (w *REST) SchemaName() string { return w.name }
+
+// Schema implements Wrapper.
+func (w *REST) Schema() *hdm.Schema { return w.schema }
+
+// Config returns the wrapper's endpoint configuration.
+func (w *REST) Config() RESTConfig { return w.cfg }
+
+// Extent implements Wrapper.
+func (w *REST) Extent(parts []string) (iql.Value, error) {
+	return w.ExtentContext(context.Background(), parts)
+}
+
+// ExtentContext is Extent under a caller-supplied context: the fetch
+// aborts as soon as ctx is cancelled (the per-wrapper Timeout still
+// applies on top). Restored wrappers fall back to their materialised
+// snapshot extents when the live fetch fails.
+func (w *REST) ExtentContext(ctx context.Context, parts []string) (iql.Value, error) {
+	obj, err := w.schema.Resolve(parts)
+	if err != nil {
+		return iql.Value{}, err
+	}
+	sc := obj.Scheme
+	c, ok := w.colls[sc.Part(0)]
+	if !ok {
+		return iql.Value{}, fmt.Errorf("wrapper: rest: source %q: no collection %q", w.name, sc.Part(0))
+	}
+	rows, err := w.fetchRows(ctx, c)
+	if err != nil {
+		if fb, ok := w.fallback[sc.Key()]; ok && ctx.Err() == nil {
+			return fb, nil
+		}
+		return iql.Value{}, fmt.Errorf("wrapper: rest: source %q: fetching %s: %w", w.name, sc, err)
+	}
+	return extentFromRows(sc, c, rows)
+}
+
+// extentFromRows projects fetched records onto one object's extent.
+func extentFromRows(sc hdm.Scheme, c restColl, rows []map[string]iql.Value) (iql.Value, error) {
+	items := make([]iql.Value, 0, len(rows))
+	switch sc.Arity() {
+	case 1:
+		for i, r := range rows {
+			k, ok := r[c.key]
+			if !ok || k.IsNull() {
+				return iql.Value{}, fmt.Errorf("wrapper: rest: collection %q record %d has no key field %q", c.name, i, c.key)
+			}
+			items = append(items, k)
+		}
+	case 2:
+		field := sc.Part(1)
+		for i, r := range rows {
+			k, ok := r[c.key]
+			if !ok || k.IsNull() {
+				return iql.Value{}, fmt.Errorf("wrapper: rest: collection %q record %d has no key field %q", c.name, i, c.key)
+			}
+			v, ok := r[field]
+			if !ok || v.IsNull() {
+				continue // absent/null fields are absent from the extent, like relational NULLs
+			}
+			items = append(items, iql.Tuple(k, v))
+		}
+	default:
+		return iql.Value{}, fmt.Errorf("wrapper: rest: unsupported scheme %s", sc)
+	}
+	return iql.BagOf(items), nil
+}
+
+// fetchRows GETs a collection and decodes it, retrying exactly once on
+// transport errors and 5xx responses (4xx responses fail immediately:
+// retrying a rejected request cannot help).
+func (w *REST) fetchRows(ctx context.Context, c restColl) ([]map[string]iql.Value, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		body, err := w.get(ctx, c.path)
+		if err != nil {
+			lastErr = err
+			var re *restStatusError
+			if errors.As(err, &re) && re.code < 500 {
+				return nil, err
+			}
+			continue
+		}
+		rows, err := decodeRESTRows(body, w.cfg.MaxBytes)
+		if err != nil {
+			return nil, err // a malformed payload is not transient; don't re-download it
+		}
+		return rows, nil
+	}
+	return nil, fmt.Errorf("after retry: %w", lastErr)
+}
+
+// restStatusError reports a non-2xx response.
+type restStatusError struct {
+	code int
+	url  string
+}
+
+func (e *restStatusError) Error() string {
+	return fmt.Sprintf("GET %s: unexpected status %d", e.url, e.code)
+}
+
+// get performs one bounded GET and returns the response body reader
+// (already wrapped in the byte budget). The caller owns decoding.
+func (w *REST) get(ctx context.Context, path string) (io.Reader, error) {
+	url := strings.TrimSuffix(w.cfg.Endpoint, "/") + path
+	ctx, cancel := context.WithTimeout(ctx, w.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return nil, &restStatusError{code: resp.StatusCode, url: url}
+	}
+	// Read fully inside the request deadline; the +1 detects overflow.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, w.cfg.MaxBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > w.cfg.MaxBytes {
+		return nil, fmt.Errorf("GET %s: response exceeds the %d-byte budget", url, w.cfg.MaxBytes)
+	}
+	return bytes.NewReader(data), nil
+}
+
+// decodeStrict decodes exactly one JSON document within the byte
+// budget, rejecting trailing garbage.
+func decodeStrict(r io.Reader, maxBytes int64, v any) error {
+	br := &budgetReader{r: r, left: maxBytes + 1, max: maxBytes}
+	dec := json.NewDecoder(br)
+	dec.UseNumber()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON document")
+	}
+	return nil
+}
+
+// budgetReader fails reads that would exceed the byte budget.
+type budgetReader struct {
+	r    io.Reader
+	left int64
+	max  int64
+}
+
+func (b *budgetReader) Read(p []byte) (int, error) {
+	if b.left <= 0 {
+		return 0, fmt.Errorf("response exceeds the %d-byte budget", b.max)
+	}
+	if int64(len(p)) > b.left {
+		p = p[:b.left]
+	}
+	n, err := b.r.Read(p)
+	b.left -= int64(n)
+	return n, err
+}
+
+// decodeRESTRows decodes a JSON array of flat objects into records of
+// scalar IQL values. It is the extent decoder of the REST wrapper and
+// is deliberately strict: non-array documents, non-object elements,
+// nested field values, numbers that fit neither int64 nor float64, and
+// trailing garbage are all errors — never panics — so malformed remote
+// payloads fail the fetch cleanly.
+func decodeRESTRows(r io.Reader, maxBytes int64) ([]map[string]iql.Value, error) {
+	var raw []map[string]any
+	if err := decodeStrict(r, maxBytes, &raw); err != nil {
+		return nil, err
+	}
+	rows := make([]map[string]iql.Value, 0, len(raw))
+	for i, obj := range raw {
+		if obj == nil {
+			return nil, fmt.Errorf("record %d is null, not an object", i)
+		}
+		row := make(map[string]iql.Value, len(obj))
+		for f, v := range obj {
+			val, err := scalarValue(v)
+			if err != nil {
+				return nil, fmt.Errorf("record %d field %q: %w", i, f, err)
+			}
+			row[f] = val
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// scalarValue maps one decoded JSON field value onto an IQL scalar.
+// Integral numbers keep full int64 precision (the decoder uses
+// json.Number); everything else numeric must fit a float64.
+func scalarValue(v any) (iql.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return iql.Null(), nil
+	case bool:
+		return iql.Bool(x), nil
+	case string:
+		return iql.Str(x), nil
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return iql.Int(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return iql.Value{}, fmt.Errorf("number %q fits neither int64 nor float64", x.String())
+		}
+		return iql.Float(f), nil
+	}
+	return iql.Value{}, fmt.Errorf("unsupported JSON value of type %T (records must be flat)", v)
+}

@@ -1,0 +1,255 @@
+package wrapper_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/wrapper"
+)
+
+func TestRESTDiscovery(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/":
+			fmt.Fprint(w, `{"books": [{"id": 1, "title": "A"}], "loans": [{"ref": "L1"}]}`)
+		case "/books":
+			fmt.Fprint(w, `[{"id": 1, "title": "A"}]`)
+		case "/loans":
+			fmt.Fprint(w, `[{"ref": "L1"}]`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+	w, err := wrapper.NewREST("R", wrapper.RESTConfig{Endpoint: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// books: nodal + id + title; loans: nodal + ref (key inferred as
+	// the only field since "id" is absent).
+	if w.Schema().Len() != 5 {
+		t.Errorf("discovered schema has %d objects:\n%s", w.Schema().Len(), w.Schema().Describe())
+	}
+	v, err := w.Extent([]string{"loans"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(iql.Bag(iql.Str("L1"))) {
+		t.Errorf("loans extent = %s", v)
+	}
+}
+
+func TestRESTPathNormalization(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v2/stock" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, `[{"id": 1}]`)
+	}))
+	defer srv.Close()
+	// A declared path without a leading slash still resolves against
+	// the endpoint instead of mangling the URL.
+	w, err := wrapper.NewREST("R", wrapper.RESTConfig{
+		Endpoint:    srv.URL,
+		Collections: []wrapper.RESTCollection{{Name: "stock", Path: "v2/stock", Fields: []string{"id"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := w.Extent([]string{"stock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(iql.Bag(iql.Int(1))) {
+		t.Errorf("extent = %s", v)
+	}
+}
+
+func TestRESTRetryOnceOn5xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "flaky", http.StatusBadGateway)
+			return
+		}
+		fmt.Fprint(w, `[{"id": 1}]`)
+	}))
+	defer srv.Close()
+	w, err := wrapper.NewREST("R", wrapper.RESTConfig{
+		Endpoint:    srv.URL,
+		Collections: []wrapper.RESTCollection{{Name: "books", Fields: []string{"id"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := w.Extent([]string{"books"})
+	if err != nil {
+		t.Fatalf("one 502 defeated the retry: %v", err)
+	}
+	if !v.Equal(iql.Bag(iql.Int(1))) {
+		t.Errorf("extent = %s", v)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("backend saw %d requests, want 2 (original + one retry)", got)
+	}
+}
+
+func TestRESTNoRetryOn4xxAndRetryBound(t *testing.T) {
+	var calls atomic.Int32
+	status := http.StatusNotFound
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "nope", status)
+	}))
+	defer srv.Close()
+	w, err := wrapper.NewREST("R", wrapper.RESTConfig{
+		Endpoint:    srv.URL,
+		Collections: []wrapper.RESTCollection{{Name: "books", Fields: []string{"id"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Extent([]string{"books"}); err == nil {
+		t.Fatal("404 fetch succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("a 404 was retried: %d requests", got)
+	}
+	// Persistent 5xx: exactly one retry, then failure.
+	calls.Store(0)
+	status = http.StatusInternalServerError
+	if _, err := w.Extent([]string{"books"}); err == nil {
+		t.Fatal("persistent 500 fetch succeeded")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("persistent 500 saw %d requests, want 2", got)
+	}
+}
+
+func TestRESTResponseBudget(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `[{"id": 1, "blob": %q}]`, strings.Repeat("x", 4096))
+	}))
+	defer srv.Close()
+	w, err := wrapper.NewREST("R", wrapper.RESTConfig{
+		Endpoint:    srv.URL,
+		MaxBytes:    512,
+		Collections: []wrapper.RESTCollection{{Name: "books", Fields: []string{"blob", "id"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.Extent([]string{"books"})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("oversized response error = %v, want a budget violation", err)
+	}
+}
+
+func TestRESTTimeout(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Second)
+	}))
+	defer srv.Close()
+	w, err := wrapper.NewREST("R", wrapper.RESTConfig{
+		Endpoint:    srv.URL,
+		Timeout:     50 * time.Millisecond,
+		Collections: []wrapper.RESTCollection{{Name: "books", Fields: []string{"id"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := w.Extent([]string{"books"}); err == nil {
+		t.Fatal("slow endpoint did not time out")
+	}
+	// Two attempts of 50ms each, far below the handler's sleep.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("timeout fetch took %v", elapsed)
+	}
+}
+
+func TestRESTMalformedPayloads(t *testing.T) {
+	payload := ""
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, payload)
+	}))
+	defer srv.Close()
+	w, err := wrapper.NewREST("R", wrapper.RESTConfig{
+		Endpoint:    srv.URL,
+		Collections: []wrapper.RESTCollection{{Name: "books", Fields: []string{"id", "meta"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		`{"not": "an array"}`,
+		`[1, 2, 3]`,
+		`[{"id": 1}] trailing`,
+		`[{"id": {"nested": true}}]`,
+		`[{"id": 1e400}]`,
+		`[null]`,
+		`[{"id": 1}`,
+	} {
+		payload = bad
+		if _, err := w.Extent([]string{"books"}); err == nil {
+			t.Errorf("payload %q decoded without error", bad)
+		}
+	}
+	// Wrong-typed fields are fine as long as they are scalars: the
+	// common data model is dynamically typed.
+	payload = `[{"id": "k1", "meta": false}]`
+	v, err := w.Extent([]string{"books", "meta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(iql.Bag(iql.Tuple(iql.Str("k1"), iql.Bool(false)))) {
+		t.Errorf("meta extent = %s", v)
+	}
+	// A record without the declared key fails the extent.
+	payload = `[{"meta": true}]`
+	if _, err := w.Extent([]string{"books"}); err == nil {
+		t.Error("record without its key field was accepted")
+	}
+}
+
+func TestRESTRestoreFallsBackWhenEndpointDies(t *testing.T) {
+	srv := restBackend(t)
+	w, err := wrapper.NewREST("R", wrapper.RESTConfig{
+		Endpoint:    srv.URL,
+		Collections: []wrapper.RESTCollection{{Name: "books", Fields: []string{"id", "title"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := w.Extent([]string{"books", "title"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	restored, err := wrapper.Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Extent([]string{"books", "title"})
+	if err != nil {
+		t.Fatalf("restored wrapper with dead endpoint: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("fallback extent = %s, want %s", got, want)
+	}
+	// The original wrapper has no fallback; the outage surfaces.
+	if _, err := w.Extent([]string{"books", "title"}); err == nil {
+		t.Error("live wrapper with a dead endpoint succeeded")
+	}
+}

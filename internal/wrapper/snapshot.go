@@ -1,10 +1,14 @@
 package wrapper
 
 import (
+	"database/sql"
 	"encoding/json"
 	"fmt"
 	"math"
+	"net/http"
+	"sort"
 	"strings"
+	"time"
 
 	"github.com/dataspace/automed/internal/hdm"
 	"github.com/dataspace/automed/internal/iql"
@@ -23,7 +27,7 @@ type Snapshotter interface {
 // Snapshot is the JSON form of a serialisable wrapper. Exactly one of
 // the kind-specific payloads is populated, selected by Kind.
 type Snapshot struct {
-	// Kind is "relational" or "static".
+	// Kind is "relational", "static", "sql" or "rest".
 	Kind string `json:"kind"`
 	// Name is the data source schema name.
 	Name string `json:"name"`
@@ -32,6 +36,12 @@ type Snapshot struct {
 	Tables []TableSnapshot `json:"tables,omitempty"`
 	// Objects is the static payload: schema objects with their extents.
 	Objects []ObjectSnapshot `json:"objects,omitempty"`
+	// SQL is the SQL-backend payload: connection configuration plus
+	// the introspected schema and materialised fallback extents.
+	SQL *SQLSnapshot `json:"sql,omitempty"`
+	// REST is the JSON/REST payload: endpoint configuration plus the
+	// collection schema and materialised fallback extents.
+	REST *RESTSnapshot `json:"rest,omitempty"`
 }
 
 // TableSnapshot serialises one relational table.
@@ -58,6 +68,53 @@ type ObjectSnapshot struct {
 	Model     string       `json:"model,omitempty"`
 	Construct string       `json:"construct,omitempty"`
 	Extent    iql.ValueDTO `json:"extent"`
+}
+
+// ExtentSnapshot pairs a scheme with its materialised extent; the
+// remote-backend snapshot kinds use it for their fallback extents (the
+// schema itself is rebuilt from their table/collection metadata).
+type ExtentSnapshot struct {
+	Scheme string       `json:"scheme"`
+	Extent iql.ValueDTO `json:"extent"`
+}
+
+// SQLSnapshot is the durable form of a SQL wrapper: enough connection
+// configuration to reattach to the live backend, the introspected
+// table shapes to rebuild the schema without touching it, and the
+// extents materialised at snapshot time as an offline fallback.
+type SQLSnapshot struct {
+	Driver    string             `json:"driver"`
+	DSN       string             `json:"dsn"`
+	Dialect   string             `json:"dialect,omitempty"`
+	TimeoutMs int64              `json:"timeout_ms,omitempty"`
+	Tables    []SQLTableSnapshot `json:"tables"`
+	Extents   []ExtentSnapshot   `json:"extents,omitempty"`
+}
+
+// SQLTableSnapshot is one introspected table shape.
+type SQLTableSnapshot struct {
+	Name       string   `json:"name"`
+	PrimaryKey string   `json:"primary_key"`
+	Columns    []string `json:"columns"`
+}
+
+// RESTSnapshot is the durable form of a REST wrapper: the endpoint
+// configuration, the resolved collection shapes, and the extents
+// materialised at snapshot time as an offline fallback.
+type RESTSnapshot struct {
+	Endpoint    string                   `json:"endpoint"`
+	TimeoutMs   int64                    `json:"timeout_ms,omitempty"`
+	MaxBytes    int64                    `json:"max_bytes,omitempty"`
+	Collections []RESTCollectionSnapshot `json:"collections"`
+	Extents     []ExtentSnapshot         `json:"extents,omitempty"`
+}
+
+// RESTCollectionSnapshot is one resolved collection shape.
+type RESTCollectionSnapshot struct {
+	Name   string   `json:"name"`
+	Key    string   `json:"key"`
+	Path   string   `json:"path"`
+	Fields []string `json:"fields"`
 }
 
 // Snapshot implements Snapshotter for relational sources: tables in
@@ -101,6 +158,88 @@ func (w *Static) Snapshot() (*Snapshot, error) {
 	return snap, nil
 }
 
+// Snapshot implements Snapshotter for XML sources. XML wrappers hold
+// fully materialised extents, so they serialise as the "static" kind:
+// the restored wrapper serves identical extents without reparsing the
+// document.
+func (w *XML) Snapshot() (*Snapshot, error) {
+	snap := &Snapshot{Kind: "static", Name: w.name}
+	for _, o := range w.schema.Objects() {
+		snap.Objects = append(snap.Objects, ObjectSnapshot{
+			Scheme:    o.Scheme.String(),
+			Kind:      o.Kind.String(),
+			Model:     o.Model,
+			Construct: o.Construct,
+			Extent:    iql.EncodeValue(iql.BagOf(append([]iql.Value(nil), w.extents[o.Scheme.Key()]...))),
+		})
+	}
+	return snap, nil
+}
+
+// Snapshot implements Snapshotter for SQL sources: the connection
+// configuration plus the introspected schema, with every extent
+// materialised through the live backend as the restore-time fallback
+// (an already-offline wrapper re-emits its existing fallback, so
+// snapshots stay stable across backend outages).
+func (w *SQL) Snapshot() (*Snapshot, error) {
+	sqlSnap := &SQLSnapshot{
+		Driver:    w.cfg.Driver,
+		DSN:       w.cfg.DSN,
+		Dialect:   w.cfg.Dialect,
+		TimeoutMs: w.cfg.Timeout.Milliseconds(),
+	}
+	for _, t := range w.sortedTables() {
+		sqlSnap.Tables = append(sqlSnap.Tables, SQLTableSnapshot{
+			Name:       t.name,
+			PrimaryKey: t.pk,
+			Columns:    append([]string(nil), t.cols...),
+		})
+	}
+	for _, o := range w.schema.Objects() {
+		ext, err := w.Extent(o.Scheme.Parts())
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: sql: source %q: materialising %s: %w", w.name, o.Scheme, err)
+		}
+		sqlSnap.Extents = append(sqlSnap.Extents, ExtentSnapshot{
+			Scheme: o.Scheme.String(),
+			Extent: iql.EncodeValue(ext),
+		})
+	}
+	return &Snapshot{Kind: "sql", Name: w.name, SQL: sqlSnap}, nil
+}
+
+// Snapshot implements Snapshotter for REST sources, mirroring the SQL
+// strategy: endpoint configuration, collection shapes, and live-
+// materialised fallback extents (or the existing fallback when the
+// endpoint is unreachable).
+func (w *REST) Snapshot() (*Snapshot, error) {
+	restSnap := &RESTSnapshot{
+		Endpoint:  w.cfg.Endpoint,
+		TimeoutMs: w.cfg.Timeout.Milliseconds(),
+		MaxBytes:  w.cfg.MaxBytes,
+	}
+	for _, n := range w.order {
+		c := w.colls[n]
+		restSnap.Collections = append(restSnap.Collections, RESTCollectionSnapshot{
+			Name:   c.name,
+			Key:    c.key,
+			Path:   c.path,
+			Fields: append([]string(nil), c.fields...),
+		})
+	}
+	for _, o := range w.schema.Objects() {
+		ext, err := w.Extent(o.Scheme.Parts())
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: rest: source %q: materialising %s: %w", w.name, o.Scheme, err)
+		}
+		restSnap.Extents = append(restSnap.Extents, ExtentSnapshot{
+			Scheme: o.Scheme.String(),
+			Extent: iql.EncodeValue(ext),
+		})
+	}
+	return &Snapshot{Kind: "rest", Name: w.name, REST: restSnap}, nil
+}
+
 // SnapshotAll snapshots a slice of wrappers, failing with the name of
 // the first source that does not implement Snapshotter.
 func SnapshotAll(ws []Wrapper) ([]*Snapshot, error) {
@@ -119,8 +258,28 @@ func SnapshotAll(ws []Wrapper) ([]*Snapshot, error) {
 	return out, nil
 }
 
+// restorers maps each snapshot kind to its restore function; the keys
+// double as the authoritative list of supported kinds for error
+// reporting.
+var restorers = map[string]func(*Snapshot) (Wrapper, error){
+	"relational": restoreRelational,
+	"static":     restoreStatic,
+	"sql":        restoreSQL,
+	"rest":       restoreREST,
+}
+
+// RestoreKinds returns the snapshot kinds Restore understands, sorted.
+func RestoreKinds() []string {
+	kinds := make([]string, 0, len(restorers))
+	for k := range restorers {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
 // Restore rebuilds a wrapper from its snapshot. It is the inverse of
-// Snapshot for both supported kinds and validates as it goes, so a
+// Snapshot for every supported kind and validates as it goes, so a
 // corrupted snapshot yields an error, never a panic.
 func Restore(snap *Snapshot) (Wrapper, error) {
 	if snap == nil {
@@ -129,13 +288,12 @@ func Restore(snap *Snapshot) (Wrapper, error) {
 	if snap.Name == "" {
 		return nil, fmt.Errorf("wrapper: snapshot has no source name")
 	}
-	switch snap.Kind {
-	case "relational":
-		return restoreRelational(snap)
-	case "static":
-		return restoreStatic(snap)
+	fn, ok := restorers[snap.Kind]
+	if !ok {
+		return nil, fmt.Errorf("wrapper: unknown snapshot kind %q (registered kinds: %s)",
+			snap.Kind, strings.Join(RestoreKinds(), ", "))
 	}
-	return nil, fmt.Errorf("wrapper: unknown snapshot kind %q", snap.Kind)
+	return fn(snap)
 }
 
 func restoreRelational(snap *Snapshot) (Wrapper, error) {
@@ -232,6 +390,107 @@ func decodeCell(cell any, ty rel.Type) (any, error) {
 		}
 		return s, nil
 	}
+}
+
+// decodeFallback rebuilds a fallback extent map, validating every
+// scheme against the restored schema.
+func decodeFallback(sourceName string, schema *hdm.Schema, exts []ExtentSnapshot) (map[string]iql.Value, error) {
+	out := make(map[string]iql.Value, len(exts))
+	for _, es := range exts {
+		sc, err := hdm.ParseScheme(es.Scheme)
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: source %q: %w", sourceName, err)
+		}
+		if !schema.Has(sc) {
+			return nil, fmt.Errorf("wrapper: source %q: snapshot extent for %s, which the schema lacks", sourceName, sc)
+		}
+		v, err := iql.DecodeValue(es.Extent)
+		if err != nil {
+			return nil, fmt.Errorf("wrapper: source %q extent %s: %w", sourceName, sc, err)
+		}
+		out[sc.Key()] = v
+	}
+	return out, nil
+}
+
+// restoreSQL rebuilds a SQL wrapper without touching the backend: the
+// schema comes from the snapshot's table metadata and connections stay
+// lazy, so restore succeeds even while the database is down. If the
+// driver is not compiled into this binary the wrapper starts offline
+// and serves the snapshot's materialised extents.
+func restoreSQL(snap *Snapshot) (Wrapper, error) {
+	s := snap.SQL
+	if s == nil {
+		return nil, fmt.Errorf("wrapper: source %q: sql snapshot has no sql payload", snap.Name)
+	}
+	if s.Driver == "" || s.DSN == "" {
+		return nil, fmt.Errorf("wrapper: source %q: sql snapshot needs driver and dsn", snap.Name)
+	}
+	if _, err := sqlDialectFor(s.Dialect); err != nil {
+		return nil, fmt.Errorf("wrapper: source %q: %w", snap.Name, err)
+	}
+	cfg := SQLConfig{Driver: s.Driver, DSN: s.DSN, Dialect: s.Dialect, Timeout: time.Duration(s.TimeoutMs) * time.Millisecond}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = defaultSQLTimeout
+	}
+	w := &SQL{name: snap.Name, cfg: cfg}
+	tables := make([]sqlTable, 0, len(s.Tables))
+	for _, ts := range s.Tables {
+		tables = append(tables, sqlTable{name: ts.Name, pk: ts.PrimaryKey, cols: append([]string(nil), ts.Columns...)})
+	}
+	if err := w.buildSchema(tables); err != nil {
+		return nil, err
+	}
+	fb, err := decodeFallback(snap.Name, w.schema, s.Extents)
+	if err != nil {
+		return nil, err
+	}
+	w.fallback = fb
+	// sql.Open fails only for unregistered drivers; that leaves the
+	// wrapper in offline (fallback-only) mode rather than failing the
+	// whole session restore.
+	if db, err := sql.Open(cfg.Driver, cfg.DSN); err == nil {
+		w.db = db
+	}
+	return w, nil
+}
+
+// restoreREST rebuilds a REST wrapper without touching the endpoint:
+// the schema comes from the snapshot's collection metadata, live
+// fetches resume lazily, and the snapshot's materialised extents serve
+// as the fallback while the endpoint is unreachable.
+func restoreREST(snap *Snapshot) (Wrapper, error) {
+	r := snap.REST
+	if r == nil {
+		return nil, fmt.Errorf("wrapper: source %q: rest snapshot has no rest payload", snap.Name)
+	}
+	if r.Endpoint == "" {
+		return nil, fmt.Errorf("wrapper: source %q: rest snapshot needs an endpoint", snap.Name)
+	}
+	cfg := RESTConfig{Endpoint: r.Endpoint, Timeout: time.Duration(r.TimeoutMs) * time.Millisecond, MaxBytes: r.MaxBytes}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = defaultRESTTimeout
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = defaultRESTMaxBytes
+	}
+	w := &REST{name: snap.Name, cfg: cfg, client: &http.Client{}, colls: make(map[string]restColl)}
+	colls := make([]restColl, 0, len(r.Collections))
+	for _, cs := range r.Collections {
+		if cs.Name == "" || cs.Key == "" {
+			return nil, fmt.Errorf("wrapper: source %q: rest snapshot collection needs name and key", snap.Name)
+		}
+		colls = append(colls, restColl{name: cs.Name, key: cs.Key, path: normalizePath(cs.Path, cs.Name), fields: append([]string(nil), cs.Fields...)})
+	}
+	if err := w.buildSchema(colls); err != nil {
+		return nil, err
+	}
+	fb, err := decodeFallback(snap.Name, w.schema, r.Extents)
+	if err != nil {
+		return nil, err
+	}
+	w.fallback = fb
+	return w, nil
 }
 
 func restoreStatic(snap *Snapshot) (Wrapper, error) {

@@ -1,0 +1,163 @@
+package wrapper_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/sqlmem"
+	"github.com/dataspace/automed/internal/wrapper"
+)
+
+var sqlTestDSN atomic.Int64
+
+func newSQLFixture(t *testing.T, dialect string) (*wrapper.SQL, string) {
+	t.Helper()
+	dsn := fmt.Sprintf("sqltest-%d", sqlTestDSN.Add(1))
+	sqlmem.Register(dsn, conformanceDB())
+	w, err := wrapper.NewSQL("S", wrapper.SQLConfig{
+		Driver:  sqlmem.DriverName,
+		DSN:     dsn,
+		Dialect: dialect,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, dsn
+}
+
+func TestSQLIntrospection(t *testing.T) {
+	for _, dialect := range []string{wrapper.DialectSQLite, wrapper.DialectInformationSchema} {
+		t.Run(dialect, func(t *testing.T) {
+			w, _ := newSQLFixture(t, dialect)
+			// 2 tables + 4 + 2 columns.
+			if w.Schema().Len() != 8 {
+				t.Errorf("schema objects = %d, want 8:\n%s", w.Schema().Len(), w.Schema().Describe())
+			}
+			obj, err := w.Schema().Resolve([]string{"books", "title"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if obj.Kind != hdm.Link || obj.Model != "sql" || obj.Construct != "column" {
+				t.Errorf("column object = %+v", obj)
+			}
+		})
+	}
+}
+
+func TestSQLExtents(t *testing.T) {
+	w, _ := newSQLFixture(t, wrapper.DialectSQLite)
+	// Table extent: bag of primary keys, int64-exact.
+	v, err := w.Extent([]string{"books"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := iql.Bag(iql.Int(1), iql.Int(2), iql.Int(1<<60+7))
+	if !v.Equal(want) {
+		t.Errorf("books extent = %s, want %s", v, want)
+	}
+	// Column extent: {key, value} pairs, NULLs absent.
+	v, err = w.Extent([]string{"books", "title"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = iql.Bag(
+		iql.Tuple(iql.Int(1), iql.Str("Dataspaces")),
+		iql.Tuple(iql.Int(1<<60+7), iql.Str("Precision")),
+	)
+	if !v.Equal(want) {
+		t.Errorf("title extent = %s, want %s", v, want)
+	}
+	// Bool and float columns map losslessly.
+	v, err = w.Extent([]string{"books", "instock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(iql.Bag(iql.Tuple(iql.Int(1), iql.Bool(true)), iql.Tuple(iql.Int(2), iql.Bool(false)))) {
+		t.Errorf("instock extent = %s", v)
+	}
+}
+
+func TestSQLContextCancellationMidQuery(t *testing.T) {
+	w, dsn := newSQLFixture(t, wrapper.DialectSQLite)
+	sqlmem.SetDelay(dsn, 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := w.ExtentContext(ctx, []string{"books"})
+	if err == nil {
+		t.Fatal("fetch against a slow backend ignored its deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v; the fetch was not interrupted", elapsed)
+	}
+}
+
+func TestSQLOfflineRestoreServesFallback(t *testing.T) {
+	w, dsn := newSQLFixture(t, wrapper.DialectSQLite)
+	snap, err := w.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a restored daemon whose backend is gone.
+	sqlmem.Unregister(dsn)
+	restored, err := wrapper.Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := restored.Extent([]string{"books", "title"})
+	if err != nil {
+		t.Fatalf("fallback extent: %v", err)
+	}
+	if v.Len() != 2 {
+		t.Errorf("fallback title extent = %s", v)
+	}
+	// The original wrapper has no fallback: losing the backend is an
+	// error for it, not silent staleness.
+	if _, err := w.Extent([]string{"books", "title"}); err == nil {
+		t.Error("live wrapper with a vanished backend succeeded")
+	}
+}
+
+func TestSQLConstructionErrors(t *testing.T) {
+	if _, err := wrapper.NewSQL("", wrapper.SQLConfig{Driver: "x", DSN: "y"}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := wrapper.NewSQL("S", wrapper.SQLConfig{Driver: sqlmem.DriverName}); err == nil {
+		t.Error("missing DSN accepted")
+	}
+	if _, err := wrapper.NewSQL("S", wrapper.SQLConfig{Driver: sqlmem.DriverName, DSN: "x", Dialect: "oracle"}); err == nil {
+		t.Error("unknown dialect accepted")
+	}
+	if _, err := wrapper.NewSQL("S", wrapper.SQLConfig{Driver: sqlmem.DriverName, DSN: "never-registered"}); err == nil {
+		t.Error("unregistered DSN accepted")
+	}
+}
+
+func TestRestoreUnknownKindNamesKinds(t *testing.T) {
+	_, err := wrapper.Restore(&wrapper.Snapshot{Kind: "alien", Name: "x"})
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"alien"`) {
+		t.Errorf("error %q does not name the offending kind", msg)
+	}
+	for _, kind := range wrapper.RestoreKinds() {
+		if !strings.Contains(msg, kind) {
+			t.Errorf("error %q does not list registered kind %q", msg, kind)
+		}
+	}
+	if want := "relational, rest, sql, static"; strings.Join(wrapper.RestoreKinds(), ", ") != want {
+		t.Errorf("RestoreKinds() = %v, want %s", wrapper.RestoreKinds(), want)
+	}
+}

@@ -1,0 +1,411 @@
+package wrapper
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+)
+
+// SQLConfig configures a SQL-over-the-wire data source.
+type SQLConfig struct {
+	// Driver is the database/sql driver name; the hosting binary must
+	// import (and thereby register) the driver itself.
+	Driver string
+	// DSN is the driver-specific connection string.
+	DSN string
+	// Dialect selects the schema-introspection strategy: "sqlite"
+	// (sqlite_master + PRAGMA table_info, the default) or
+	// "information_schema" (standard information_schema views with ?
+	// placeholders).
+	Dialect string
+	// Timeout bounds every introspection query and extent fetch; it
+	// combines with (never extends) the caller's context. Defaults to
+	// 30s.
+	Timeout time.Duration
+}
+
+const defaultSQLTimeout = 30 * time.Second
+
+// sqlTable is the introspected shape of one table.
+type sqlTable struct {
+	name string
+	pk   string
+	cols []string
+}
+
+// SQL wraps a live relational database reached through database/sql:
+// the schema is introspected from the catalog at construction, and
+// extents are streamed from the backend on every fetch, so the wrapper
+// always reflects the current contents. A wrapper restored from a
+// snapshot additionally carries the snapshot's materialised extents
+// and degrades to them when the backend is unreachable.
+type SQL struct {
+	name     string
+	cfg      SQLConfig
+	db       *sql.DB // nil when restored without a usable driver
+	schema   *hdm.Schema
+	tables   map[string]sqlTable
+	fallback map[string]iql.Value // scheme key → materialised extent
+}
+
+// NewSQL opens the configured database, introspects its tables and
+// columns through the dialect, and exposes them exactly like the
+// in-memory relational wrapper: nodal <<t>> objects whose extent is
+// the bag of primary-key values, link <<t, c>> objects whose extent is
+// the bag of {key, value} pairs.
+func NewSQL(name string, cfg SQLConfig) (*SQL, error) {
+	if name == "" {
+		return nil, fmt.Errorf("wrapper: sql: source name is required")
+	}
+	if cfg.Driver == "" || cfg.DSN == "" {
+		return nil, fmt.Errorf("wrapper: sql: source %q: driver and dsn are required", name)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = defaultSQLTimeout
+	}
+	d, err := sqlDialectFor(cfg.Dialect)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper: sql: source %q: %w", name, err)
+	}
+	cfg.Dialect = d.name()
+	db, err := sql.Open(cfg.Driver, cfg.DSN)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper: sql: source %q: %w", name, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+	tables, err := d.tables(ctx, db)
+	if err != nil {
+		db.Close()
+		return nil, fmt.Errorf("wrapper: sql: source %q: introspecting schema: %w", name, err)
+	}
+	w := &SQL{name: name, cfg: cfg, db: db}
+	if err := w.buildSchema(tables); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// buildSchema installs the introspected tables as HDM objects, using
+// the same scheme conventions as the in-memory relational wrapper.
+func (w *SQL) buildSchema(tables []sqlTable) error {
+	s := hdm.NewSchema(w.name)
+	byName := make(map[string]sqlTable, len(tables))
+	for _, t := range tables {
+		if t.name == "" || len(t.cols) == 0 {
+			return fmt.Errorf("wrapper: sql: source %q: introspected table %q has no columns", w.name, t.name)
+		}
+		if t.pk == "" {
+			t.pk = t.cols[0]
+		}
+		if !contains(t.cols, t.pk) {
+			return fmt.Errorf("wrapper: sql: source %q table %q: primary key %q is not a column",
+				w.name, t.name, t.pk)
+		}
+		if err := s.Add(hdm.NewObject(hdm.NewScheme(t.name), hdm.Nodal, "sql", "table")); err != nil {
+			return fmt.Errorf("wrapper: sql: source %q: %w", w.name, err)
+		}
+		for _, c := range t.cols {
+			if err := s.Add(hdm.NewObject(hdm.NewScheme(t.name, c), hdm.Link, "sql", "column")); err != nil {
+				return fmt.Errorf("wrapper: sql: source %q: %w", w.name, err)
+			}
+		}
+		byName[t.name] = t
+	}
+	w.schema = s
+	w.tables = byName
+	return nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// SchemaName implements Wrapper.
+func (w *SQL) SchemaName() string { return w.name }
+
+// Schema implements Wrapper.
+func (w *SQL) Schema() *hdm.Schema { return w.schema }
+
+// Config returns the wrapper's connection configuration.
+func (w *SQL) Config() SQLConfig { return w.cfg }
+
+// Offline reports whether the wrapper lost its live connection and is
+// serving only the snapshot's materialised extents (possible only for
+// restored wrappers whose driver is absent from the binary).
+func (w *SQL) Offline() bool { return w.db == nil }
+
+// Extent implements Wrapper.
+func (w *SQL) Extent(parts []string) (iql.Value, error) {
+	return w.ExtentContext(context.Background(), parts)
+}
+
+// ExtentContext is Extent under a caller-supplied context: the fetch is
+// abandoned as soon as ctx is cancelled (the per-wrapper Timeout still
+// applies on top). Restored wrappers fall back to their materialised
+// snapshot extents when the live fetch fails.
+func (w *SQL) ExtentContext(ctx context.Context, parts []string) (iql.Value, error) {
+	obj, err := w.schema.Resolve(parts)
+	if err != nil {
+		return iql.Value{}, err
+	}
+	sc := obj.Scheme
+	if w.db == nil {
+		if v, ok := w.fallback[sc.Key()]; ok {
+			return v, nil
+		}
+		return iql.Value{}, fmt.Errorf("wrapper: sql: source %q is offline and has no materialised extent for %s", w.name, sc)
+	}
+	v, err := w.fetch(ctx, sc)
+	if err != nil {
+		if fb, ok := w.fallback[sc.Key()]; ok && ctx.Err() == nil {
+			return fb, nil
+		}
+		return iql.Value{}, err
+	}
+	return v, nil
+}
+
+// fetch streams one object's extent from the backend.
+func (w *SQL) fetch(ctx context.Context, sc hdm.Scheme) (iql.Value, error) {
+	t, ok := w.tables[sc.Part(0)]
+	if !ok {
+		return iql.Value{}, fmt.Errorf("wrapper: sql: source %q: no table %q", w.name, sc.Part(0))
+	}
+	var stmt string
+	switch sc.Arity() {
+	case 1:
+		stmt = fmt.Sprintf("SELECT %s FROM %s", quoteIdent(t.pk), quoteIdent(t.name))
+	case 2:
+		if !contains(t.cols, sc.Part(1)) {
+			return iql.Value{}, fmt.Errorf("wrapper: sql: source %q table %q: no column %q", w.name, t.name, sc.Part(1))
+		}
+		stmt = fmt.Sprintf("SELECT %s, %s FROM %s", quoteIdent(t.pk), quoteIdent(sc.Part(1)), quoteIdent(t.name))
+	default:
+		return iql.Value{}, fmt.Errorf("wrapper: sql: source %q: unsupported scheme %s", w.name, sc)
+	}
+	ctx, cancel := context.WithTimeout(ctx, w.cfg.Timeout)
+	defer cancel()
+	rows, err := w.db.QueryContext(ctx, stmt)
+	if err != nil {
+		return iql.Value{}, fmt.Errorf("wrapper: sql: source %q: fetching %s: %w", w.name, sc, err)
+	}
+	defer rows.Close()
+	var items []iql.Value
+	for rows.Next() {
+		if sc.Arity() == 1 {
+			var key any
+			if err := rows.Scan(&key); err != nil {
+				return iql.Value{}, fmt.Errorf("wrapper: sql: source %q: scanning %s: %w", w.name, sc, err)
+			}
+			items = append(items, sqlCell(key))
+			continue
+		}
+		var key, val any
+		if err := rows.Scan(&key, &val); err != nil {
+			return iql.Value{}, fmt.Errorf("wrapper: sql: source %q: scanning %s: %w", w.name, sc, err)
+		}
+		if val == nil {
+			continue // match the relational wrapper: NULL cells are absent from column extents
+		}
+		items = append(items, iql.Tuple(sqlCell(key), sqlCell(val)))
+	}
+	if err := rows.Err(); err != nil {
+		return iql.Value{}, fmt.Errorf("wrapper: sql: source %q: streaming %s: %w", w.name, sc, err)
+	}
+	return iql.BagOf(items), nil
+}
+
+// sqlCell maps a scanned database cell to an IQL value without losing
+// precision: int64 and float64 stay exact, []byte columns become
+// strings, timestamps render as RFC 3339.
+func sqlCell(v any) iql.Value {
+	switch x := v.(type) {
+	case nil:
+		return iql.Null()
+	case int64:
+		return iql.Int(x)
+	case float64:
+		return iql.Float(x)
+	case bool:
+		return iql.Bool(x)
+	case string:
+		return iql.Str(x)
+	case []byte:
+		return iql.Str(string(x))
+	case time.Time:
+		return iql.Str(x.Format(time.RFC3339Nano))
+	}
+	return iql.Str(fmt.Sprintf("%v", v))
+}
+
+func quoteIdent(s string) string {
+	out := make([]byte, 0, len(s)+2)
+	out = append(out, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			out = append(out, '"')
+		}
+		out = append(out, s[i])
+	}
+	return string(append(out, '"'))
+}
+
+// sortedTables returns the wrapper's table metadata in schema order.
+func (w *SQL) sortedTables() []sqlTable {
+	names := make([]string, 0, len(w.tables))
+	for n := range w.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]sqlTable, 0, len(names))
+	for _, n := range names {
+		out = append(out, w.tables[n])
+	}
+	return out
+}
+
+// ---- Introspection dialects ----
+
+// sqlDialect lists a database's tables (name, primary key, ordered
+// columns) through catalog queries.
+type sqlDialect interface {
+	name() string
+	tables(ctx context.Context, db *sql.DB) ([]sqlTable, error)
+}
+
+// DialectSQLite and DialectInformationSchema are the supported values
+// of SQLConfig.Dialect.
+const (
+	DialectSQLite            = "sqlite"
+	DialectInformationSchema = "information_schema"
+)
+
+func sqlDialectFor(name string) (sqlDialect, error) {
+	switch name {
+	case "", DialectSQLite:
+		return sqliteDialect{}, nil
+	case DialectInformationSchema:
+		return infoSchemaDialect{}, nil
+	}
+	return nil, fmt.Errorf("unknown dialect %q (want %s or %s)", name, DialectSQLite, DialectInformationSchema)
+}
+
+// sqliteDialect introspects through sqlite_master and PRAGMA
+// table_info, as SQLite (and this module's sqlmem test driver) serve.
+type sqliteDialect struct{}
+
+func (sqliteDialect) name() string { return DialectSQLite }
+
+func (sqliteDialect) tables(ctx context.Context, db *sql.DB) ([]sqlTable, error) {
+	names, err := stringColumn(ctx, db, `SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sqlTable, 0, len(names))
+	for _, n := range names {
+		rows, err := db.QueryContext(ctx, fmt.Sprintf("PRAGMA table_info(%s)", quoteIdent(n)))
+		if err != nil {
+			return nil, fmt.Errorf("table %q: %w", n, err)
+		}
+		t := sqlTable{name: n}
+		for rows.Next() {
+			var (
+				cid, notnull, pk int64
+				col, typ         string
+				dflt             any
+			)
+			if err := rows.Scan(&cid, &col, &typ, &notnull, &dflt, &pk); err != nil {
+				rows.Close()
+				return nil, fmt.Errorf("table %q: %w", n, err)
+			}
+			t.cols = append(t.cols, col)
+			if pk > 0 && t.pk == "" {
+				t.pk = col
+			}
+		}
+		if err := rows.Close(); err != nil {
+			return nil, fmt.Errorf("table %q: %w", n, err)
+		}
+		if err := rows.Err(); err != nil {
+			return nil, fmt.Errorf("table %q: %w", n, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// infoSchemaDialect introspects through the standard
+// information_schema views with ? placeholders (MySQL-compatible; a
+// $1-placeholder variant would cover PostgreSQL). Every query is
+// scoped to the connected database — DATABASE() on MySQL — so
+// same-named tables in other databases on the server don't bleed in,
+// and the primary-key join matches key_column_usage rows on table as
+// well as constraint name (on MySQL every table's primary key is
+// named "PRIMARY", so joining on constraint_name alone would match
+// every table's key columns).
+type infoSchemaDialect struct{}
+
+func (infoSchemaDialect) name() string { return DialectInformationSchema }
+
+func (infoSchemaDialect) tables(ctx context.Context, db *sql.DB) ([]sqlTable, error) {
+	names, err := stringColumn(ctx, db,
+		`SELECT table_name FROM information_schema.tables WHERE table_type = 'BASE TABLE' AND table_schema = DATABASE() ORDER BY table_name`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sqlTable, 0, len(names))
+	for _, n := range names {
+		cols, err := stringColumn(ctx, db,
+			`SELECT column_name FROM information_schema.columns WHERE table_schema = DATABASE() AND table_name = ? ORDER BY ordinal_position`, n)
+		if err != nil {
+			return nil, fmt.Errorf("table %q: %w", n, err)
+		}
+		pks, err := stringColumn(ctx, db,
+			`SELECT kcu.column_name FROM information_schema.table_constraints tc
+			 JOIN information_schema.key_column_usage kcu
+			   ON kcu.constraint_name = tc.constraint_name
+			  AND kcu.table_schema = tc.table_schema
+			  AND kcu.table_name = tc.table_name
+			 WHERE tc.constraint_type = 'PRIMARY KEY' AND tc.table_schema = DATABASE() AND tc.table_name = ?
+			 ORDER BY kcu.ordinal_position`, n)
+		if err != nil {
+			return nil, fmt.Errorf("table %q: %w", n, err)
+		}
+		t := sqlTable{name: n, cols: cols}
+		if len(pks) > 0 {
+			t.pk = pks[0]
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// stringColumn runs a query expected to yield one string column.
+func stringColumn(ctx context.Context, db *sql.DB, q string, args ...any) ([]string, error) {
+	rows, err := db.QueryContext(ctx, q, args...)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []string
+	for rows.Next() {
+		var s string
+		if err := rows.Scan(&s); err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, rows.Err()
+}

@@ -1,0 +1,265 @@
+// Package wrappertest is the executable contract of the
+// wrapper.Wrapper interface: Run drives any wrapper through the full
+// set of behaviours the query processor, the prefetch pool, and the
+// persistence layer rely on. Every backend — in-memory or remote —
+// runs the same suite, so a new wrapper starts from a passing contract
+// instead of folklore.
+//
+// The asserted contract:
+//
+//   - the wrapper names a schema and serves an extent, without error,
+//     for every object the schema declares; extents are bags, and link
+//     objects yield bags of {key, value} pairs;
+//   - extents are deterministic: repeated fetches of the same object
+//     are equal;
+//   - unknown objects produce errors, never panics;
+//   - Extent is safe for concurrent use (the prefetch pool fetches in
+//     parallel) — run the suite under -race;
+//   - context-aware wrappers (wrapper.ContextWrapper) honour an
+//     already-cancelled context;
+//   - serialisable wrappers (wrapper.Snapshotter) survive a snapshot →
+//     JSON → restore round trip with an identical schema, byte-
+//     identical extents, and a byte-identical re-snapshot.
+package wrappertest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/wrapper"
+)
+
+// Factory builds a fresh wrapper for one subtest. Factories are called
+// several times per Run, so each call must yield an independent but
+// identically-populated wrapper.
+type Factory func(t *testing.T) wrapper.Wrapper
+
+// ContextWrapper is the context-aware fetch extension some wrappers
+// implement (mirrors query.ContextSourcer without importing it, to
+// keep the dependency arrow pointing wrapper ← query).
+type ContextWrapper interface {
+	ExtentContext(ctx context.Context, parts []string) (iql.Value, error)
+}
+
+// Run executes the wrapper conformance suite against factory.
+func Run(t *testing.T, factory Factory) {
+	t.Run("SchemaAgreement", func(t *testing.T) { testSchemaAgreement(t, factory(t)) })
+	t.Run("DeterministicExtents", func(t *testing.T) { testDeterministic(t, factory(t)) })
+	t.Run("UnknownObject", func(t *testing.T) { testUnknownObject(t, factory(t)) })
+	t.Run("ConcurrentExtent", func(t *testing.T) { testConcurrent(t, factory(t)) })
+	t.Run("ContextCancellation", func(t *testing.T) { testContextCancellation(t, factory(t)) })
+	t.Run("SnapshotRestore", func(t *testing.T) { testSnapshotRestore(t, factory(t)) })
+}
+
+// testSchemaAgreement checks the schema and the extent server agree:
+// every declared object is fetchable and shaped by its kind.
+func testSchemaAgreement(t *testing.T, w wrapper.Wrapper) {
+	if w.SchemaName() == "" {
+		t.Error("SchemaName() is empty")
+	}
+	schema := w.Schema()
+	if schema == nil {
+		t.Fatal("Schema() returned nil")
+	}
+	if schema.Name() != w.SchemaName() {
+		t.Errorf("schema is named %q, wrapper %q", schema.Name(), w.SchemaName())
+	}
+	if schema.Len() == 0 {
+		t.Fatal("schema declares no objects; the suite needs a populated source")
+	}
+	for _, o := range schema.Objects() {
+		v, err := w.Extent(o.Scheme.Parts())
+		if err != nil {
+			t.Errorf("Extent(%s): %v", o.Scheme, err)
+			continue
+		}
+		if v.Kind != iql.KindBag {
+			t.Errorf("Extent(%s) is %s, want a bag", o.Scheme, v.Kind)
+			continue
+		}
+		if o.Kind == hdm.Link {
+			for _, it := range v.Items {
+				if it.Kind != iql.KindTuple || len(it.Items) != 2 {
+					t.Errorf("Extent(%s) element %s is not a {key, value} pair", o.Scheme, it)
+					break
+				}
+			}
+		}
+	}
+}
+
+// testDeterministic checks repeated fetches agree, object by object.
+func testDeterministic(t *testing.T, w wrapper.Wrapper) {
+	for _, o := range w.Schema().Objects() {
+		first, err := w.Extent(o.Scheme.Parts())
+		if err != nil {
+			t.Fatalf("Extent(%s): %v", o.Scheme, err)
+		}
+		second, err := w.Extent(o.Scheme.Parts())
+		if err != nil {
+			t.Fatalf("second Extent(%s): %v", o.Scheme, err)
+		}
+		if !first.Equal(second) {
+			t.Errorf("Extent(%s) is not deterministic: %s then %s", o.Scheme, first, second)
+		}
+	}
+}
+
+// testUnknownObject checks resolution failures are errors, not panics.
+func testUnknownObject(t *testing.T, w wrapper.Wrapper) {
+	if _, err := w.Extent([]string{"no-such-object-d41d8cd9"}); err == nil {
+		t.Error("Extent of an unknown object succeeded")
+	}
+	// An empty reference is a degenerate scheme; it may resolve (the
+	// empty scheme is a suffix of everything) or error, but never panic.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Extent(nil) panicked: %v", r)
+			}
+		}()
+		_, _ = w.Extent(nil)
+	}()
+}
+
+// testConcurrent hammers every object from several goroutines and
+// compares against a serial baseline; meaningful under -race.
+func testConcurrent(t *testing.T, w wrapper.Wrapper) {
+	objs := w.Schema().Objects()
+	baseline := make([]iql.Value, len(objs))
+	for i, o := range objs {
+		v, err := w.Extent(o.Scheme.Parts())
+		if err != nil {
+			t.Fatalf("Extent(%s): %v", o.Scheme, err)
+		}
+		baseline[i] = v
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, o := range objs {
+				v, err := w.Extent(o.Scheme.Parts())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !v.Equal(baseline[i]) {
+					errs <- &mismatchError{scheme: o.Scheme}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent Extent: %v", err)
+	}
+}
+
+type mismatchError struct{ scheme hdm.Scheme }
+
+func (e *mismatchError) Error() string {
+	return "extent of " + e.scheme.String() + " diverged from the serial baseline"
+}
+
+// testContextCancellation checks context-aware wrappers refuse an
+// already-cancelled context; wrappers without the extension skip.
+func testContextCancellation(t *testing.T, w wrapper.Wrapper) {
+	cw, ok := w.(ContextWrapper)
+	if !ok {
+		t.Skipf("%T does not implement ExtentContext", w)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, o := range w.Schema().Objects() {
+		if _, err := cw.ExtentContext(ctx, o.Scheme.Parts()); err == nil {
+			t.Errorf("ExtentContext(%s) with a cancelled context succeeded", o.Scheme)
+		}
+		break // one object suffices
+	}
+}
+
+// testSnapshotRestore checks the full persistence contract; wrappers
+// without a Snapshot hook skip.
+func testSnapshotRestore(t *testing.T, w wrapper.Wrapper) {
+	sn, ok := w.(wrapper.Snapshotter)
+	if !ok {
+		t.Skipf("%T does not implement Snapshotter", w)
+	}
+	snap, err := sn.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	firstJSON, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshalling snapshot: %v", err)
+	}
+	// Restore through the store's load path: UseNumber keeps int64
+	// cells exact.
+	dec := json.NewDecoder(bytes.NewReader(firstJSON))
+	dec.UseNumber()
+	var decoded wrapper.Snapshot
+	if err := dec.Decode(&decoded); err != nil {
+		t.Fatalf("decoding snapshot: %v", err)
+	}
+	restored, err := wrapper.Restore(&decoded)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.SchemaName() != w.SchemaName() {
+		t.Errorf("restored SchemaName = %q, want %q", restored.SchemaName(), w.SchemaName())
+	}
+	if !hdm.Identical(restored.Schema(), w.Schema()) {
+		t.Fatalf("restored schema differs:\n%s\nvs\n%s", restored.Schema().Describe(), w.Schema().Describe())
+	}
+	for _, o := range w.Schema().Objects() {
+		want, err := w.Extent(o.Scheme.Parts())
+		if err != nil {
+			t.Fatalf("Extent(%s): %v", o.Scheme, err)
+		}
+		got, err := restored.Extent(o.Scheme.Parts())
+		if err != nil {
+			t.Fatalf("restored Extent(%s): %v", o.Scheme, err)
+		}
+		// Byte-identical, not just Equal: the serialised form is what
+		// downstream stores compare and cache.
+		wantJSON, err := json.Marshal(iql.EncodeValue(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := json.Marshal(iql.EncodeValue(got))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("restored extent of %s is not byte-identical:\n%s\nvs\n%s", o.Scheme, gotJSON, wantJSON)
+		}
+	}
+	// Re-snapshotting the restored wrapper must reproduce the snapshot
+	// byte for byte: restore loses nothing the format records.
+	rsn, ok := restored.(wrapper.Snapshotter)
+	if !ok {
+		t.Fatalf("restored wrapper %T lost its Snapshot hook", restored)
+	}
+	again, err := rsn.Snapshot()
+	if err != nil {
+		t.Fatalf("re-snapshot: %v", err)
+	}
+	secondJSON, err := json.Marshal(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(firstJSON, secondJSON) {
+		t.Errorf("Snapshot(Restore(Snapshot(w))) differs:\n%s\nvs\n%s", secondJSON, firstJSON)
+	}
+}
