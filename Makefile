@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke run fuzz-seeds golden test-wrappers
+.PHONY: ci fmt vet build test race bench bench-smoke metrics-smoke run fuzz-seeds golden test-wrappers
 
 # ci is the full local gate: formatting, static checks (go vet), build,
 # tests under the race detector, the wrapper conformance suite, the
-# persistence-format guards (fuzz seed corpus + golden snapshots), and
-# a one-iteration -benchmem pass over every benchmark so the bench
-# harness can't silently rot.
-ci: fmt vet build race test-wrappers fuzz-seeds golden bench-smoke
+# persistence-format guards (fuzz seed corpus + golden snapshots), a
+# one-iteration -benchmem pass over every benchmark so the bench
+# harness can't silently rot, and the metrics exposition smoke check.
+ci: fmt vet build race test-wrappers fuzz-seeds golden bench-smoke metrics-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -36,6 +36,12 @@ bench:
 # with allocation accounting compiled in.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
+
+# metrics-smoke boots the server in-process on a random port, drives a
+# federation and queries over HTTP, and fails on malformed Prometheus
+# exposition or a JSON metrics snapshot missing expected fields.
+metrics-smoke:
+	$(GO) run ./cmd/metricssmoke
 
 # fuzz-seeds runs every committed fuzz seed (malformed repo snapshots,
 # malformed REST payloads) as plain tests — the CI-safe equivalent of a

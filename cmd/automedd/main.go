@@ -3,7 +3,7 @@
 // clients can register sources, federate, intersect iteratively, and
 // query any published global schema version while integration proceeds.
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
 //	POST /sources    register a data source (inline rows or a CSV dir)
 //	POST /federate   build the federated schema (version 0)
@@ -17,7 +17,8 @@
 //	POST /sessions/{name}/snapshot   force a durable snapshot
 //	POST /sessions/{name}/restore    reload a session from disk
 //	GET  /healthz    liveness
-//	GET  /metrics    query counts, latencies, cache hit rates
+//	GET  /metrics    Prometheus text exposition (JSON via Accept/format)
+//	GET  /debug/traces  recent query traces (requested + slow queries)
 //
 // With -data-dir the daemon is durable: every session snapshot lives
 // in that directory as one JSON file, every mutating endpoint
@@ -34,6 +35,11 @@
 // restored "default" session already exists. Remote sources can also
 // be registered at runtime through the sql/rest variants of POST
 // /sources.
+//
+// Observability: logs are structured (-log-format text|json), every
+// request carries an X-Request-ID, queries slower than -slow-query are
+// traced into GET /debug/traces, and -debug-addr serves net/http/pprof
+// on a separate listener.
 package main
 
 import (
@@ -41,8 +47,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -78,6 +85,17 @@ func parseSQLSpec(v string) (name string, cfg wrapper.SQLConfig, err error) {
 	return name, wrapper.SQLConfig{Driver: parts[0], Dialect: parts[1], DSN: parts[2]}, nil
 }
 
+// newLogger builds the daemon's structured logger.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("automedd: -log-format must be text or json, got %q", format)
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
@@ -87,6 +105,10 @@ func main() {
 		timeout     = flag.Duration("query-timeout", 30*time.Second, "default per-query evaluation deadline (0 = none)")
 		maxSteps    = flag.Int("max-steps", 0, "IQL evaluation step bound per query (0 = unlimited)")
 		dataDir     = flag.String("data-dir", "", "directory for durable session snapshots (empty = in-memory only)")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		slowQuery   = flag.Duration("slow-query", 0, "trace queries at or above this duration into /debug/traces (0 = only explicitly requested traces)")
+		traceRing   = flag.Int("trace-ring", 256, "retained recent query traces served by /debug/traces")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		preload     sourceFlags
 		preloadSQL  sourceFlags
 		preloadREST sourceFlags
@@ -97,25 +119,39 @@ func main() {
 	flag.Var(&preloadREST, "rest-source", "preload a JSON/REST source as name=url (collections discovered from the endpoint root; repeatable)")
 	flag.Parse()
 
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+
 	srv := server.New(server.Config{
 		PlanCacheSize:   *planCache,
 		ResultCacheSize: *resultCache,
 		CacheBytes:      *cacheBytes,
 		QueryTimeout:    *timeout,
 		MaxSteps:        *maxSteps,
+		SlowQuery:       *slowQuery,
+		TraceRingSize:   *traceRing,
+		Logger:          logger,
 	})
 	if *dataDir != "" {
 		if err := srv.OpenStore(*dataDir); err != nil {
-			log.Fatalf("automedd: %v", err)
+			fatal(logger, err)
 		}
 		n, err := srv.RestoreSessions()
 		if err != nil {
-			log.Fatalf("automedd: restoring sessions from %s: %v", *dataDir, err)
+			fatal(logger, fmt.Errorf("restoring sessions from %s: %w", *dataDir, err))
 		}
-		log.Printf("automedd: restored %d session(s) from %s", n, *dataDir)
+		logger.Info("sessions restored", "count", n, "dir", *dataDir)
 	}
-	if err := preloadSources(srv, preload, preloadSQL, preloadREST); err != nil {
-		log.Fatalf("automedd: %v", err)
+	if err := preloadSources(srv, logger, preload, preloadSQL, preloadREST); err != nil {
+		fatal(logger, err)
+	}
+
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr)
 	}
 
 	httpSrv := &http.Server{
@@ -129,28 +165,50 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("automedd: listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("automedd: %v", err)
+			fatal(logger, err)
 		}
 	case <-ctx.Done():
-		log.Printf("automedd: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("automedd: shutdown: %v", err)
+			logger.Error("shutdown failed", "error", err)
 		}
+	}
+}
+
+// fatal logs the error and exits non-zero.
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", "error", err)
+	os.Exit(1)
+}
+
+// serveDebug exposes net/http/pprof on its own mux and listener so the
+// profiling surface never shares a port with the public API.
+func serveDebug(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof listening", "addr", addr)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("pprof server failed", "error", err)
 	}
 }
 
 // preloadSources wraps each preloaded CSV, SQL and REST source into
 // the default session and federates so the daemon starts queryable.
-func preloadSources(srv *server.Server, csvSpecs, sqlSpecs, restSpecs sourceFlags) error {
+func preloadSources(srv *server.Server, logger *slog.Logger, csvSpecs, sqlSpecs, restSpecs sourceFlags) error {
 	total := len(csvSpecs) + len(sqlSpecs) + len(restSpecs)
 	if total == 0 {
 		return nil
@@ -160,7 +218,7 @@ func preloadSources(srv *server.Server, csvSpecs, sqlSpecs, restSpecs sourceFlag
 		return err
 	}
 	if sess.Federated() || len(sess.SourceNames()) > 0 {
-		log.Printf("automedd: default session restored from data dir; skipping source preload")
+		logger.Info("default session restored from data dir; skipping source preload")
 		return nil
 	}
 	for _, spec := range csvSpecs {
@@ -172,7 +230,7 @@ func preloadSources(srv *server.Server, csvSpecs, sqlSpecs, restSpecs sourceFlag
 		if err := sess.AddSource(w); err != nil {
 			return err
 		}
-		log.Printf("automedd: preloaded source %s from %s", name, dir)
+		logger.Info("source preloaded", "source", name, "dir", dir)
 	}
 	for _, spec := range sqlSpecs {
 		name, cfg, err := parseSQLSpec(spec)
@@ -186,7 +244,7 @@ func preloadSources(srv *server.Server, csvSpecs, sqlSpecs, restSpecs sourceFlag
 		if err := sess.AddSource(w); err != nil {
 			return err
 		}
-		log.Printf("automedd: preloaded SQL source %s (driver %s)", name, cfg.Driver)
+		logger.Info("SQL source preloaded", "source", name, "driver", cfg.Driver)
 	}
 	for _, spec := range restSpecs {
 		name, endpoint, _ := strings.Cut(spec, "=")
@@ -197,12 +255,12 @@ func preloadSources(srv *server.Server, csvSpecs, sqlSpecs, restSpecs sourceFlag
 		if err := sess.AddSource(w); err != nil {
 			return err
 		}
-		log.Printf("automedd: preloaded REST source %s from %s", name, endpoint)
+		logger.Info("REST source preloaded", "source", name, "endpoint", endpoint)
 	}
 	if _, err := sess.Federate("F", false); err != nil {
 		return err
 	}
-	log.Printf("automedd: federated %d source(s) as F (version 0)", total)
+	logger.Info("sources federated", "count", total, "schema", "F", "version", 0)
 	if srv.Store() != nil {
 		if _, err := srv.SnapshotSession(sess.Name()); err != nil {
 			return fmt.Errorf("persisting preloaded session: %w", err)

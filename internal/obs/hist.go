@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency histogram with atomic counters:
+// Observe on the per-query hot path takes no lock. Bounds are upper
+// bucket bounds in milliseconds; observations above the last bound land
+// in an implicit overflow (+Inf) bucket.
+type Histogram struct {
+	boundsMs []float64
+	buckets  []atomic.Uint64 // len(boundsMs)+1; last is +Inf
+	sumNs    atomic.Int64
+	maxNs    atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given upper bounds
+// (milliseconds, strictly increasing).
+func NewHistogram(boundsMs []float64) *Histogram {
+	return &Histogram{
+		boundsMs: append([]float64(nil), boundsMs...),
+		buckets:  make([]atomic.Uint64, len(boundsMs)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	ms := float64(ns) / 1e6
+	// First bound >= ms is the le bucket; beyond every bound, overflow.
+	idx := sort.SearchFloat64s(h.boundsMs, ms)
+	h.buckets[idx].Add(1)
+	h.sumNs.Add(ns)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Counts has one
+// entry per bound plus the overflow bucket. Individual counters are
+// loaded without a global lock, so a snapshot taken under concurrent
+// observation may be momentarily torn between buckets and sum; each
+// counter is itself exact.
+type HistSnapshot struct {
+	BoundsMs []float64
+	Counts   []uint64
+	Count    uint64
+	SumNs    int64
+	MaxNs    int64
+}
+
+// Snapshot copies the histogram's current state. Count is derived from
+// the buckets so cumulative bucket values and the total always agree
+// (the Prometheus +Inf invariant).
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		BoundsMs: h.boundsMs,
+		Counts:   make([]uint64, len(h.buckets)),
+		SumNs:    h.sumNs.Load(),
+		MaxNs:    h.maxNs.Load(),
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// MeanMs returns the mean observation in milliseconds (0 when empty).
+func (s HistSnapshot) MeanMs() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count) / 1e6
+}
+
+// MaxMs returns the largest observation in milliseconds.
+func (s HistSnapshot) MaxMs() float64 { return float64(s.MaxNs) / 1e6 }
+
+// Quantile estimates the q-th quantile (0 < q <= 1) in milliseconds by
+// linear interpolation within the bucket holding the target rank —
+// the same estimate Prometheus's histogram_quantile computes. The
+// overflow bucket is clamped to the observed maximum. Returns 0 when
+// the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(s.BoundsMs) {
+			// Overflow bucket: the true value is above the last bound;
+			// the observed max is the tightest honest estimate.
+			return s.MaxMs()
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.BoundsMs[i-1]
+		}
+		hi := s.BoundsMs[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		est := lo + (hi-lo)*frac
+		if max := s.MaxMs(); max > 0 && est > max {
+			est = max
+		}
+		return est
+	}
+	return s.MaxMs()
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, ms := range []float64{0.5, 0.9, 5, 5, 50, 500} {
+		h.Observe(time.Duration(ms * float64(time.Millisecond)))
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if got := s.MaxMs(); got < 499 || got > 501 {
+		t.Fatalf("max = %vms, want ~500", got)
+	}
+	// p50 rank 3 lands in the (1,10] bucket.
+	if q := s.Quantile(0.5); q < 1 || q > 10 {
+		t.Fatalf("p50 = %v, want within (1,10]", q)
+	}
+	// p99 lands in the overflow bucket and clamps to the observed max.
+	if q, max := s.Quantile(0.99), s.MaxMs(); q != max {
+		t.Fatalf("p99 = %v, want max %v", q, max)
+	}
+	if q := s.Quantile(0.5); HistSnapshot.Quantile(HistSnapshot{}, 0.5) != 0 && q == 0 {
+		t.Fatalf("empty-snapshot quantile should be 0")
+	}
+}
+
+func TestHistogramObserveConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{1, 10})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(5 * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 || s.Counts[1] != 8000 {
+		t.Fatalf("count = %d buckets = %v, want 8000 in bucket 1", s.Count, s.Counts)
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("req-1", "default", "<<books>>")
+	ctx := WithTrace(context.Background(), tr)
+
+	parent, pctx := StartSpan(ctx, StagePrefetch, "")
+	child, _ := StartSpan(pctx, StageFetch, "Library")
+	child.SetDetail("<<books>>")
+	child.SetCache(CacheMiss)
+	child.SetRows(3)
+	child.SetBytes(42)
+	child.End(nil)
+	parent.End(nil)
+	sib, _ := StartSpan(ctx, StageEval, "")
+	sib.End(errors.New("boom"))
+
+	tj := tr.Finish(time.Millisecond)
+	if tj.ID != "req-1" || tj.Session != "default" || tj.Query != "<<books>>" {
+		t.Fatalf("trace labels wrong: %+v", tj)
+	}
+	if len(tj.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(tj.Spans))
+	}
+	p, c, s := tj.Spans[0], tj.Spans[1], tj.Spans[2]
+	if p.Parent != 0 || s.Parent != 0 {
+		t.Fatalf("top-level spans should have parent 0: %+v %+v", p, s)
+	}
+	if c.Parent != p.ID {
+		t.Fatalf("child parent = %d, want %d", c.Parent, p.ID)
+	}
+	if c.Cache != CacheHit && c.Cache != CacheMiss {
+		t.Fatalf("child cache disposition missing: %+v", c)
+	}
+	if c.Rows != 3 || c.Bytes != 42 || c.Detail != "<<books>>" {
+		t.Fatalf("child attrs wrong: %+v", c)
+	}
+	if s.Err != "boom" {
+		t.Fatalf("error span not recorded: %+v", s)
+	}
+}
+
+func TestStartSpanWithoutTraceIsNoop(t *testing.T) {
+	sp, ctx := StartSpan(context.Background(), StageEval, "")
+	if sp != nil {
+		t.Fatalf("expected nil span without a trace")
+	}
+	// All recording methods must be nil-safe.
+	sp.SetCache(CacheHit)
+	sp.SetRows(1)
+	sp.SetBytes(1)
+	sp.SetRetries(1)
+	sp.SetDetail("x")
+	sp.End(nil)
+	if ctx == nil {
+		t.Fatalf("context must pass through")
+	}
+}
+
+func TestFetchStat(t *testing.T) {
+	ctx, fs := BeginFetch(context.Background())
+	AddFetchBytes(ctx, 100)
+	AddFetchBytes(ctx, 24)
+	AddFetchRetry(ctx)
+	if fs.Bytes() != 124 || fs.Retries() != 1 {
+		t.Fatalf("bytes=%d retries=%d", fs.Bytes(), fs.Retries())
+	}
+	// No-fetch contexts swallow reports.
+	AddFetchBytes(context.Background(), 1)
+	AddFetchRetry(context.Background())
+}
+
+func TestSourcesRegistry(t *testing.T) {
+	s := NewSources()
+	s.Observe("Library", "sql", 5*time.Millisecond, 10, 200, 0, nil)
+	s.Observe("Library", "sql", 7*time.Millisecond, 5, 100, 1, errors.New("x"))
+	s.Observe("Shop", "rest", time.Millisecond, 1, 10, 0, nil)
+	snaps := s.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d sources, want 2", len(snaps))
+	}
+	lib := snaps[0]
+	if lib.Source != "Library" || lib.Kind != "sql" {
+		t.Fatalf("order wrong: %+v", snaps)
+	}
+	if lib.Fetches != 2 || lib.Errors != 1 || lib.Retries != 1 || lib.Rows != 15 || lib.Bytes != 300 {
+		t.Fatalf("library stats wrong: %+v", lib)
+	}
+	if lib.Latency.Count != 2 {
+		t.Fatalf("library latency count = %d", lib.Latency.Count)
+	}
+	// Nil registry (uninstrumented context) is a no-op.
+	SourcesFrom(context.Background()).Observe("x", "y", 0, 0, 0, 0, nil)
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(TraceJSON{ID: fmt.Sprintf("t%d", i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 3 || got[0].ID != "t5" || got[2].ID != "t3" {
+		t.Fatalf("ring snapshot = %+v, want t5,t4,t3", got)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("ring len = %d", r.Len())
+	}
+}
+
+func TestPromWriterProducesValidExposition(t *testing.T) {
+	w := NewPromWriter()
+	w.Counter("app_requests_total", "Requests served.", 42)
+	w.Gauge("app_sessions", "Live sessions.", 3)
+	h := NewHistogram([]float64{1, 10, 100})
+	h.Observe(2 * time.Millisecond)
+	h.Observe(500 * time.Millisecond)
+	w.Histogram("app_latency_seconds", "Latency.", h.Snapshot())
+	w.Counter("app_fetches_total", "Fetches.", 7, "source", `we"ird\na me`, "kind", "sql")
+	w.Counter("app_fetches_total", "Fetches.", 8, "source", "Shop", "kind", "rest")
+	data := w.Bytes()
+	if err := ValidateExposition(data); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, data)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"# HELP app_requests_total Requests served.",
+		"# TYPE app_latency_seconds histogram",
+		`app_latency_seconds_bucket{le="0.01"} 1`,
+		`app_latency_seconds_bucket{le="+Inf"} 2`,
+		"app_latency_seconds_count 2",
+		`kind="rest"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition lacks %q:\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE app_fetches_total"); n != 1 {
+		t.Fatalf("family header emitted %d times, want once", n)
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no newline":     "# HELP a b\n# TYPE a counter\na 1",
+		"no type":        "# HELP a b\na 1\n",
+		"no help":        "# TYPE a counter\na 1\n",
+		"bad value":      "# HELP a b\n# TYPE a counter\na pancake\n",
+		"bad name":       "# HELP 0a b\n# TYPE 0a counter\n0a 1\n",
+		"dup series":     "# HELP a b\n# TYPE a counter\na 1\na 2\n",
+		"unquoted label": "# HELP a b\n# TYPE a counter\na{x=1} 1\n",
+		"non-monotone le": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\n" + `h_bucket{le="0.5"} 2` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 2\n",
+		"decreasing cumulative": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"no inf bucket": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"count mismatch": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\n" + `h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 3\n",
+		"missing sum": "# HELP h x\n# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_count 1\n",
+	}
+	for name, data := range cases {
+		if err := ValidateExposition([]byte(data)); err == nil {
+			t.Errorf("%s: expected a validation error", name)
+		}
+	}
+}
+
+func TestValidateExpositionAcceptsTimestampsAndComments(t *testing.T) {
+	data := "# a free-form comment\n# HELP a b c d\n# TYPE a gauge\na{x=\"y\"} 1.5 1700000000000\n"
+	if err := ValidateExposition([]byte(data)); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

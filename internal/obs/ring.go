@@ -1,0 +1,61 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded ring of recent trace snapshots, serving GET
+// /debug/traces: cheap to append, never grows, newest-first on read.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceJSON
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding up to n traces (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]TraceJSON, n)}
+}
+
+// Add appends a trace, evicting the oldest when full.
+func (r *Ring) Add(t TraceJSON) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *Ring) Snapshot() []TraceJSON {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]TraceJSON, 0, n)
+	for i := 0; i < n; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Len reports how many traces are retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}

@@ -1,0 +1,334 @@
+// Package obs is the observability substrate of the dataspace daemon:
+// request-scoped traces with per-stage spans, lock-free latency
+// histograms, a per-source fetch-metrics registry, and a Prometheus
+// text-exposition writer. It sits below every other internal package
+// (it imports none of them), so the server, the query processor, and
+// the wrappers can all record into it without import cycles.
+//
+// Everything is context-carried and nil-tolerant: code paths
+// instrumented with spans and fetch stats cost nothing when no trace or
+// registry rides the context, so the library remains usable (and fast)
+// outside the daemon.
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span stages recorded by the query pipeline. They are plain strings so
+// callers can add stages without touching this package; the constants
+// just keep the spelling consistent.
+const (
+	StageParse       = "parse"
+	StageResultCache = "result-cache"
+	StagePrefetch    = "prefetch"
+	StageExtent      = "extent"
+	StageFetch       = "fetch"
+	StageEval        = "eval"
+	StageRender      = "render"
+)
+
+// Cache dispositions attached to spans.
+const (
+	CacheHit  = "hit"
+	CacheMiss = "miss"
+)
+
+// Span is one timed stage of a traced request. Fields are written by
+// the goroutine that owns the span, under the trace's lock, so
+// concurrent spans (parallel prefetch fetches) and a concurrent
+// snapshot are safe.
+type Span struct {
+	tr     *Trace
+	id     int
+	parent int
+	stage  string
+	name   string
+
+	start time.Time
+
+	// Guarded by tr.mu.
+	detail  string
+	durUs   int64
+	ended   bool
+	cache   string
+	rows    int64
+	bytes   int64
+	retries int64
+	errMsg  string
+}
+
+// SpanJSON is the serialised form of a span. StartUs is the offset from
+// the trace start, so a span tree renders as a waterfall without clock
+// arithmetic.
+type SpanJSON struct {
+	ID      int    `json:"id"`
+	Parent  int    `json:"parent,omitempty"`
+	Stage   string `json:"stage"`
+	Name    string `json:"name,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+	StartUs int64  `json:"start_us"`
+	DurUs   int64  `json:"dur_us"`
+	Cache   string `json:"cache,omitempty"`
+	Rows    int64  `json:"rows,omitempty"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	Retries int64  `json:"retries,omitempty"`
+	Err     string `json:"error,omitempty"`
+}
+
+// Trace collects the spans of one request. Safe for concurrent use:
+// parallel prefetch workers append spans while the owning request keeps
+// evaluating.
+type Trace struct {
+	id      string
+	session string
+	query   string
+	start   time.Time
+
+	mu     sync.Mutex
+	spans  []*Span
+	nextID int
+	durUs  int64
+}
+
+// TraceJSON is the serialised form of a trace, attached to traced query
+// responses and served from the /debug/traces ring.
+type TraceJSON struct {
+	ID      string     `json:"id"`
+	Session string     `json:"session,omitempty"`
+	Query   string     `json:"query,omitempty"`
+	Start   time.Time  `json:"start"`
+	DurUs   int64      `json:"dur_us"`
+	Spans   []SpanJSON `json:"spans"`
+}
+
+// NewTrace starts a trace. id is typically the request ID; session and
+// query label the trace in the /debug/traces ring.
+func NewTrace(id, session, query string) *Trace {
+	return &Trace{id: id, session: session, query: query, start: time.Now()}
+}
+
+// Finish stamps the trace's total duration and returns its snapshot.
+func (t *Trace) Finish(total time.Duration) TraceJSON {
+	if t == nil {
+		return TraceJSON{}
+	}
+	t.mu.Lock()
+	t.durUs = total.Microseconds()
+	t.mu.Unlock()
+	return t.Snapshot()
+}
+
+// Snapshot serialises the trace. In-flight spans (abandoned prefetch
+// workers outliving a cancelled request) report their duration so far.
+func (t *Trace) Snapshot() TraceJSON {
+	if t == nil {
+		return TraceJSON{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := TraceJSON{
+		ID:      t.id,
+		Session: t.session,
+		Query:   t.query,
+		Start:   t.start,
+		DurUs:   t.durUs,
+		Spans:   make([]SpanJSON, len(t.spans)),
+	}
+	for i, s := range t.spans {
+		sj := SpanJSON{
+			ID:      s.id,
+			Parent:  s.parent,
+			Stage:   s.stage,
+			Name:    s.name,
+			Detail:  s.detail,
+			StartUs: s.start.Sub(t.start).Microseconds(),
+			DurUs:   s.durUs,
+			Cache:   s.cache,
+			Rows:    s.rows,
+			Bytes:   s.bytes,
+			Retries: s.retries,
+			Err:     s.errMsg,
+		}
+		if !s.ended {
+			sj.DurUs = time.Since(s.start).Microseconds()
+		}
+		out.Spans[i] = sj
+	}
+	return out
+}
+
+// ---- Context plumbing ----
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	spanKey
+	sourcesKey
+	fetchKey
+)
+
+// WithTrace attaches a trace to the context; spans started under the
+// returned context record into it.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// StartSpan opens a span under the context's trace (no-op, returning a
+// nil span and the original context, when the context carries none).
+// The returned context carries the new span as the parent of spans
+// started under it.
+func StartSpan(ctx context.Context, stage, name string) (*Span, context.Context) {
+	t := TraceFrom(ctx)
+	if t == nil {
+		return nil, ctx
+	}
+	parent := 0
+	if ps, _ := ctx.Value(spanKey).(*Span); ps != nil {
+		parent = ps.id
+	}
+	t.mu.Lock()
+	t.nextID++
+	s := &Span{tr: t, id: t.nextID, parent: parent, stage: stage, name: name, start: time.Now()}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s, context.WithValue(ctx, spanKey, s)
+}
+
+// End closes the span, recording its duration and error (if any). Safe
+// on a nil span and idempotent.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.durUs = d.Microseconds()
+		if err != nil {
+			s.errMsg = err.Error()
+		}
+	}
+	s.tr.mu.Unlock()
+}
+
+// SetCache marks the span's cache disposition (CacheHit/CacheMiss).
+func (s *Span) SetCache(disposition string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.cache = disposition
+	s.tr.mu.Unlock()
+}
+
+// SetDetail attaches free-form detail (e.g. the scheme fetched).
+func (s *Span) SetDetail(d string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.detail = d
+	s.tr.mu.Unlock()
+}
+
+// SetRows records how many rows/elements the stage produced.
+func (s *Span) SetRows(n int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.rows = n
+	s.tr.mu.Unlock()
+}
+
+// SetBytes records how many bytes the stage moved.
+func (s *Span) SetBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.bytes = n
+	s.tr.mu.Unlock()
+}
+
+// SetRetries records how many retries the stage needed.
+func (s *Span) SetRetries(n int64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.retries = n
+	s.tr.mu.Unlock()
+}
+
+// ---- Per-fetch wrapper detail ----
+
+// FetchStat accumulates detail only the wrapper knows about one fetch
+// in flight: wire bytes and retry attempts. The query layer opens one
+// per fetch with BeginFetch; wrappers report into it through the
+// context with AddFetchBytes/AddFetchRetry.
+type FetchStat struct {
+	bytes   atomic.Int64
+	retries atomic.Int64
+}
+
+// Bytes returns the wire bytes reported so far.
+func (f *FetchStat) Bytes() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.bytes.Load()
+}
+
+// Retries returns the retries reported so far.
+func (f *FetchStat) Retries() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.retries.Load()
+}
+
+// BeginFetch attaches a fresh FetchStat to the context for one wrapper
+// fetch.
+func BeginFetch(ctx context.Context) (context.Context, *FetchStat) {
+	fs := &FetchStat{}
+	return context.WithValue(ctx, fetchKey, fs), fs
+}
+
+func fetchStatFrom(ctx context.Context) *FetchStat {
+	if ctx == nil {
+		return nil
+	}
+	fs, _ := ctx.Value(fetchKey).(*FetchStat)
+	return fs
+}
+
+// AddFetchBytes reports wire bytes for the fetch in flight (no-op
+// outside an instrumented fetch).
+func AddFetchBytes(ctx context.Context, n int64) {
+	if fs := fetchStatFrom(ctx); fs != nil {
+		fs.bytes.Add(n)
+	}
+}
+
+// AddFetchRetry reports one retry for the fetch in flight.
+func AddFetchRetry(ctx context.Context) {
+	if fs := fetchStatFrom(ctx); fs != nil {
+		fs.retries.Add(1)
+	}
+}

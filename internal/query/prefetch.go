@@ -7,6 +7,7 @@ import (
 
 	"github.com/dataspace/automed/internal/hdm"
 	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/obs"
 )
 
 // Concurrent extent prefetch. A multi-generator comprehension over the
@@ -57,6 +58,10 @@ func (p *Processor) prefetch(ctx context.Context, e iql.Expr, scope string) {
 	if len(tasks) < 2 {
 		return // a single fetch gains nothing from concurrency
 	}
+	// The prefetch span parents the workers' fetch spans, so traces show
+	// the parallel warm-up as one stage with overlapping children.
+	sp, ctx := obs.StartSpan(ctx, obs.StagePrefetch, "")
+	defer sp.End(nil)
 	workers := prefetchWorkers
 	if len(tasks) < workers {
 		workers = len(tasks)

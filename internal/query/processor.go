@@ -33,10 +33,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/dataspace/automed/internal/cache"
 	"github.com/dataspace/automed/internal/hdm"
 	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/obs"
 	"github.com/dataspace/automed/internal/transform"
 )
 
@@ -57,22 +59,53 @@ type Derivation struct {
 }
 
 // source is one registered extent provider. extCtx is the provider's
-// context-aware fetch path, nil when it offers none.
+// context-aware fetch path, nil when it offers none; kind labels the
+// provider's wrapper flavour in metrics and traces.
 type source struct {
 	name   string
 	schema *hdm.Schema
 	ext    iql.Extents
 	extCtx ContextSourcer
+	kind   string
 }
 
 // fetch retrieves one extent, routing through the provider's
 // context-aware path when it has one so remote backends observe
 // request cancellation; providers without one are called plainly.
+// Context-carried instrumentation (a trace span and the per-source
+// metrics registry) records the fetch; uninstrumented contexts cost a
+// few nil checks.
 func (src source) fetch(ctx context.Context, sc hdm.Scheme) (iql.Value, error) {
-	if src.extCtx != nil && ctx != nil {
-		return src.extCtx.ExtentContext(ctx, sc.Parts())
+	if ctx == nil {
+		return src.ext.Extent(sc.Parts())
 	}
-	return src.ext.Extent(sc.Parts())
+	sp, fctx := obs.StartSpan(ctx, obs.StageFetch, src.name)
+	sp.SetDetail(sc.Key())
+	sp.SetCache(obs.CacheMiss)
+	fctx, fs := obs.BeginFetch(fctx)
+	start := time.Now()
+	var v iql.Value
+	var err error
+	if src.extCtx != nil {
+		v, err = src.extCtx.ExtentContext(fctx, sc.Parts())
+	} else {
+		v, err = src.ext.Extent(sc.Parts())
+	}
+	elapsed := time.Since(start)
+	var rows int64
+	if err == nil && v.Kind == iql.KindBag {
+		rows = int64(len(v.Items))
+	}
+	bytes := fs.Bytes()
+	if bytes == 0 && err == nil {
+		bytes = v.Footprint()
+	}
+	sp.SetRows(rows)
+	sp.SetBytes(bytes)
+	sp.SetRetries(fs.Retries())
+	sp.End(err)
+	obs.SourcesFrom(ctx).Observe(src.name, src.kind, elapsed, rows, bytes, fs.Retries(), err)
+	return v, err
 }
 
 // cachedExtent memoises a virtual object's extent together with the
@@ -192,9 +225,12 @@ func (p *Processor) AddExtents(name string, schema *hdm.Schema, ext iql.Extents)
 			return fmt.Errorf("query: source %q already registered", name)
 		}
 	}
-	src := source{name: name, schema: schema, ext: ext}
+	src := source{name: name, schema: schema, ext: ext, kind: "local"}
 	if cs, ok := ext.(ContextSourcer); ok {
 		src.extCtx = cs
+	}
+	if k, ok := ext.(interface{ Kind() string }); ok {
+		src.kind = k.Kind()
 	}
 	p.sources = append(p.sources, src)
 	return nil
@@ -490,6 +526,7 @@ func (p *Processor) extentIn(s *session, parts []string) (iql.Value, error) {
 	derivs, virtual := p.defs[key]
 	p.mu.Unlock()
 	if virtual {
+		name := strings.Join(parts, ", ")
 		if ce, ok := p.memo.Get(key); ok {
 			// Replay the reused computation's warnings and dependency
 			// set so the enclosing evaluation inherits both.
@@ -497,9 +534,31 @@ func (p *Processor) extentIn(s *session, parts []string) (iql.Value, error) {
 				p.warnIn(s, w)
 			}
 			s.depLog = append(s.depLog, ce.deps...)
+			if sp, _ := obs.StartSpan(s.ctx, obs.StageExtent, name); sp != nil {
+				sp.SetCache(obs.CacheHit)
+				if ce.val.Kind == iql.KindBag {
+					sp.SetRows(int64(len(ce.val.Items)))
+				}
+				sp.End(nil)
+			}
 			return ce.val, nil
 		}
-		return p.virtualExtent(s, key, parts, derivs)
+		// A memo miss spans the unfolding, so the fetch (and nested
+		// extent) spans of the computation appear as its children.
+		sp, ctx := obs.StartSpan(s.ctx, obs.StageExtent, name)
+		if sp == nil {
+			return p.virtualExtent(s, key, parts, derivs)
+		}
+		sp.SetCache(obs.CacheMiss)
+		saved := s.ctx
+		s.ctx = ctx
+		v, err := p.virtualExtent(s, key, parts, derivs)
+		s.ctx = saved
+		if err == nil && v.Kind == iql.KindBag {
+			sp.SetRows(int64(len(v.Items)))
+		}
+		sp.End(err)
+		return v, err
 	}
 
 	// 3. Unambiguous global source resolution.
@@ -579,7 +638,9 @@ func (p *Processor) sourceExtent(s *session, src source, sc hdm.Scheme) (iql.Val
 	key := sc.Key()
 	s.dep(key)
 	ck := src.name + "\x00" + key
+	fetched := false
 	compute := func() (iql.Value, int64, error) {
+		fetched = true
 		v, err := src.fetch(s.ctx, sc)
 		if err != nil {
 			return iql.Value{}, 0, err
@@ -589,6 +650,19 @@ func (p *Processor) sourceExtent(s *session, src source, sc hdm.Scheme) (iql.Val
 	v, shared, err := p.srcExt.GetOrCompute(ck, []string{key}, compute)
 	if err != nil && shared && isCancellation(err) && (s.ctx == nil || s.ctx.Err() == nil) {
 		v, _, err = p.srcExt.GetOrCompute(ck, []string{key}, compute)
+	}
+	// Cache hits (including waits coalesced onto another request's
+	// in-flight fetch) record a zero-cost hit span so traces show where
+	// an extent came from; misses were recorded inside fetch itself.
+	if !fetched && s.ctx != nil {
+		if sp, _ := obs.StartSpan(s.ctx, obs.StageFetch, src.name); sp != nil {
+			sp.SetDetail(sc.Key())
+			sp.SetCache(obs.CacheHit)
+			if err == nil && v.Kind == iql.KindBag {
+				sp.SetRows(int64(len(v.Items)))
+			}
+			sp.End(err)
+		}
 	}
 	return v, err
 }
@@ -677,10 +751,12 @@ func (p *Processor) Eval(e iql.Expr) (iql.Value, error) {
 // queries: each evaluation collects its own warnings.
 func (p *Processor) EvalContext(ctx context.Context, e iql.Expr) (iql.Value, []string, []string, error) {
 	p.prefetch(ctx, e, "")
+	sp, ctx := obs.StartSpan(ctx, obs.StageEval, "")
 	s := p.newSession(ctx)
 	s.warnings = make(map[string]bool)
 	ev := &iql.Evaluator{Ext: s, Budget: s.budget, Ctx: ctx, Indexes: p.joinIdx}
 	v, err := ev.Eval(e, nil)
+	sp.End(err)
 	if err != nil {
 		return iql.Value{}, nil, nil, err
 	}

@@ -17,6 +17,7 @@ import (
 	"github.com/dataspace/automed/internal/hdm"
 	"github.com/dataspace/automed/internal/iql"
 	"github.com/dataspace/automed/internal/match"
+	"github.com/dataspace/automed/internal/obs"
 	"github.com/dataspace/automed/internal/rel"
 	"github.com/dataspace/automed/internal/wrapper"
 )
@@ -24,7 +25,23 @@ import (
 // ---- JSON plumbing ----
 
 type apiError struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// ridKey carries the request ID through handler contexts.
+type ridKeyType struct{}
+
+var ridKey ridKeyType
+
+func withRequestID(ctx context.Context, rid string) context.Context {
+	return context.WithValue(ctx, ridKey, rid)
+}
+
+// requestID returns the request's generated (or propagated) ID.
+func requestID(r *http.Request) string {
+	rid, _ := r.Context().Value(ridKey).(string)
+	return rid
 }
 
 // respBufPool recycles response-encoding buffers across requests.
@@ -53,8 +70,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, apiError{Error: err.Error()})
+func writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error(), RequestID: requestID(r)})
 }
 
 // errStatus maps workflow errors onto HTTP statuses.
@@ -196,11 +213,11 @@ type sourcesResp struct {
 func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 	var req sourcesReq
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if req.Name == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: source name is required"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: source name is required"))
 		return
 	}
 	variants := 0
@@ -210,7 +227,7 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if variants != 1 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: provide exactly one of csv_dir, tables, sql or rest"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: provide exactly one of csv_dir, tables, sql or rest"))
 		return
 	}
 	var (
@@ -243,16 +260,16 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		wrap, err = buildInlineSource(req.Name, req.Tables)
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	sess, err := s.reg.Get(req.Session, true)
 	if err != nil {
-		writeErr(w, errStatus(err), err)
+		writeErr(w, r, errStatus(err), err)
 		return
 	}
 	if err := sess.AddSource(wrap); err != nil {
-		writeErr(w, errStatus(err), err)
+		writeErr(w, r, errStatus(err), err)
 		return
 	}
 	s.persist(sess)
@@ -387,17 +404,17 @@ type federateResp struct {
 func (s *Server) handleFederate(w http.ResponseWriter, r *http.Request) {
 	var req federateReq
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	sess, err := s.reg.Get(req.Session, false)
 	if err != nil {
-		writeErr(w, errStatus(err), err)
+		writeErr(w, r, errStatus(err), err)
 		return
 	}
 	ig, err := sess.Federate(req.Name, req.AutoDrop)
 	if err != nil {
-		writeErr(w, errStatus(err), err)
+		writeErr(w, r, errStatus(err), err)
 		return
 	}
 	s.metrics.Iteration()
@@ -468,12 +485,12 @@ type intersectResp struct {
 func (s *Server) handleIntersect(w http.ResponseWriter, r *http.Request) {
 	var req intersectReq
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	sess, err := s.reg.Get(req.Session, false)
 	if err != nil {
-		writeErr(w, errStatus(err), err)
+		writeErr(w, r, errStatus(err), err)
 		return
 	}
 	mappings := make([]core.Mapping, len(req.Mappings))
@@ -482,7 +499,7 @@ func (s *Server) handleIntersect(w http.ResponseWriter, r *http.Request) {
 	}
 	in, err := sess.Intersect(req.Name, mappings, req.Enables...)
 	if err != nil {
-		writeErr(w, errStatus(err), err)
+		writeErr(w, r, errStatus(err), err)
 		return
 	}
 	s.metrics.Iteration()
@@ -520,16 +537,16 @@ type refineResp struct {
 func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	var req refineReq
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	sess, err := s.reg.Get(req.Session, false)
 	if err != nil {
-		writeErr(w, errStatus(err), err)
+		writeErr(w, r, errStatus(err), err)
 		return
 	}
 	if err := sess.Refine(req.Name, req.Mapping.toCore(), req.Enables...); err != nil {
-		writeErr(w, errStatus(err), err)
+		writeErr(w, r, errStatus(err), err)
 		return
 	}
 	s.metrics.Iteration()
@@ -561,7 +578,7 @@ type schemasResp struct {
 func (s *Server) handleSchemas(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.reg.Get(r.URL.Query().Get("session"), false)
 	if err != nil {
-		writeErr(w, errStatus(err), err)
+		writeErr(w, r, errStatus(err), err)
 		return
 	}
 	resp := schemasResp{
@@ -610,21 +627,29 @@ type queryResp struct {
 	ResultCached bool              `json:"result_cached"`
 	ElapsedUs    int64             `json:"elapsed_us"`
 	Explain      map[string]string `json:"explain,omitempty"`
+	// Trace is the per-stage span tree, present when the request set
+	// the X-Automed-Trace: 1 header.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
+}
+
+// traceRequested reports whether the client asked for an inline trace.
+func traceRequested(r *http.Request) bool {
+	return r.Header.Get("X-Automed-Trace") == "1"
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryReq
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if strings.TrimSpace(req.Query) == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: query is required"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: query is required"))
 		return
 	}
 	sess, err := s.reg.Get(req.Session, false)
 	if err != nil {
-		writeErr(w, errStatus(err), err)
+		writeErr(w, r, errStatus(err), err)
 		return
 	}
 	version := core.CurrentVersion
@@ -646,12 +671,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Trace when the client asked for one, and when a slow-query
+	// threshold is armed (every query is then traced; only those at or
+	// above the threshold are retained in the /debug/traces ring).
+	wantTrace := traceRequested(r)
+	var tr *obs.Trace
+	if wantTrace || s.cfg.SlowQuery > 0 {
+		tr = obs.NewTrace(requestID(r), sess.Name(), req.Query)
+		ctx = obs.WithTrace(ctx, tr)
+	}
+
 	start := time.Now()
 	res, outcome, err := sess.Query(ctx, s.plans, req.Query, version, req.NoCache)
 	elapsed := time.Since(start)
 	s.metrics.Query(elapsed, err, errors.Is(err, context.DeadlineExceeded))
+
+	var tj *obs.TraceJSON
+	if tr != nil {
+		t := tr.Finish(elapsed)
+		tj = &t
+		if wantTrace || (s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery) {
+			s.traces.Add(t)
+		}
+	}
 	if err != nil {
-		writeErr(w, errStatus(err), err)
+		writeErr(w, r, errStatus(err), err)
 		return
 	}
 
@@ -665,6 +709,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		PlanCached:   outcome.PlanCached,
 		ResultCached: outcome.ResultCached,
 		ElapsedUs:    elapsed.Microseconds(),
+	}
+	if wantTrace {
+		resp.Trace = tj
 	}
 	if req.Explain {
 		resp.Explain = s.explain(sess, req.Query, res.Version)
@@ -720,12 +767,12 @@ type reportResp struct {
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.reg.Get(r.URL.Query().Get("session"), false)
 	if err != nil {
-		writeErr(w, errStatus(err), err)
+		writeErr(w, r, errStatus(err), err)
 		return
 	}
 	ig, err := sess.integrator()
 	if err != nil {
-		writeErr(w, errStatus(err), err)
+		writeErr(w, r, errStatus(err), err)
 		return
 	}
 	rep := ig.Report()
@@ -772,18 +819,18 @@ type suggestResp struct {
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	var req suggestReq
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	sess, err := s.reg.Get(req.Session, false)
 	if err != nil {
-		writeErr(w, errStatus(err), err)
+		writeErr(w, r, errStatus(err), err)
 		return
 	}
 	wa, okA := sess.Wrapper(req.SourceA)
 	wb, okB := sess.Wrapper(req.SourceB)
 	if !okA || !okB {
-		writeErr(w, http.StatusNotFound,
+		writeErr(w, r, http.StatusNotFound,
 			fmt.Errorf("server: session %q does not have both sources %q and %q", sess.Name(), req.SourceA, req.SourceB))
 		return
 	}
@@ -850,7 +897,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		case errStatus(err) == http.StatusNotFound:
 			status = http.StatusNotFound
 		}
-		writeErr(w, status, err)
+		writeErr(w, r, status, err)
 		return
 	}
 	version := -1
@@ -887,7 +934,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, errBadSnapshot):
 			status = http.StatusBadRequest
 		}
-		writeErr(w, status, err)
+		writeErr(w, r, status, err)
 		return
 	}
 	resp := restoreResp{Session: sess.Name(), Version: -1, Sources: sess.SourceNames()}
@@ -905,7 +952,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves Prometheus text exposition by default; the JSON
+// snapshot remains available via ?format=json or an Accept header
+// naming application/json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	memo, src := s.extentStats()
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.plans.Stats(), s.resultStats(), memo, src, s.reg.Len()))
+	if wantsJSONMetrics(r) {
+		writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.plans.Stats(), s.resultStats(), memo, src, s.reg.Len()))
+		return
+	}
+	body := s.metrics.Prometheus(s.plans.Stats(), s.resultStats(), memo, src, s.reg.Len())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func wantsJSONMetrics(r *http.Request) bool {
+	if f := r.URL.Query().Get("format"); f != "" {
+		return strings.EqualFold(f, "json")
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+// handleTraces serves the bounded ring of recent query traces (those
+// explicitly requested via X-Automed-Trace plus slow queries when a
+// threshold is armed), newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.traces.Snapshot()})
 }

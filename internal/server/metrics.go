@@ -2,14 +2,16 @@ package server
 
 import (
 	"strconv"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/dataspace/automed/internal/obs"
 )
 
 // Metrics aggregates server-wide counters: request and query volumes,
-// error counts, query latency, and (via the caches' own stats) plan and
-// result cache hit rates. All methods are safe for concurrent use.
+// error counts, query latency, per-source fetch metrics, and (via the
+// caches' own stats) plan and result cache hit rates. All methods are
+// safe for concurrent use; the query hot path records without locks.
 type Metrics struct {
 	start time.Time
 
@@ -23,19 +25,29 @@ type Metrics struct {
 	snapshotErrors  atomic.Uint64 // failed snapshot writes
 	sessionRestores atomic.Uint64 // sessions restored from the store
 
-	mu         sync.Mutex
-	latCount   uint64
-	latSumNs   int64
-	latMaxNs   int64
-	latBuckets [len(latencyBoundsMs)]uint64
+	lat     *obs.Histogram
+	sources *obs.Sources
 }
 
 // latencyBoundsMs are the upper bounds (milliseconds) of the query
-// latency histogram; the last bucket is unbounded.
-var latencyBoundsMs = [...]float64{1, 5, 25, 100, 500, 2500}
+// latency histogram: sub-millisecond buckets for cache-hit answers out
+// to ten seconds for slow federated queries; observations beyond the
+// last bound land in an overflow bucket.
+var latencyBoundsMs = []float64{0.1, 0.5, 1, 5, 25, 100, 500, 2500, 10000}
 
 // NewMetrics returns zeroed metrics anchored at now.
-func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:   time.Now(),
+		lat:     obs.NewHistogram(latencyBoundsMs),
+		sources: obs.NewSources(),
+	}
+}
+
+// Sources exposes the per-source fetch-metrics registry; the request
+// middleware attaches it to query contexts so wrapper fetches record
+// into it.
+func (m *Metrics) Sources() *obs.Sources { return m.sources }
 
 // Request counts one HTTP request.
 func (m *Metrics) Request() { m.requestsTotal.Add(1) }
@@ -61,31 +73,48 @@ func (m *Metrics) Query(d time.Duration, err error, timedOut bool) {
 			m.queryTimeouts.Add(1)
 		}
 	}
-	ns := d.Nanoseconds()
-	ms := float64(ns) / 1e6
-	m.mu.Lock()
-	m.latCount++
-	m.latSumNs += ns
-	if ns > m.latMaxNs {
-		m.latMaxNs = ns
-	}
-	idx := len(latencyBoundsMs) - 1
-	for i, b := range latencyBoundsMs {
-		if ms <= b {
-			idx = i
-			break
-		}
-	}
-	m.latBuckets[idx]++
-	m.mu.Unlock()
+	m.lat.Observe(d)
 }
 
-// LatencySnapshot summarises observed query latencies.
+// LatencySnapshot summarises an observed latency distribution. P50/95/99
+// are estimated from the histogram by linear interpolation within the
+// bucket holding the target rank (the histogram_quantile estimate).
 type LatencySnapshot struct {
 	Count   uint64            `json:"count"`
 	MeanMs  float64           `json:"mean_ms"`
 	MaxMs   float64           `json:"max_ms"`
+	P50Ms   float64           `json:"p50_ms"`
+	P95Ms   float64           `json:"p95_ms"`
+	P99Ms   float64           `json:"p99_ms"`
 	Buckets map[string]uint64 `json:"buckets"`
+}
+
+func latencySnapshot(h obs.HistSnapshot) LatencySnapshot {
+	lat := LatencySnapshot{
+		Count:   h.Count,
+		MeanMs:  h.MeanMs(),
+		MaxMs:   h.MaxMs(),
+		P50Ms:   h.Quantile(0.50),
+		P95Ms:   h.Quantile(0.95),
+		P99Ms:   h.Quantile(0.99),
+		Buckets: make(map[string]uint64, len(h.Counts)),
+	}
+	for i, c := range h.Counts {
+		lat.Buckets[bucketLabel(h.BoundsMs, i)] = c
+	}
+	return lat
+}
+
+// SourceMetrics is the JSON shape of one data source's fetch metrics.
+type SourceMetrics struct {
+	Source  string          `json:"source"`
+	Kind    string          `json:"kind"`
+	Fetches uint64          `json:"fetches"`
+	Errors  uint64          `json:"errors"`
+	Retries uint64          `json:"retries"`
+	Rows    int64           `json:"rows"`
+	Bytes   int64           `json:"bytes"`
+	Latency LatencySnapshot `json:"fetch_latency"`
 }
 
 // MetricsSnapshot is the JSON shape served by GET /metrics.
@@ -106,10 +135,11 @@ type MetricsSnapshot struct {
 	SourceCache   CacheSnapshot   `json:"source_extent_cache"`
 	// CacheBytes / CacheEvictions / CacheInvalidations aggregate the
 	// four cache layers above.
-	CacheBytes         int64  `json:"cache_bytes_total"`
-	CacheEvictions     uint64 `json:"cache_evictions_total"`
-	CacheInvalidations uint64 `json:"cache_invalidations_total"`
-	Sessions           int    `json:"sessions"`
+	CacheBytes         int64           `json:"cache_bytes_total"`
+	CacheEvictions     uint64          `json:"cache_evictions_total"`
+	CacheInvalidations uint64          `json:"cache_invalidations_total"`
+	Sessions           int             `json:"sessions"`
+	Sources            []SourceMetrics `json:"sources"`
 }
 
 // CacheSnapshot extends CacheStats with the derived hit rate.
@@ -127,19 +157,20 @@ func snapshotCache(s CacheStats) CacheSnapshot {
 // result = per-session answers, extent = virtual-extent memos, src =
 // source extents).
 func (m *Metrics) Snapshot(plan, result, extent, src CacheStats, sessions int) MetricsSnapshot {
-	m.mu.Lock()
-	lat := LatencySnapshot{
-		Count:   m.latCount,
-		MaxMs:   float64(m.latMaxNs) / 1e6,
-		Buckets: make(map[string]uint64, len(latencyBoundsMs)),
+	srcSnaps := m.sources.Snapshot()
+	sources := make([]SourceMetrics, 0, len(srcSnaps))
+	for _, s := range srcSnaps {
+		sources = append(sources, SourceMetrics{
+			Source:  s.Source,
+			Kind:    s.Kind,
+			Fetches: s.Fetches,
+			Errors:  s.Errors,
+			Retries: s.Retries,
+			Rows:    s.Rows,
+			Bytes:   s.Bytes,
+			Latency: latencySnapshot(s.Latency),
+		})
 	}
-	if m.latCount > 0 {
-		lat.MeanMs = float64(m.latSumNs) / float64(m.latCount) / 1e6
-	}
-	for i, b := range latencyBoundsMs {
-		lat.Buckets[bucketLabel(b, i == len(latencyBoundsMs)-1)] = m.latBuckets[i]
-	}
-	m.mu.Unlock()
 
 	return MetricsSnapshot{
 		UptimeSeconds:      time.Since(m.start).Seconds(),
@@ -151,7 +182,7 @@ func (m *Metrics) Snapshot(plan, result, extent, src CacheStats, sessions int) M
 		Snapshots:          m.snapshots.Load(),
 		SnapshotErrs:       m.snapshotErrors.Load(),
 		Restores:           m.sessionRestores.Load(),
-		Latency:            lat,
+		Latency:            latencySnapshot(m.lat.Snapshot()),
 		PlanCache:          snapshotCache(plan),
 		ResultCache:        snapshotCache(result),
 		ExtentCache:        snapshotCache(extent),
@@ -160,12 +191,16 @@ func (m *Metrics) Snapshot(plan, result, extent, src CacheStats, sessions int) M
 		CacheEvictions:     plan.Evictions + result.Evictions + extent.Evictions + src.Evictions,
 		CacheInvalidations: plan.Invalidations + result.Invalidations + extent.Invalidations + src.Invalidations,
 		Sessions:           sessions,
+		Sources:            sources,
 	}
 }
 
-func bucketLabel(boundMs float64, last bool) string {
-	if last {
+// bucketLabel renders the i-th bucket's JSON key. Bounds format
+// losslessly ("le_0.1ms", "le_2500ms"); the overflow bucket past the
+// last bound is "le_inf".
+func bucketLabel(bounds []float64, i int) string {
+	if i >= len(bounds) {
 		return "le_inf"
 	}
-	return "le_" + strconv.Itoa(int(boundMs)) + "ms"
+	return "le_" + strconv.FormatFloat(bounds[i], 'g', -1, 64) + "ms"
 }

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"github.com/dataspace/automed/internal/obs"
+)
+
+// Prometheus renders the metrics in text exposition format 0.0.4 — the
+// counterpart of Snapshot for scrape-based collection. Histogram
+// buckets follow the cumulative `le` convention with bounds in seconds.
+func (m *Metrics) Prometheus(plan, result, extent, src CacheStats, sessions int) []byte {
+	snap := m.Snapshot(plan, result, extent, src, sessions)
+	w := obs.NewPromWriter()
+
+	w.Gauge("automed_uptime_seconds", "Seconds since the server started.", snap.UptimeSeconds)
+	w.Counter("automed_http_requests_total", "HTTP requests served.", float64(snap.RequestsTotal))
+	w.Counter("automed_queries_total", "IQL queries evaluated.", float64(snap.QueriesTotal))
+	w.Counter("automed_query_errors_total", "Queries that failed.", float64(snap.QueryErrors))
+	w.Counter("automed_query_timeouts_total", "Queries cancelled by the per-query timeout.", float64(snap.QueryTimeouts))
+	w.Counter("automed_integration_iterations_total", "Integration steps served (federate/intersect/refine).", float64(snap.Iterations))
+	w.Counter("automed_session_snapshots_total", "Session snapshots written to the store.", float64(snap.Snapshots))
+	w.Counter("automed_session_snapshot_errors_total", "Failed session snapshot writes.", float64(snap.SnapshotErrs))
+	w.Counter("automed_sessions_restored_total", "Sessions restored from the store.", float64(snap.Restores))
+	w.Gauge("automed_sessions", "Live sessions.", float64(snap.Sessions))
+
+	w.Histogram("automed_query_duration_seconds", "End-to-end query latency.", m.lat.Snapshot())
+
+	layers := []struct {
+		layer string
+		s     CacheStats
+	}{
+		{"plan", plan},
+		{"result", result},
+		{"extent", extent},
+		{"source_extent", src},
+	}
+	for _, l := range layers {
+		lbl := []string{"layer", l.layer}
+		w.Gauge("automed_cache_entries", "Entries held per cache layer.", float64(l.s.Len), lbl...)
+		w.Gauge("automed_cache_bytes", "Bytes held per cache layer.", float64(l.s.Bytes), lbl...)
+		w.Counter("automed_cache_hits_total", "Cache hits per layer.", float64(l.s.Hits), lbl...)
+		w.Counter("automed_cache_misses_total", "Cache misses per layer.", float64(l.s.Misses), lbl...)
+		w.Counter("automed_cache_evictions_total", "Cache evictions per layer.", float64(l.s.Evictions), lbl...)
+		w.Counter("automed_cache_invalidations_total", "Cache invalidations per layer.", float64(l.s.Invalidations), lbl...)
+	}
+
+	for _, s := range m.sources.Snapshot() {
+		lbl := []string{"source", s.Source, "kind", s.Kind}
+		w.Counter("automed_source_fetches_total", "Wrapper fetches per data source.", float64(s.Fetches), lbl...)
+		w.Counter("automed_source_fetch_errors_total", "Failed wrapper fetches per data source.", float64(s.Errors), lbl...)
+		w.Counter("automed_source_fetch_retries_total", "Wrapper fetch retries per data source.", float64(s.Retries), lbl...)
+		w.Counter("automed_source_rows_total", "Extent rows fetched per data source.", float64(s.Rows), lbl...)
+		w.Counter("automed_source_bytes_total", "Bytes fetched per data source.", float64(s.Bytes), lbl...)
+		w.Histogram("automed_source_fetch_duration_seconds", "Wrapper fetch latency per data source.", s.Latency, lbl...)
+	}
+
+	return w.Bytes()
+}

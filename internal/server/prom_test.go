@@ -1,0 +1,192 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dataspace/automed/internal/obs"
+)
+
+// scrape fetches a path without the JSON Accept header the testClient
+// helpers set, so GET /metrics content-negotiates to the Prometheus
+// text exposition. It returns the body and the Content-Type.
+func scrape(t *testing.T, c *testClient, path, accept string) ([]byte, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, c.srv.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := c.srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d (%s)", path, resp.StatusCode, body)
+	}
+	return body, resp.Header.Get("Content-Type")
+}
+
+// TestMetricsPrometheusExposition drives a small workload and checks
+// that the default GET /metrics response is valid Prometheus text
+// exposition (HELP/TYPE headers, monotone cumulative le buckets ending
+// in +Inf, consistent _sum/_count) carrying the expected families with
+// the expected counts.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	_, c := newTestClient(t, DefaultConfig())
+	registerBookstore(c, "", 3)
+	c.must("POST", "/federate", map[string]any{}, http.StatusCreated)
+	for i := 0; i < 3; i++ {
+		c.must("POST", "/query", map[string]any{"query": "count(<<library_books>>)"}, http.StatusOK)
+	}
+	// One failing query: errors must show up as their own counter.
+	if status, _ := c.do("POST", "/query", map[string]any{"query": "count(<<nosuch>>)"}); status != http.StatusBadRequest {
+		t.Fatalf("bad query = %d, want 400", status)
+	}
+
+	body, ct := scrape(t, c, "/metrics", "")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q, want text/plain; version=0.0.4", ct)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE automed_queries_total counter",
+		"# TYPE automed_query_duration_seconds histogram",
+		"automed_queries_total 4",
+		"automed_query_errors_total 1",
+		"automed_query_timeouts_total 0",
+		`automed_query_duration_seconds_bucket{le="+Inf"} 4`,
+		"automed_query_duration_seconds_count 4",
+		"automed_http_requests_total",
+		"automed_integration_iterations_total 1",
+		"automed_sessions 1",
+		`automed_cache_hits_total{layer="plan"} 2`,
+		`automed_cache_entries{layer="result"}`,
+		`automed_cache_misses_total{layer="source_extent"}`,
+		`automed_source_fetches_total{source="Library",kind="relational"} 1`,
+		`automed_source_rows_total{source="Library",kind="relational"} 3`,
+		`automed_source_fetch_duration_seconds_count{source="Library",kind="relational"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", text)
+	}
+}
+
+// TestMetricsContentNegotiation: the JSON snapshot stays reachable via
+// ?format=json and via an Accept header, and the format parameter wins
+// over Accept.
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, c := newTestClient(t, DefaultConfig())
+	if _, ct := scrape(t, c, "/metrics?format=json", ""); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("?format=json content type = %q", ct)
+	}
+	if _, ct := scrape(t, c, "/metrics", "application/json"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Accept: application/json content type = %q", ct)
+	}
+	if body, ct := scrape(t, c, "/metrics?format=prometheus", "application/json"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("format param should win over Accept: content type = %q", ct)
+	} else if err := obs.ValidateExposition(body); err != nil {
+		t.Errorf("invalid exposition: %v", err)
+	}
+}
+
+// TestMetricsScrapeUnderLoad hammers GET /metrics (both negotiations)
+// concurrently with queries and integration steps. Every scrape must
+// be internally consistent exposition; the real assertion is the race
+// detector over the lock-free recording paths.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	_, c := newTestClient(t, DefaultConfig())
+	registerBookstore(c, "", 10)
+	c.must("POST", "/federate", map[string]any{}, http.StatusCreated)
+
+	const (
+		queryWorkers  = 4
+		scrapeWorkers = 3
+		iterations    = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, queryWorkers+scrapeWorkers)
+	for g := 0; g < queryWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				q := "count(<<library_books>>)"
+				if i%2 == g%2 {
+					q = "count(<<shop_items>>)"
+				}
+				status, out := c.do("POST", "/query", map[string]any{"query": q, "no_cache": i%3 == 0})
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("query = %d (%v)", status, out)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < scrapeWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				if (i+g)%2 == 0 {
+					body, _ := scrape(t, c, "/metrics", "")
+					if err := obs.ValidateExposition(body); err != nil {
+						errs <- fmt.Errorf("scrape %d: %v", i, err)
+						return
+					}
+				} else {
+					c.must("GET", "/metrics", nil, http.StatusOK)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The final scrape accounts for every query exactly once.
+	snap := c.must("GET", "/metrics", nil, http.StatusOK)
+	if n := snap["queries_total"].(float64); n != queryWorkers*iterations {
+		t.Errorf("queries_total = %v, want %d", n, queryWorkers*iterations)
+	}
+}
+
+// BenchmarkMetricsQueryParallel measures the query hot path's metric
+// recording under contention: every sample takes the same lock-free
+// route (atomic counters plus the atomic latency histogram) the server
+// takes per query.
+func BenchmarkMetricsQueryParallel(b *testing.B) {
+	m := NewMetrics()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := 37 * time.Microsecond
+		for pb.Next() {
+			m.Query(d, nil, false)
+			d += 311 * time.Microsecond // sweep across buckets
+			if d > 20*time.Millisecond {
+				d = 37 * time.Microsecond
+			}
+		}
+	})
+}

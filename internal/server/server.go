@@ -1,13 +1,16 @@
 package server
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"github.com/dataspace/automed/internal/cache"
+	"github.com/dataspace/automed/internal/obs"
 )
 
 // Config tunes the dataspace server.
@@ -28,7 +31,20 @@ type Config struct {
 	// MaxSteps bounds IQL evaluation steps per query (a defence
 	// against runaway comprehensions); 0 means unlimited.
 	MaxSteps int
+	// SlowQuery, when > 0, traces every query and retains those at or
+	// above the threshold in the /debug/traces ring even when the
+	// client did not ask for a trace.
+	SlowQuery time.Duration
+	// TraceRingSize bounds the /debug/traces ring of recent query
+	// traces; <= 0 means the default (256).
+	TraceRingSize int
+	// Logger receives structured access and error logs; nil discards
+	// them (library embedding and tests stay quiet).
+	Logger *slog.Logger
 }
+
+// defaultTraceRingSize bounds /debug/traces when the config does not.
+const defaultTraceRingSize = 256
 
 // DefaultConfig returns production-shaped defaults.
 func DefaultConfig() Config {
@@ -37,6 +53,7 @@ func DefaultConfig() Config {
 		ResultCacheSize: 4096,
 		CacheBytes:      256 << 20,
 		QueryTimeout:    30 * time.Second,
+		TraceRingSize:   defaultTraceRingSize,
 	}
 }
 
@@ -48,6 +65,8 @@ type Server struct {
 	reg     *Registry
 	plans   *cache.Store[plan]
 	metrics *Metrics
+	traces  *obs.Ring
+	log     *slog.Logger
 	mux     *http.ServeMux
 	// persistMu serialises all access to the store — opening it,
 	// export+save, and load+replace — so that a snapshot of older
@@ -64,6 +83,14 @@ type Server struct {
 
 // New builds a server.
 func New(cfg Config) *Server {
+	ring := cfg.TraceRingSize
+	if ring <= 0 {
+		ring = defaultTraceRingSize
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg: cfg,
 		reg: NewRegistry(cfg.ResultCacheSize, cfg.CacheBytes, cfg.MaxSteps),
@@ -73,6 +100,8 @@ func New(cfg Config) *Server {
 			Disabled:   cfg.PlanCacheSize <= 0,
 		}),
 		metrics: NewMetrics(),
+		traces:  obs.NewRing(ring),
+		log:     logger,
 		mux:     http.NewServeMux(),
 	}
 	s.routes()
@@ -93,14 +122,55 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /sessions/{name}/restore", s.handleRestore)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 }
 
-// Handler returns the routed HTTP handler with request accounting.
+// Handler returns the routed HTTP handler wrapped in the observability
+// middleware: request accounting, a per-request ID (inbound
+// X-Request-ID or generated) echoed in the X-Request-ID response
+// header and error bodies, the per-source metrics registry on the
+// context, and a structured access log.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Request()
-		s.mux.ServeHTTP(w, r)
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		ctx := withRequestID(r.Context(), rid)
+		ctx = obs.WithSources(ctx, s.metrics.Sources())
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		s.mux.ServeHTTP(sw, r.WithContext(ctx))
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000,
+			"request_id", rid,
+		)
 	})
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// newRequestID returns a 16-hex-char random request identifier.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // OpenStore enables durable sessions: snapshots are written to dir
@@ -227,7 +297,7 @@ func (s *Server) persist(sess *Session) {
 	}
 	if err != nil {
 		s.metrics.SnapshotError()
-		log.Printf("server: autosaving session %q: %v", sess.Name(), err)
+		s.log.Error("autosave failed", "session", sess.Name(), "error", err)
 		return
 	}
 	s.metrics.SnapshotWritten()

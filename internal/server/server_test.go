@@ -40,6 +40,8 @@ func (c *testClient) do(method, path string, body any) (int, map[string]any) {
 	if err != nil {
 		c.t.Fatal(err)
 	}
+	// The helpers decode JSON; /metrics content-negotiates on Accept.
+	req.Header.Set("Accept", "application/json")
 	resp, err := c.srv.Client().Do(req)
 	if err != nil {
 		c.t.Fatal(err)

@@ -24,6 +24,7 @@ import (
 	"github.com/dataspace/automed/internal/cache"
 	"github.com/dataspace/automed/internal/core"
 	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/obs"
 	"github.com/dataspace/automed/internal/wrapper"
 )
 
@@ -233,11 +234,16 @@ func (s *Session) Query(ctx context.Context, plans *cache.Store[plan], src strin
 	}
 
 	var out QueryOutcome
+	psp, _ := obs.StartSpan(ctx, obs.StageParse, "")
 	pl, ok := plans.Get(src)
 	if ok {
 		out.PlanCached = true
+		psp.SetCache(obs.CacheHit)
+		psp.End(nil)
 	} else {
 		e, err := iql.Parse(src)
+		psp.SetCache(obs.CacheMiss)
+		psp.End(err)
 		if err != nil {
 			return Answer{}, out, err
 		}
@@ -253,7 +259,15 @@ func (s *Session) Query(ctx context.Context, plans *cache.Store[plan], src strin
 	if !noCache {
 		if ans, ok := s.results.Get(key); ok {
 			out.ResultCached = true
+			if sp, _ := obs.StartSpan(ctx, obs.StageResultCache, ""); sp != nil {
+				sp.SetCache(obs.CacheHit)
+				sp.End(nil)
+			}
 			return ans, out, nil
+		}
+		if sp, _ := obs.StartSpan(ctx, obs.StageResultCache, ""); sp != nil {
+			sp.SetCache(obs.CacheMiss)
+			sp.End(nil)
 		}
 	}
 
@@ -268,7 +282,9 @@ func (s *Session) Query(ctx context.Context, plans *cache.Store[plan], src strin
 		return Answer{}, out, err
 	}
 	ans := Answer{Result: res}
+	rsp, _ := obs.StartSpan(ctx, obs.StageRender, "")
 	ans.render()
+	rsp.End(nil)
 	if !noCache && res.Version == ver {
 		// res.Version can differ from ver only if an iteration raced
 		// between GlobalVersion and evaluation; skip caching then

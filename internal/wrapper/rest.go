@@ -14,6 +14,7 @@ import (
 
 	"github.com/dataspace/automed/internal/hdm"
 	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/obs"
 )
 
 // RESTCollection declares one collection served by a JSON/REST source.
@@ -235,6 +236,9 @@ func (w *REST) SchemaName() string { return w.name }
 // Schema implements Wrapper.
 func (w *REST) Schema() *hdm.Schema { return w.schema }
 
+// Kind labels the wrapper flavour in metrics and traces.
+func (w *REST) Kind() string { return "rest" }
+
 // Config returns the wrapper's endpoint configuration.
 func (w *REST) Config() RESTConfig { return w.cfg }
 
@@ -307,6 +311,9 @@ func (w *REST) fetchRows(ctx context.Context, c restColl) ([]map[string]iql.Valu
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if attempt > 0 {
+			obs.AddFetchRetry(ctx)
+		}
 		body, err := w.get(ctx, c.path)
 		if err != nil {
 			lastErr = err
@@ -339,8 +346,20 @@ func (e *restStatusError) Error() string {
 // (already wrapped in the byte budget). The caller owns decoding.
 func (w *REST) get(ctx context.Context, path string) (io.Reader, error) {
 	url := strings.TrimSuffix(w.cfg.Endpoint, "/") + path
+	sp, ctx := obs.StartSpan(ctx, "http", path)
 	ctx, cancel := context.WithTimeout(ctx, w.cfg.Timeout)
 	defer cancel()
+	data, err := w.getBody(ctx, url)
+	obs.AddFetchBytes(ctx, int64(len(data)))
+	sp.SetBytes(int64(len(data)))
+	sp.End(err)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(data), nil
+}
+
+func (w *REST) getBody(ctx context.Context, url string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
@@ -363,7 +382,7 @@ func (w *REST) get(ctx context.Context, path string) (io.Reader, error) {
 	if int64(len(data)) > w.cfg.MaxBytes {
 		return nil, fmt.Errorf("GET %s: response exceeds the %d-byte budget", url, w.cfg.MaxBytes)
 	}
-	return bytes.NewReader(data), nil
+	return data, nil
 }
 
 // decodeStrict decodes exactly one JSON document within the byte

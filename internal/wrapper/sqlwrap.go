@@ -9,6 +9,7 @@ import (
 
 	"github.com/dataspace/automed/internal/hdm"
 	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/obs"
 )
 
 // SQLConfig configures a SQL-over-the-wire data source.
@@ -141,6 +142,9 @@ func (w *SQL) Schema() *hdm.Schema { return w.schema }
 // Config returns the wrapper's connection configuration.
 func (w *SQL) Config() SQLConfig { return w.cfg }
 
+// Kind labels the wrapper flavour in metrics and traces.
+func (w *SQL) Kind() string { return "sql" }
+
 // Offline reports whether the wrapper lost its live connection and is
 // serving only the snapshot's materialised extents (possible only for
 // restored wrappers whose driver is absent from the binary).
@@ -197,6 +201,14 @@ func (w *SQL) fetch(ctx context.Context, sc hdm.Scheme) (iql.Value, error) {
 	}
 	ctx, cancel := context.WithTimeout(ctx, w.cfg.Timeout)
 	defer cancel()
+	sp, ctx := obs.StartSpan(ctx, "sql", stmt)
+	v, err := w.query(ctx, stmt, sc)
+	sp.End(err)
+	return v, err
+}
+
+// query runs one extent SELECT and scans its rows.
+func (w *SQL) query(ctx context.Context, stmt string, sc hdm.Scheme) (iql.Value, error) {
 	rows, err := w.db.QueryContext(ctx, stmt)
 	if err != nil {
 		return iql.Value{}, fmt.Errorf("wrapper: sql: source %q: fetching %s: %w", w.name, sc, err)

@@ -60,6 +60,9 @@ func NewRelational(name string, db *rel.DB) (*Relational, error) {
 // SchemaName implements Wrapper.
 func (w *Relational) SchemaName() string { return w.name }
 
+// Kind labels the wrapper flavour in metrics and traces.
+func (w *Relational) Kind() string { return "relational" }
+
 // Schema implements Wrapper.
 func (w *Relational) Schema() *hdm.Schema { return w.schema }
 
@@ -159,6 +162,9 @@ func (w *Static) Add(sc hdm.Scheme, kind hdm.ObjectKind, model, construct string
 
 // SchemaName implements Wrapper.
 func (w *Static) SchemaName() string { return w.name }
+
+// Kind labels the wrapper flavour in metrics and traces.
+func (w *Static) Kind() string { return "static" }
 
 // Schema implements Wrapper.
 func (w *Static) Schema() *hdm.Schema { return w.schema }

@@ -147,6 +147,9 @@ func nodeName(id string) string {
 // SchemaName implements Wrapper.
 func (w *XML) SchemaName() string { return w.name }
 
+// Kind labels the wrapper flavour in metrics and traces.
+func (w *XML) Kind() string { return "xml" }
+
 // Schema implements Wrapper.
 func (w *XML) Schema() *hdm.Schema { return w.schema }
 
