@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke metrics-smoke run fuzz-seeds golden test-wrappers
+.PHONY: ci fmt vet build test race bench bench-smoke bench-load metrics-smoke load-smoke run fuzz-seeds golden test-wrappers
 
 # ci is the full local gate: formatting, static checks (go vet), build,
 # tests under the race detector, the wrapper conformance suite, the
 # persistence-format guards (fuzz seed corpus + golden snapshots), a
 # one-iteration -benchmem pass over every benchmark so the bench
-# harness can't silently rot, and the metrics exposition smoke check.
-ci: fmt vet build race test-wrappers fuzz-seeds golden bench-smoke metrics-smoke
+# harness can't silently rot, the metrics exposition smoke check, and a
+# short admission-control load smoke.
+ci: fmt vet build race test-wrappers fuzz-seeds golden bench-smoke metrics-smoke load-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -42,6 +43,25 @@ bench-smoke:
 # exposition or a JSON metrics snapshot missing expected fields.
 metrics-smoke:
 	$(GO) run ./cmd/metricssmoke
+
+# load-smoke is the ci admission-control gate: a short self-served load
+# run (closed-loop workers over a small in-flight limit, zipf session
+# popularity, mid-flight intersect/refine) that fails on request
+# errors, malformed exposition, or a dead admission controller.
+load-smoke:
+	$(GO) run ./cmd/loadgen -smoke -sessions 4 -workers 8 -duration 2s \
+		-max-inflight 4 -max-queue 8 -mutate-every 10
+
+# bench-load regenerates BENCH_PR7.json, the committed load/overload
+# baseline: many more closed-loop workers than admitted slots plus an
+# open-loop arrival stream. The in-flight limit sits well below the
+# worker count (and any plausible core count) so the run genuinely
+# saturates: the report captures real 429s, bounded queue waits and
+# tail latency under overload rather than an idle queue.
+bench-load:
+	$(GO) run ./cmd/loadgen -sessions 64 -workers 64 -duration 10s \
+		-max-inflight 2 -max-queue 8 -rate 200 -mutate-every 40 \
+		-out BENCH_PR7.json
 
 # fuzz-seeds runs every committed fuzz seed (malformed repo snapshots,
 # malformed REST payloads) as plain tests — the CI-safe equivalent of a

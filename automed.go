@@ -136,11 +136,25 @@ func OpenSQL(name string, cfg SQLConfig) (Wrapper, error) {
 	return wrapper.NewSQL(name, cfg)
 }
 
+// OpenSQLContext is OpenSQL under a caller-supplied context: the
+// catalog introspection aborts as soon as ctx is cancelled instead of
+// running out the full introspection timeout.
+func OpenSQLContext(ctx context.Context, name string, cfg SQLConfig) (Wrapper, error) {
+	return wrapper.NewSQLContext(ctx, name, cfg)
+}
+
 // OpenREST wraps a JSON-over-HTTP endpoint serving arrays of flat
 // records as a source; collections are discovered from the endpoint
 // root unless declared.
 func OpenREST(name string, cfg RESTConfig) (Wrapper, error) {
 	return wrapper.NewREST(name, cfg)
+}
+
+// OpenRESTContext is OpenREST under a caller-supplied context: the
+// collection-discovery and field-inference fetches abort as soon as
+// ctx is cancelled instead of running out the full fetch timeout.
+func OpenRESTContext(ctx context.Context, name string, cfg RESTConfig) (Wrapper, error) {
+	return wrapper.NewRESTContext(ctx, name, cfg)
 }
 
 // SetAutoDrop controls redundant-object dropping in the automatically

@@ -40,6 +40,13 @@
 // request carries an X-Request-ID, queries slower than -slow-query are
 // traced into GET /debug/traces, and -debug-addr serves net/http/pprof
 // on a separate listener.
+//
+// Under load the daemon admits at most -max-inflight requests at a
+// time, parks the overflow in a bounded per-session fair queue
+// (-max-queue) served deficit round-robin, and sheds the rest with
+// 429 + Retry-After. On SIGTERM/SIGINT it drains gracefully within
+// -drain-timeout: /healthz flips to 503 draining, in-flight requests
+// finish, and every session is snapshotted before exit.
 package main
 
 import (
@@ -48,6 +55,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -109,6 +117,9 @@ func main() {
 		slowQuery   = flag.Duration("slow-query", 0, "trace queries at or above this duration into /debug/traces (0 = only explicitly requested traces)")
 		traceRing   = flag.Int("trace-ring", 256, "retained recent query traces served by /debug/traces")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		maxInflight = flag.Int("max-inflight", 256, "max concurrently executing queries/integration steps (0 = unlimited)")
+		maxQueue    = flag.Int("max-queue", 1024, "max requests parked in the admission queue before 429s (0 = reject at the in-flight limit)")
+		drainTime   = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGTERM before exit")
 		preload     sourceFlags
 		preloadSQL  sourceFlags
 		preloadREST sourceFlags
@@ -134,6 +145,8 @@ func main() {
 		MaxSteps:        *maxSteps,
 		SlowQuery:       *slowQuery,
 		TraceRingSize:   *traceRing,
+		MaxInflight:     *maxInflight,
+		MaxQueue:        *maxQueue,
 		Logger:          logger,
 	})
 	if *dataDir != "" {
@@ -154,33 +167,20 @@ func main() {
 		go serveDebug(logger, *debugAddr)
 	}
 
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
-	go func() {
-		logger.Info("listening", "addr", *addr)
-		errc <- httpSrv.ListenAndServe()
-	}()
-
-	select {
-	case err := <-errc:
-		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fatal(logger, err)
-		}
-	case <-ctx.Done():
-		logger.Info("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			logger.Error("shutdown failed", "error", err)
-		}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(logger, err)
+	}
+	logger.Info("listening", "addr", ln.Addr().String())
+	// ServeGraceful blocks until ctx is cancelled (SIGINT/SIGTERM), then
+	// drains: /healthz goes unready, queued requests get 503s, in-flight
+	// work finishes under -drain-timeout, and sessions flush to the
+	// store before exit.
+	if err := srv.ServeGraceful(ctx, ln, *drainTime); err != nil {
+		fatal(logger, err)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 // callers can add stages without touching this package; the constants
 // just keep the spelling consistent.
 const (
+	StageQueue       = "queue"
 	StageParse       = "parse"
 	StageResultCache = "result-cache"
 	StagePrefetch    = "prefetch"
@@ -29,6 +30,7 @@ const (
 	StageFetch       = "fetch"
 	StageEval        = "eval"
 	StageRender      = "render"
+	StageBackoff     = "backoff"
 )
 
 // Cache dispositions attached to spans.

@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -72,6 +73,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
 	writeJSON(w, status, apiError{Error: err.Error(), RequestID: requestID(r)})
+}
+
+// admit gates one unit of work (a query or an integration step) through
+// the admission controller, parking it in the per-session fair queue at
+// capacity. On rejection it writes the whole response — 429 at the
+// queue bound, 503 while draining or when the caller's deadline expired
+// in the queue, both with a Retry-After estimate — and returns ok
+// false. On admission the returned release must be called when the work
+// finishes. The wait (if any) is recorded as a queue span on the
+// context's trace and in the automed_queue_wait_seconds histogram.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, r *http.Request, session string) (release func(), ok bool) {
+	if session == "" {
+		session = "default"
+	}
+	sp, _ := obs.StartSpan(ctx, obs.StageQueue, session)
+	release, waited, err := s.adm.acquire(ctx, session)
+	if err == nil {
+		s.metrics.QueueAdmitted(waited)
+		sp.End(nil)
+		return release, true
+	}
+	sp.End(err)
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	switch {
+	case errors.Is(err, errOverCapacity):
+		s.metrics.QueueRejected()
+		writeErr(w, r, http.StatusTooManyRequests, err)
+	case errors.Is(err, errDraining):
+		s.metrics.QueueDrainRejected()
+		writeErr(w, r, http.StatusServiceUnavailable, err)
+	default:
+		// The caller's context expired while parked in the queue.
+		writeErr(w, r, http.StatusServiceUnavailable,
+			fmt.Errorf("server: request expired in the admission queue: %w", err))
+	}
+	return nil, false
 }
 
 // errStatus maps workflow errors onto HTTP statuses.
@@ -230,15 +267,24 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: provide exactly one of csv_dir, tables, sql or rest"))
 		return
 	}
+	release, ok := s.admit(r.Context(), w, r, req.Session)
+	if !ok {
+		return
+	}
+	defer release()
 	var (
 		wrap wrapper.Wrapper
 		err  error
 	)
+	// Remote-backend construction (SQL introspection, REST discovery)
+	// runs under the request context: a client that disconnects — or a
+	// dead endpoint — no longer pins the handler for the full wrapper
+	// timeout.
 	switch {
 	case req.CSVDir != "":
 		wrap, err = wrapper.NewCSVDir(req.Name, req.CSVDir)
 	case req.SQL != nil:
-		wrap, err = wrapper.NewSQL(req.Name, wrapper.SQLConfig{
+		wrap, err = wrapper.NewSQLContext(r.Context(), req.Name, wrapper.SQLConfig{
 			Driver:  req.SQL.Driver,
 			DSN:     req.SQL.DSN,
 			Dialect: req.SQL.Dialect,
@@ -255,7 +301,7 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 				Name: c.Name, Key: c.Key, Path: c.Path, Fields: c.Fields,
 			})
 		}
-		wrap, err = wrapper.NewREST(req.Name, cfg)
+		wrap, err = wrapper.NewRESTContext(r.Context(), req.Name, cfg)
 	default:
 		wrap, err = buildInlineSource(req.Name, req.Tables)
 	}
@@ -412,6 +458,11 @@ func (s *Server) handleFederate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, errStatus(err), err)
 		return
 	}
+	release, ok := s.admit(r.Context(), w, r, sess.Name())
+	if !ok {
+		return
+	}
+	defer release()
 	ig, err := sess.Federate(req.Name, req.AutoDrop)
 	if err != nil {
 		writeErr(w, r, errStatus(err), err)
@@ -493,6 +544,11 @@ func (s *Server) handleIntersect(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, errStatus(err), err)
 		return
 	}
+	release, ok := s.admit(r.Context(), w, r, sess.Name())
+	if !ok {
+		return
+	}
+	defer release()
 	mappings := make([]core.Mapping, len(req.Mappings))
 	for i, m := range req.Mappings {
 		mappings[i] = m.toCore()
@@ -545,6 +601,11 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, errStatus(err), err)
 		return
 	}
+	release, ok := s.admit(r.Context(), w, r, sess.Name())
+	if !ok {
+		return
+	}
+	defer release()
 	if err := sess.Refine(req.Name, req.Mapping.toCore(), req.Enables...); err != nil {
 		writeErr(w, r, errStatus(err), err)
 		return
@@ -680,6 +741,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		tr = obs.NewTrace(requestID(r), sess.Name(), req.Query)
 		ctx = obs.WithTrace(ctx, tr)
 	}
+
+	// Admission control: the evaluation below runs only once the fair
+	// queue grants a slot. The wait counts against the query deadline
+	// (ctx carries it) but not against the query latency histogram —
+	// queue time has its own. Rejections (429/503 + Retry-After) have
+	// already been written when ok is false.
+	release, ok := s.admit(ctx, w, r, sess.Name())
+	if !ok {
+		return
+	}
+	defer release()
 
 	start := time.Now()
 	res, outcome, err := sess.Query(ctx, s.plans, req.Query, version, req.NoCache)
@@ -834,6 +906,11 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("server: session %q does not have both sources %q and %q", sess.Name(), req.SourceA, req.SourceB))
 		return
 	}
+	release, ok := s.admit(r.Context(), w, r, sess.Name())
+	if !ok {
+		return
+	}
+	defer release()
 	m := match.New(match.DefaultConfig())
 	best := m.Best(wa.Schema(), wb.Schema(), wa, wb, req.MinScore)
 	resp := suggestResp{Session: sess.Name(), Correspondences: []correspondenceResp{}}
@@ -946,6 +1023,16 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// During drain the health check goes unready so load balancers pull
+	// this instance out of rotation while in-flight work finishes.
+	if s.Draining() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":   "draining",
+			"sessions": s.reg.Len(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"sessions": s.reg.Len(),
@@ -958,10 +1045,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	memo, src := s.extentStats()
 	if wantsJSONMetrics(r) {
-		writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.plans.Stats(), s.resultStats(), memo, src, s.reg.Len()))
+		writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.plans.Stats(), s.resultStats(), memo, src, s.QueueStats(), s.reg.Len()))
 		return
 	}
-	body := s.metrics.Prometheus(s.plans.Stats(), s.resultStats(), memo, src, s.reg.Len())
+	body := s.metrics.Prometheus(s.plans.Stats(), s.resultStats(), memo, src, s.QueueStats(), s.reg.Len())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)

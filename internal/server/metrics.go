@@ -25,8 +25,13 @@ type Metrics struct {
 	snapshotErrors  atomic.Uint64 // failed snapshot writes
 	sessionRestores atomic.Uint64 // sessions restored from the store
 
-	lat     *obs.Histogram
-	sources *obs.Sources
+	queueAdmitted      atomic.Uint64 // requests admitted (immediately or after queuing)
+	queueRejected      atomic.Uint64 // 429s: queue full at the admission limit
+	queueDrainRejected atomic.Uint64 // 503s: rejected because the server is draining
+
+	lat       *obs.Histogram
+	queueWait *obs.Histogram // time spent parked in the admission queue
+	sources   *obs.Sources
 }
 
 // latencyBoundsMs are the upper bounds (milliseconds) of the query
@@ -38,9 +43,10 @@ var latencyBoundsMs = []float64{0.1, 0.5, 1, 5, 25, 100, 500, 2500, 10000}
 // NewMetrics returns zeroed metrics anchored at now.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		start:   time.Now(),
-		lat:     obs.NewHistogram(latencyBoundsMs),
-		sources: obs.NewSources(),
+		start:     time.Now(),
+		lat:       obs.NewHistogram(latencyBoundsMs),
+		queueWait: obs.NewHistogram(latencyBoundsMs),
+		sources:   obs.NewSources(),
 	}
 }
 
@@ -63,6 +69,21 @@ func (m *Metrics) SnapshotError() { m.snapshotErrors.Add(1) }
 
 // SessionRestore counts one session restored from the store.
 func (m *Metrics) SessionRestore() { m.sessionRestores.Add(1) }
+
+// QueueAdmitted counts one request through admission control; waited
+// is its time in the fair queue (zero when admitted immediately).
+func (m *Metrics) QueueAdmitted(waited time.Duration) {
+	m.queueAdmitted.Add(1)
+	if waited > 0 {
+		m.queueWait.Observe(waited)
+	}
+}
+
+// QueueRejected counts one 429 at the admission limit.
+func (m *Metrics) QueueRejected() { m.queueRejected.Add(1) }
+
+// QueueDrainRejected counts one request rejected during drain.
+func (m *Metrics) QueueDrainRejected() { m.queueDrainRejected.Add(1) }
 
 // Query records one query's outcome and latency.
 func (m *Metrics) Query(d time.Duration, err error, timedOut bool) {
@@ -139,7 +160,18 @@ type MetricsSnapshot struct {
 	CacheEvictions     uint64          `json:"cache_evictions_total"`
 	CacheInvalidations uint64          `json:"cache_invalidations_total"`
 	Sessions           int             `json:"sessions"`
+	Queue              QueueSnapshot   `json:"queue"`
 	Sources            []SourceMetrics `json:"sources"`
+}
+
+// QueueSnapshot is the JSON shape of the admission controller's state
+// and counters.
+type QueueSnapshot struct {
+	QueueStats
+	Admitted      uint64          `json:"admitted_total"`
+	Rejected      uint64          `json:"rejected_total"`
+	DrainRejected uint64          `json:"drain_rejected_total"`
+	Wait          LatencySnapshot `json:"wait"`
 }
 
 // CacheSnapshot extends CacheStats with the derived hit rate.
@@ -155,8 +187,8 @@ func snapshotCache(s CacheStats) CacheSnapshot {
 // Snapshot gathers the current counter values; cache stats are summed
 // across the given per-session caches (plan = shared parsed plans,
 // result = per-session answers, extent = virtual-extent memos, src =
-// source extents).
-func (m *Metrics) Snapshot(plan, result, extent, src CacheStats, sessions int) MetricsSnapshot {
+// source extents); queue is the admission controller's current state.
+func (m *Metrics) Snapshot(plan, result, extent, src CacheStats, queue QueueStats, sessions int) MetricsSnapshot {
 	srcSnaps := m.sources.Snapshot()
 	sources := make([]SourceMetrics, 0, len(srcSnaps))
 	for _, s := range srcSnaps {
@@ -191,7 +223,14 @@ func (m *Metrics) Snapshot(plan, result, extent, src CacheStats, sessions int) M
 		CacheEvictions:     plan.Evictions + result.Evictions + extent.Evictions + src.Evictions,
 		CacheInvalidations: plan.Invalidations + result.Invalidations + extent.Invalidations + src.Invalidations,
 		Sessions:           sessions,
-		Sources:            sources,
+		Queue: QueueSnapshot{
+			QueueStats:    queue,
+			Admitted:      m.queueAdmitted.Load(),
+			Rejected:      m.queueRejected.Load(),
+			DrainRejected: m.queueDrainRejected.Load(),
+			Wait:          latencySnapshot(m.queueWait.Snapshot()),
+		},
+		Sources: sources,
 	}
 }
 

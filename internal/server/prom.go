@@ -7,8 +7,8 @@ import (
 // Prometheus renders the metrics in text exposition format 0.0.4 — the
 // counterpart of Snapshot for scrape-based collection. Histogram
 // buckets follow the cumulative `le` convention with bounds in seconds.
-func (m *Metrics) Prometheus(plan, result, extent, src CacheStats, sessions int) []byte {
-	snap := m.Snapshot(plan, result, extent, src, sessions)
+func (m *Metrics) Prometheus(plan, result, extent, src CacheStats, queue QueueStats, sessions int) []byte {
+	snap := m.Snapshot(plan, result, extent, src, queue, sessions)
 	w := obs.NewPromWriter()
 
 	w.Gauge("automed_uptime_seconds", "Seconds since the server started.", snap.UptimeSeconds)
@@ -23,6 +23,22 @@ func (m *Metrics) Prometheus(plan, result, extent, src CacheStats, sessions int)
 	w.Gauge("automed_sessions", "Live sessions.", float64(snap.Sessions))
 
 	w.Histogram("automed_query_duration_seconds", "End-to-end query latency.", m.lat.Snapshot())
+
+	drain := 0.0
+	if snap.Queue.Draining {
+		drain = 1
+	}
+	w.Gauge("automed_queue_inflight", "Admitted requests currently executing.", float64(snap.Queue.Inflight))
+	w.Gauge("automed_queue_depth", "Requests parked in the admission fair queue.", float64(snap.Queue.Depth))
+	w.Gauge("automed_queue_limit", "Configured max in-flight admitted requests (0 = unlimited).", float64(snap.Queue.MaxInflight))
+	w.Gauge("automed_queue_capacity", "Configured max queued requests before 429s.", float64(snap.Queue.MaxQueue))
+	w.Gauge("automed_draining", "1 while the server is draining for shutdown.", drain)
+	w.Counter("automed_queue_admitted_total", "Requests admitted through admission control.", float64(snap.Queue.Admitted))
+	w.Counter("automed_queue_rejected_total", "Requests rejected by admission control.",
+		float64(snap.Queue.Rejected), "reason", "capacity")
+	w.Counter("automed_queue_rejected_total", "Requests rejected by admission control.",
+		float64(snap.Queue.DrainRejected), "reason", "draining")
+	w.Histogram("automed_queue_wait_seconds", "Time admitted requests spent parked in the fair queue.", m.queueWait.Snapshot())
 
 	layers := []struct {
 		layer string

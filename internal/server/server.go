@@ -35,6 +35,17 @@ type Config struct {
 	// above the threshold in the /debug/traces ring even when the
 	// client did not ask for a trace.
 	SlowQuery time.Duration
+	// MaxInflight bounds how many admitted requests (queries and
+	// integration steps) may execute concurrently; excess requests park
+	// in a per-session fair queue. <= 0 disables admission control
+	// (every request is admitted immediately).
+	MaxInflight int
+	// MaxQueue bounds the fair queue; requests arriving beyond it are
+	// rejected with 429 + Retry-After. Ignored when MaxInflight <= 0.
+	MaxQueue int
+	// SessionWeight, when set, gives some sessions more than one grant
+	// per fair-queue round-robin turn; nil weights every session 1.
+	SessionWeight func(session string) int
 	// TraceRingSize bounds the /debug/traces ring of recent query
 	// traces; <= 0 means the default (256).
 	TraceRingSize int
@@ -66,6 +77,7 @@ type Server struct {
 	plans   *cache.Store[plan]
 	metrics *Metrics
 	traces  *obs.Ring
+	adm     *admission
 	log     *slog.Logger
 	mux     *http.ServeMux
 	// persistMu serialises all access to the store — opening it,
@@ -101,6 +113,7 @@ func New(cfg Config) *Server {
 		}),
 		metrics: NewMetrics(),
 		traces:  obs.NewRing(ring),
+		adm:     newAdmission(cfg.MaxInflight, cfg.MaxQueue, cfg.SessionWeight),
 		log:     logger,
 		mux:     http.NewServeMux(),
 	}

@@ -60,16 +60,29 @@ func FuzzRESTDecode(f *testing.F) {
 }
 
 // FuzzRESTDecodeBudget pins the byte budget: the decoder must reject
-// any input longer than the budget rather than buffer it.
+// any document longer than the budget rather than buffer it — with no
+// off-by-one at the boundary, so the decode budget agrees byte for
+// byte with the HTTP body budget enforced by getBody.
 func FuzzRESTDecodeBudget(f *testing.F) {
+	const budget = 128
 	f.Add([]byte(`[{"id": 1, "pad": "` + strings.Repeat("x", 256) + `"}]`))
+	// Boundary seeds: exactly at the budget (must decode) and one byte
+	// over (must fail) — the off-by-one regression case.
+	f.Add([]byte(budgetDoc(budget)))
+	f.Add([]byte(budgetDoc(budget + 1)))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		const budget = 128
 		rows, err := decodeRESTRows(strings.NewReader(string(data)), budget)
 		// Trailing whitespace may fall outside what decoding had to
 		// read; everything else counts against the budget.
-		if doc := len(strings.TrimSpace(string(data))); doc > budget+1 && err == nil && len(rows) > 0 {
+		if doc := len(strings.TrimSpace(string(data))); doc > budget && err == nil && len(rows) > 0 {
 			t.Fatalf("%d-byte document decoded despite a %d-byte budget", doc, budget)
 		}
 	})
+}
+
+// budgetDoc builds a valid one-record JSON array document of exactly n
+// bytes (n must leave room for the fixed syntax).
+func budgetDoc(n int) string {
+	const frame = `[{"id":"` + `"}]`
+	return `[{"id":"` + strings.Repeat("x", n-len(frame)) + `"}]`
 }

@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,6 +48,10 @@ type RESTConfig struct {
 	// MaxBytes bounds each response body (default 8 MiB); larger
 	// responses fail the fetch rather than exhaust memory.
 	MaxBytes int64
+	// RetryBackoff is the base delay before the single retry (default
+	// 100ms, jittered ±50%). A 429 or 503 carrying a Retry-After header
+	// overrides it, capped at Timeout. Not persisted in snapshots.
+	RetryBackoff time.Duration
 	// Client optionally overrides the HTTP client (tests inject
 	// in-memory transports; production setups add auth or pooling).
 	Client *http.Client
@@ -54,6 +60,7 @@ type RESTConfig struct {
 const (
 	defaultRESTTimeout  = 10 * time.Second
 	defaultRESTMaxBytes = 8 << 20
+	defaultRESTBackoff  = 100 * time.Millisecond
 )
 
 // restColl is the resolved shape of one collection.
@@ -87,6 +94,15 @@ type REST struct {
 // NewREST builds a REST wrapper, fetching the endpoint as needed to
 // discover collections or infer undeclared fields.
 func NewREST(name string, cfg RESTConfig) (*REST, error) {
+	return NewRESTContext(context.Background(), name, cfg)
+}
+
+// NewRESTContext is NewREST under a caller-supplied context: the
+// discovery and field-inference fetches abort as soon as ctx is
+// cancelled, so a server handler building a wrapper against a dead
+// endpoint stops when its client disconnects instead of pinning the
+// request for the full wrapper timeout.
+func NewRESTContext(ctx context.Context, name string, cfg RESTConfig) (*REST, error) {
 	if name == "" {
 		return nil, fmt.Errorf("wrapper: rest: source name is required")
 	}
@@ -99,11 +115,14 @@ func NewREST(name string, cfg RESTConfig) (*REST, error) {
 	if cfg.MaxBytes <= 0 {
 		cfg.MaxBytes = defaultRESTMaxBytes
 	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = defaultRESTBackoff
+	}
 	w := &REST{name: name, cfg: cfg, client: cfg.Client, colls: make(map[string]restColl)}
 	if w.client == nil {
 		w.client = &http.Client{}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
 	var colls []restColl
 	var err error
@@ -303,8 +322,10 @@ func extentFromRows(sc hdm.Scheme, c restColl, rows []map[string]iql.Value) (iql
 }
 
 // fetchRows GETs a collection and decodes it, retrying exactly once on
-// transport errors and 5xx responses (4xx responses fail immediately:
-// retrying a rejected request cannot help).
+// transport errors, 5xx responses and 429s — after a backoff, so a
+// fleet of concurrent fetches against a struggling endpoint does not
+// immediately re-send every failed request. Other 4xx responses fail
+// immediately: retrying a rejected request cannot help.
 func (w *REST) fetchRows(ctx context.Context, c restColl) ([]map[string]iql.Value, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
@@ -312,13 +333,16 @@ func (w *REST) fetchRows(ctx context.Context, c restColl) ([]map[string]iql.Valu
 			return nil, err
 		}
 		if attempt > 0 {
+			if err := w.backoff(ctx, lastErr); err != nil {
+				return nil, fmt.Errorf("after failed fetch: %w", err)
+			}
 			obs.AddFetchRetry(ctx)
 		}
 		body, err := w.get(ctx, c.path)
 		if err != nil {
 			lastErr = err
 			var re *restStatusError
-			if errors.As(err, &re) && re.code < 500 {
+			if errors.As(err, &re) && re.code < 500 && re.code != http.StatusTooManyRequests {
 				return nil, err
 			}
 			continue
@@ -332,14 +356,69 @@ func (w *REST) fetchRows(ctx context.Context, c restColl) ([]map[string]iql.Valu
 	return nil, fmt.Errorf("after retry: %w", lastErr)
 }
 
-// restStatusError reports a non-2xx response.
+// backoff sleeps before a retry: the server's Retry-After when the
+// failure carried one (capped at the fetch timeout), otherwise the
+// configured base delay jittered to ±50% so concurrent retries spread
+// out. Cancelling ctx cuts the wait short. The wait is recorded as a
+// backoff span on the context's trace.
+func (w *REST) backoff(ctx context.Context, cause error) error {
+	d := w.cfg.RetryBackoff
+	if d <= 0 {
+		d = defaultRESTBackoff
+	}
+	// Jitter in [0.5d, 1.5d): synchronized clients that failed together
+	// must not retry together.
+	d = d/2 + time.Duration(rand.Int64N(int64(d)))
+	var re *restStatusError
+	if errors.As(cause, &re) && re.retryAfter > 0 {
+		d = re.retryAfter
+		if w.cfg.Timeout > 0 && d > w.cfg.Timeout {
+			d = w.cfg.Timeout
+		}
+	}
+	sp, _ := obs.StartSpan(ctx, obs.StageBackoff, d.String())
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		sp.End(ctx.Err())
+		return ctx.Err()
+	case <-t.C:
+		sp.End(nil)
+		return nil
+	}
+}
+
+// restStatusError reports a non-2xx response; retryAfter carries the
+// parsed Retry-After header of a 429/503, zero when absent.
 type restStatusError struct {
-	code int
-	url  string
+	code       int
+	url        string
+	retryAfter time.Duration
 }
 
 func (e *restStatusError) Error() string {
 	return fmt.Sprintf("GET %s: unexpected status %d", e.url, e.code)
+}
+
+// parseRetryAfter reads a Retry-After header: delay-seconds or an
+// HTTP-date. Zero when absent or malformed.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // get performs one bounded GET and returns the response body reader
@@ -372,7 +451,11 @@ func (w *REST) getBody(ctx context.Context, url string) ([]byte, error) {
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
-		return nil, &restStatusError{code: resp.StatusCode, url: url}
+		return nil, &restStatusError{
+			code:       resp.StatusCode,
+			url:        url,
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	// Read fully inside the request deadline; the +1 detects overflow.
 	data, err := io.ReadAll(io.LimitReader(resp.Body, w.cfg.MaxBytes+1))
@@ -386,16 +469,29 @@ func (w *REST) getBody(ctx context.Context, url string) ([]byte, error) {
 }
 
 // decodeStrict decodes exactly one JSON document within the byte
-// budget, rejecting trailing garbage.
+// budget, rejecting trailing garbage. The budget counts raw bytes
+// consumed from r — the same accounting as getBody — so a document of
+// maxBytes decodes and one of maxBytes+1 fails on every path.
 func decodeStrict(r io.Reader, maxBytes int64, v any) error {
+	// The reader is allowed one sentinel byte past the budget: the
+	// Decoder buffers ahead, so a mid-read error could reject documents
+	// that fit. Overflow is instead checked on consumed bytes after the
+	// fact — json.Decoder defers read errors it has buffered past, so
+	// the error return alone cannot be relied on.
 	br := &budgetReader{r: r, left: maxBytes + 1, max: maxBytes}
 	dec := json.NewDecoder(br)
 	dec.UseNumber()
 	if err := dec.Decode(v); err != nil {
 		return err
 	}
+	if br.overflowed() {
+		return fmt.Errorf("response exceeds the %d-byte budget", maxBytes)
+	}
 	if dec.More() {
 		return fmt.Errorf("trailing data after JSON document")
+	}
+	if br.overflowed() {
+		return fmt.Errorf("response exceeds the %d-byte budget", maxBytes)
 	}
 	return nil
 }
@@ -406,6 +502,10 @@ type budgetReader struct {
 	left int64
 	max  int64
 }
+
+// overflowed reports whether more than max bytes were consumed (the
+// reader was seeded with one extra sentinel byte).
+func (b *budgetReader) overflowed() bool { return b.left <= 0 }
 
 func (b *budgetReader) Read(p []byte) (int, error) {
 	if b.left <= 0 {

@@ -1,0 +1,65 @@
+package wrapper
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDecodeStrictBudgetBoundary pins the byte-budget boundary: a
+// document of exactly maxBytes decodes, one byte more fails — the same
+// accounting as getBody's body budget, so the two paths can never
+// disagree about a payload at the limit.
+func TestDecodeStrictBudgetBoundary(t *testing.T) {
+	const budget = 64
+	within := budgetDoc(budget)
+	over := budgetDoc(budget + 1)
+	if len(within) != budget || len(over) != budget+1 {
+		t.Fatalf("bad fixtures: %d and %d bytes", len(within), len(over))
+	}
+
+	var v any
+	if err := decodeStrict(strings.NewReader(within), budget, &v); err != nil {
+		t.Errorf("document of exactly %d bytes rejected: %v", budget, err)
+	}
+	err := decodeStrict(strings.NewReader(over), budget, &v)
+	if err == nil {
+		t.Fatalf("document of %d bytes decoded despite a %d-byte budget", budget+1, budget)
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Errorf("overflow error does not name the budget: %v", err)
+	}
+
+	// The row decoder inherits the same boundary.
+	if _, err := decodeRESTRows(strings.NewReader(within), budget); err != nil {
+		t.Errorf("decodeRESTRows rejected a document at the budget: %v", err)
+	}
+	if _, err := decodeRESTRows(strings.NewReader(over), budget); err == nil {
+		t.Error("decodeRESTRows accepted a document one byte over the budget")
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"7", 7 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"soon", 0},
+		{time.Now().Add(-time.Hour).UTC().Format(time.RFC1123), 0}, // past dates mean "now"
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// An HTTP-date a minute out parses to roughly that delay.
+	future := time.Now().Add(time.Minute).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(future); got < 50*time.Second || got > time.Minute {
+		t.Errorf("parseRetryAfter(%q) = %v, want ~1m", future, got)
+	}
+}

@@ -253,3 +253,84 @@ func TestRESTRestoreFallsBackWhenEndpointDies(t *testing.T) {
 		t.Error("live wrapper with a dead endpoint succeeded")
 	}
 }
+
+// TestRESTRetryBacksOff asserts the retry waits before re-sending: a
+// zero-delay re-GET against an already-struggling endpoint is a retry
+// storm in miniature.
+func TestRESTRetryBacksOff(t *testing.T) {
+	var calls atomic.Int32
+	var gap atomic.Int64 // ns between the two requests
+	var first atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			first.Store(time.Now().UnixNano())
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		default:
+			gap.Store(time.Now().UnixNano() - first.Load())
+			fmt.Fprint(w, `[{"id": 1}]`)
+		}
+	}))
+	defer srv.Close()
+	w, err := wrapper.NewREST("R", wrapper.RESTConfig{
+		Endpoint:     srv.URL,
+		Collections:  []wrapper.RESTCollection{{Name: "books", Fields: []string{"id"}}},
+		RetryBackoff: 80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Extent([]string{"books"}); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("backend saw %d requests, want 2", got)
+	}
+	// Jitter spans [0.5, 1.5) of the base delay; anything under half is
+	// a missing backoff.
+	if g := time.Duration(gap.Load()); g < 40*time.Millisecond {
+		t.Errorf("retry re-sent after %v, want >= 40ms of backoff", g)
+	}
+}
+
+// TestRESTRetryHonors429RetryAfter asserts a 429 is retried (unlike
+// other 4xx) and that the server's Retry-After sets the wait, capped at
+// the fetch timeout so a hostile header cannot park the client.
+func TestRESTRetryHonors429RetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	var gap atomic.Int64
+	var first atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			first.Store(time.Now().UnixNano())
+			w.Header().Set("Retry-After", "30") // capped at Timeout below
+			http.Error(w, "slow down", http.StatusTooManyRequests)
+		default:
+			gap.Store(time.Now().UnixNano() - first.Load())
+			fmt.Fprint(w, `[{"id": 1}]`)
+		}
+	}))
+	defer srv.Close()
+	w, err := wrapper.NewREST("R", wrapper.RESTConfig{
+		Endpoint:    srv.URL,
+		Collections: []wrapper.RESTCollection{{Name: "books", Fields: []string{"id"}}},
+		Timeout:     300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Extent([]string{"books"}); err != nil {
+		t.Fatalf("429 defeated the retry: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("backend saw %d requests, want 2 (429 + honored retry)", got)
+	}
+	g := time.Duration(gap.Load())
+	if g < 250*time.Millisecond {
+		t.Errorf("retry after %v ignored Retry-After (want ~300ms cap)", g)
+	}
+	if g > 5*time.Second {
+		t.Errorf("retry after %v was not capped at the fetch timeout", g)
+	}
+}

@@ -60,6 +60,15 @@ type SQL struct {
 // the bag of primary-key values, link <<t, c>> objects whose extent is
 // the bag of {key, value} pairs.
 func NewSQL(name string, cfg SQLConfig) (*SQL, error) {
+	return NewSQLContext(context.Background(), name, cfg)
+}
+
+// NewSQLContext is NewSQL under a caller-supplied context: the
+// introspection queries abort as soon as ctx is cancelled, so a server
+// handler opening a source against an unreachable database stops when
+// its client disconnects instead of pinning the request for the full
+// introspection timeout.
+func NewSQLContext(ctx context.Context, name string, cfg SQLConfig) (*SQL, error) {
 	if name == "" {
 		return nil, fmt.Errorf("wrapper: sql: source name is required")
 	}
@@ -78,7 +87,7 @@ func NewSQL(name string, cfg SQLConfig) (*SQL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wrapper: sql: source %q: %w", name, err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
 	tables, err := d.tables(ctx, db)
 	if err != nil {
