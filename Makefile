@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke bench-load metrics-smoke load-smoke run fuzz-seeds golden test-wrappers
+.PHONY: ci fmt vet build test race bench bench-smoke bench-parallel bench-load metrics-smoke load-smoke run fuzz-seeds golden test-wrappers
 
 # ci is the full local gate: formatting, static checks (go vet), build,
 # tests under the race detector, the wrapper conformance suite, the
 # persistence-format guards (fuzz seed corpus + golden snapshots), a
 # one-iteration -benchmem pass over every benchmark so the bench
-# harness can't silently rot, the metrics exposition smoke check, and a
-# short admission-control load smoke.
-ci: fmt vet build race test-wrappers fuzz-seeds golden bench-smoke metrics-smoke load-smoke
+# harness can't silently rot, the sharded-evaluation speedup gate, the
+# metrics exposition smoke check, and a short admission-control load
+# smoke.
+ci: fmt vet build race test-wrappers fuzz-seeds golden bench-smoke bench-parallel metrics-smoke load-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -28,15 +29,23 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the tier benchmarks at full fidelity and writes the parsed
-# results (ns/op, B/op, allocs/op per benchmark) to BENCH_PR4.json, the
-# committed perf baseline of the current PR.
+# results (ns/op, B/op, allocs/op per benchmark) to BENCH_PR8.json, the
+# committed perf baseline of the current PR. Diff against the previous
+# baseline with: go run ./cmd/benchjson -compare BENCH_PR4.json
 bench:
-	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR8.json
 
 # bench-smoke is the ci benchmark gate: one iteration of everything,
 # with allocation accounting compiled in.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
+
+# bench-parallel is the ci sharded-evaluation gate: on a machine with
+# at least two cores, the sharded Table 1 suite must beat the serial
+# path (the test skips itself on one core, where sharding degrades to
+# the serial loop by design).
+bench-parallel:
+	$(GO) test -run 'TestParallelSpeedupSmoke' -count=1 -v .
 
 # metrics-smoke boots the server in-process on a random port, drives a
 # federation and queries over HTTP, and fails on malformed Prometheus

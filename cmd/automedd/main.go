@@ -112,6 +112,9 @@ func main() {
 		cacheBytes  = flag.Int64("cache-bytes", 256<<20, "byte budget per cache layer per session: results, extent memo, source extents (0 = unbounded)")
 		timeout     = flag.Duration("query-timeout", 30*time.Second, "default per-query evaluation deadline (0 = none)")
 		maxSteps    = flag.Int("max-steps", 0, "IQL evaluation step bound per query (0 = unlimited)")
+		evalPar     = flag.Int("eval-parallelism", 0, "worker count for data-parallel sharded comprehension evaluation (0 = GOMAXPROCS, 1 = serial)")
+		pfWorkers   = flag.Int("prefetch-workers", 0, "concurrent extent-prefetch pool width per query (0 = default 8)")
+		pfMaxTasks  = flag.Int("prefetch-max-tasks", 0, "max distinct source extents one query's prefetch may schedule (0 = default 64)")
 		dataDir     = flag.String("data-dir", "", "directory for durable session snapshots (empty = in-memory only)")
 		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
 		slowQuery   = flag.Duration("slow-query", 0, "trace queries at or above this duration into /debug/traces (0 = only explicitly requested traces)")
@@ -138,16 +141,19 @@ func main() {
 	slog.SetDefault(logger)
 
 	srv := server.New(server.Config{
-		PlanCacheSize:   *planCache,
-		ResultCacheSize: *resultCache,
-		CacheBytes:      *cacheBytes,
-		QueryTimeout:    *timeout,
-		MaxSteps:        *maxSteps,
-		SlowQuery:       *slowQuery,
-		TraceRingSize:   *traceRing,
-		MaxInflight:     *maxInflight,
-		MaxQueue:        *maxQueue,
-		Logger:          logger,
+		PlanCacheSize:    *planCache,
+		ResultCacheSize:  *resultCache,
+		CacheBytes:       *cacheBytes,
+		QueryTimeout:     *timeout,
+		MaxSteps:         *maxSteps,
+		EvalParallelism:  *evalPar,
+		PrefetchWorkers:  *pfWorkers,
+		PrefetchMaxTasks: *pfMaxTasks,
+		SlowQuery:        *slowQuery,
+		TraceRingSize:    *traceRing,
+		MaxInflight:      *maxInflight,
+		MaxQueue:         *maxQueue,
+		Logger:           logger,
 	})
 	if *dataDir != "" {
 		if err := srv.OpenStore(*dataDir); err != nil {

@@ -1,12 +1,17 @@
 // Command benchjson runs the repository's tier benchmarks with
 // -benchmem and writes the parsed results (benchmark name → ns/op,
 // B/op, allocs/op) to a JSON file, so each perf PR can commit a
-// machine-readable baseline (e.g. BENCH_PR4.json) next to the prose
+// machine-readable baseline (e.g. BENCH_PR8.json) next to the prose
 // benchstat table.
+//
+// With -compare old.json the new results are also diffed against a
+// previously committed baseline: a delta table (ns/op, B/op,
+// allocs/op, old→new, percent) is printed for every benchmark present
+// in both files, plus the benchmarks only one side has.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-out BENCH.json] [-bench regex] [-benchtime 1s] [-count 1] [pkg...]
+//	go run ./cmd/benchjson [-out BENCH.json] [-compare OLD.json] [-bench regex] [-benchtime 1s] [-count 1] [pkg...]
 package main
 
 import (
@@ -23,10 +28,10 @@ import (
 	"strconv"
 )
 
-// defaultBench selects the tier benchmarks: the four serving-path
-// benchmarks the perf acceptance gates on plus the value-runtime
-// microbenchmarks.
-const defaultBench = "BenchmarkIQLEval|BenchmarkTable1$|BenchmarkFederationScaling|BenchmarkServerQuery" +
+// defaultBench selects the tier benchmarks: the serving-path
+// benchmarks the perf acceptance gates on (including the serial vs
+// sharded Table 1 pairs) plus the value-runtime microbenchmarks.
+const defaultBench = "BenchmarkIQLEval|BenchmarkTable1$|BenchmarkTable1Parallel|BenchmarkFederationScaling|BenchmarkServerQuery" +
 	"|BenchmarkValueHash|BenchmarkDistinct$|BenchmarkMemberFilter|BenchmarkJoinIndexBuild"
 
 // Result is one parsed benchmark line.
@@ -55,7 +60,8 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output JSON file")
+	out := flag.String("out", "BENCH_PR8.json", "output JSON file")
+	compare := flag.String("compare", "", "previous baseline JSON to diff the new results against")
 	bench := flag.String("bench", defaultBench, "benchmark regex (go test -bench)")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime")
 	count := flag.Int("count", 1, "go test -count; multiple runs are averaged per benchmark")
@@ -105,6 +111,68 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+
+	if *compare != "" {
+		if err := printComparison(os.Stdout, *compare, results); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: compare: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printComparison diffs results against the baseline file at oldPath:
+// one row per benchmark present in both, old→new with percent deltas
+// (negative = faster/leaner), then the names only one side has.
+func printComparison(w io.Writer, oldPath string, results []Result) error {
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	var old File
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("parsing %s: %w", oldPath, err)
+	}
+	prev := make(map[string]Result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		prev[r.Name] = r
+	}
+
+	fmt.Fprintf(w, "\ncomparison vs %s (negative = improvement)\n", oldPath)
+	fmt.Fprintf(w, "%-50s %14s %14s %8s %9s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns/op", "ΔB/op", "Δallocs")
+	var onlyNew []string
+	seen := make(map[string]bool, len(results))
+	for _, r := range results {
+		seen[r.Name] = true
+		o, ok := prev[r.Name]
+		if !ok {
+			onlyNew = append(onlyNew, r.Name)
+			continue
+		}
+		fmt.Fprintf(w, "%-50s %14.0f %14.0f %8s %9s %9s\n",
+			r.Name, o.NsPerOp, r.NsPerOp,
+			pct(o.NsPerOp, r.NsPerOp),
+			pct(float64(o.BytesPerOp), float64(r.BytesPerOp)),
+			pct(float64(o.AllocsPerOp), float64(r.AllocsPerOp)))
+	}
+	for _, r := range old.Benchmarks {
+		if !seen[r.Name] {
+			fmt.Fprintf(w, "%-50s only in %s\n", r.Name, oldPath)
+		}
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(w, "%-50s new (no baseline)\n", name)
+	}
+	return nil
+}
+
+// pct renders the relative change from old to new, "n/a" when the
+// baseline is zero.
+func pct(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
 }
 
 // parse extracts benchmark lines, averaging repeated runs of the same

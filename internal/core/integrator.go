@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -171,24 +172,60 @@ func (ig *Integrator) Federate(name string) (*hdm.Schema, error) {
 	}
 	fed := hdm.NewSchema(name)
 	var counts StepCounts
+
+	// Each source's federated section — prefixed objects, rename
+	// pathway, derivation batch — depends only on that source's schema,
+	// so sections build concurrently; the merge below runs in source
+	// registration order, keeping the federated schema, pathway list
+	// and derivation order identical to a serial build.
+	type fedSection struct {
+		objs []*hdm.Object
+		pw   *transform.Pathway
+		defs []query.ObjectDef
+	}
+	sections := make([]fedSection, len(ig.sources))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, w := range ig.sources {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, w wrapper.Wrapper) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			src := w.SchemaName()
+			pfx := ig.prefix[src]
+			sec := fedSection{pw: transform.NewPathway(src, name)}
+			for _, o := range w.Schema().Objects() {
+				fsc := o.Scheme.WithPrefix(pfx)
+				sec.objs = append(sec.objs, o.WithScheme(fsc))
+				sec.pw.Append(transform.NewRename(o.Scheme, fsc).WithAuto())
+				// The prefixed name is defined by the unprefixed
+				// object, scoped to its source.
+				sec.defs = append(sec.defs, query.ObjectDef{
+					Scheme: fsc, Query: iql.Ref(o.Scheme.Parts()...),
+					Via: "federate:" + src, Scope: src,
+				})
+			}
+			sections[i] = sec
+		}(i, w)
+	}
+	wg.Wait()
+
 	var pathways []*transform.Pathway
-	for _, w := range ig.sources {
-		src := w.SchemaName()
-		pfx := ig.prefix[src]
-		pw := transform.NewPathway(src, name)
-		for _, o := range w.Schema().Objects() {
-			fsc := o.Scheme.WithPrefix(pfx)
-			if err := fed.Add(o.WithScheme(fsc)); err != nil {
+	var defs []query.ObjectDef
+	for _, sec := range sections {
+		for _, o := range sec.objs {
+			if err := fed.Add(o); err != nil {
 				return nil, fmt.Errorf("core: federate: %w", err)
 			}
-			pw.Append(transform.NewRename(o.Scheme, fsc).WithAuto())
-			// The prefixed name is defined by the unprefixed object,
-			// scoped to its source.
-			ig.proc.Define(fsc, iql.Ref(o.Scheme.Parts()...), "federate:"+src, src)
 			counts.AutoRenames++
 		}
-		pathways = append(pathways, pw)
+		pathways = append(pathways, sec.pw)
+		defs = append(defs, sec.defs...)
 	}
+	// One batch registration: a single lock acquisition and a single
+	// selective invalidation instead of one sweep per object.
+	ig.proc.DefineAll(defs)
 	if err := ig.repo.AddSchema(fed); err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Extents supplies the extent (a bag) of a schema object referenced by
@@ -80,23 +81,37 @@ func (e *Env) resetBindings() {
 // StepBudget is an evaluation step counter shared by several
 // Evaluators, so that one logical query keeps a single budget across
 // every sub-evaluation it spawns (e.g. the query processor unfolding
-// each view definition with its own Evaluator). It is not safe for
-// concurrent use; share a budget only within one evaluation session.
+// each view definition with its own Evaluator, or the sharded
+// comprehension path fanning one evaluation across workers). The
+// counter is atomic, so one budget may be shared across the workers of
+// a parallel evaluation; one logical query still draws from a single
+// pool.
 type StepBudget struct {
 	// Max bounds the total steps; 0 means unlimited.
 	Max  int
-	used int
+	used atomic.Int64
 }
 
 // Used returns the steps consumed so far.
-func (b *StepBudget) Used() int { return b.used }
+func (b *StepBudget) Used() int { return int(b.used.Load()) }
 
 func (b *StepBudget) take() error {
-	b.used++
-	if b.Max > 0 && b.used > b.Max {
+	u := b.used.Add(1)
+	if b.Max > 0 && u > int64(b.Max) {
 		return fmt.Errorf("iql: evaluation exceeded %d steps", b.Max)
 	}
 	return nil
+}
+
+// addSteps charges n already-performed steps to the budget in one
+// atomic update; the sharded evaluation path uses it to flush a
+// worker's locally-counted steps when the budget is unlimited (exact
+// per-step accounting would serialise workers on the shared counter
+// for no enforcement benefit).
+func (b *StepBudget) addSteps(n int) {
+	if n > 0 {
+		b.used.Add(int64(n))
+	}
 }
 
 // Evaluator evaluates IQL expressions against an extent source. The
@@ -120,8 +135,26 @@ type Evaluator struct {
 	// join over an unchanged (memoised) extent skips the index build.
 	// Share one cache across evaluators over the same extent store.
 	Indexes *JoinIndexCache
+	// Parallel, when > 1, enables sharded evaluation of large
+	// generator scans: the elements are split into contiguous shards
+	// evaluated by up to Parallel workers and merged back in shard
+	// order, so results are identical to serial evaluation. <= 1 keeps
+	// every comprehension on the calling goroutine.
+	Parallel int
+	// MinShardRows is the smallest generator source that may be
+	// sharded; 0 uses DefaultMinShardRows. Smaller scans stay serial:
+	// worker handoff would cost more than it buys.
+	MinShardRows int
+	// Stats, when non-nil, collects sharding telemetry (one ShardStat
+	// per sharded generator scan) for tracing and metrics.
+	Stats *EvalStats
 
 	steps int
+	// genDepth counts the generator loops currently running on this
+	// evaluator. Sharding is only attempted at depth zero: a
+	// comprehension re-entered once per element of an enclosing
+	// generator must not pay a worker-pool spin-up per element.
+	genDepth int
 	// plans caches per-Comp static analysis and reusable evaluation
 	// state (see compCtxFor); keyed by AST node identity, so it stays
 	// valid for as long as the expression trees it has seen do.
@@ -157,6 +190,11 @@ func (ev *Evaluator) EvalString(src string) (Value, error) {
 	}
 	return ev.Eval(e, nil)
 }
+
+// Steps returns the evaluation steps charged by the most recent Eval,
+// including steps run by sharded workers. When Budget is set, the
+// budget's Used count is authoritative instead.
+func (ev *Evaluator) Steps() int { return ev.steps }
 
 // ctxCheckInterval is how many evaluation steps pass between context
 // polls; a power of two so the check compiles to a mask.

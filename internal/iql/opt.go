@@ -389,6 +389,13 @@ func (ctx *compCtx) run(i int, env *Env, out *[]Value) error {
 			joinedFirst, joined = first, true
 			els = rest
 		}
+		if !joined && ctx.shardable(len(els)) {
+			// Large top-level scan: fan the elements across a worker
+			// pool in contiguous shards, merged back in shard order
+			// (see parallel.go). Results are byte-identical to the
+			// serial loop below.
+			return ctx.runSharded(q, els, next, env, out)
+		}
 		if cap(*out) == 0 && len(els) > 0 {
 			// First growth: trust the generator's cardinality as a size
 			// hint so comprehension outputs don't grow append-by-append.
@@ -402,16 +409,20 @@ func (ctx *compCtx) run(i int, env *Env, out *[]Value) error {
 		// element, and nothing retains the scope once run returns (IQL
 		// has no closures), so per-element scope allocation is avoided.
 		child := env.Child()
+		ev.genDepth++
 		if joined {
 			if err := ctx.runElement(q, joinedFirst, next, child, out); err != nil {
+				ev.genDepth--
 				return err
 			}
 		}
 		for _, el := range els {
 			if err := ctx.runElement(q, el, next, child, out); err != nil {
+				ev.genDepth--
 				return err
 			}
 		}
+		ev.genDepth--
 		return nil
 	}
 	return fmt.Errorf("iql: unknown qualifier %T", ctx.comp.Quals[i])

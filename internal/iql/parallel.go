@@ -1,0 +1,323 @@
+package iql
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Data-parallel sharded comprehension evaluation.
+//
+// A comprehension whose first generator scans a large extent is the
+// hot loop of every Table-1-style query, and it is embarrassingly
+// parallel: each element's qualifier tail (filters, joins, nested
+// generators, the head) depends only on the element and the enclosing
+// environment, never on its neighbours. The sharded path splits the
+// generator's element slice into contiguous shards, evaluates each
+// shard on a bounded worker pool, and concatenates the per-shard
+// outputs in shard order — an order-preserving merge, so the resulting
+// bag is byte-identical to the serial loop's (bag semantics are
+// order-carrying in the representation even though equality is
+// multiset).
+//
+// Isolation model (share-nothing where mutation happens, shared where
+// immutable):
+//
+//   - Each worker runs its own Evaluator, so the per-*Comp plan cache
+//     (Evaluator.plans), the compCtx qualifier state, the probe
+//     scratch, and the reused child Env scope are all worker-private.
+//     No locking on the per-element hot path.
+//   - The enclosing Env chain is shared read-only: the evaluator that
+//     owns it is parked in runSharded until the merge, and IQL has no
+//     assignment, so workers only Lookup.
+//   - Extents (the query processor's session) are NOT concurrency-
+//     safe, so workers route every scheme-reference resolution through
+//     one lockedExtents adapter. Extent calls are rare (constant
+//     sources are fetched once per worker and memoised upstream), so
+//     the lock is quiet.
+//   - Join indexes are shared read-only through the evaluator's
+//     JoinIndexCache, which is concurrency-safe; ValueIndex.Probe
+//     never mutates the index. Workers that miss race to build
+//     benignly (last insert wins, both indexes are correct).
+//   - The StepBudget is atomic. When a step limit is enforced, every
+//     worker takes from the shared budget exactly as the serial path
+//     would, so one logical query keeps one budget. When the budget
+//     is unlimited, workers count locally and flush once at exit, so
+//     Used() is exact after Eval returns without a contended atomic
+//     per element.
+//
+// Error semantics: evaluation fails with the error of the lowest-
+// numbered errored shard. On success this is unobservable; when
+// several elements would fail independently, serial evaluation
+// surfaces the textually first one while the sharded path may surface
+// a later shard's (shards scheduled after an error are skipped). Step
+// budget and cancellation errors carry the same message either way.
+
+// DefaultMinShardRows is the smallest generator scan the sharded path
+// will split when Evaluator.MinShardRows is unset. Below roughly this
+// size, shard handoff and worker spin-up cost more than the scan.
+const DefaultMinShardRows = 64
+
+// shardOversplit is how many shards each worker gets on average:
+// oversplitting lets fast workers steal remaining shards from slow
+// ones (skewed filter selectivity, nested-join fan-out) instead of
+// idling at the merge barrier.
+const shardOversplit = 4
+
+// ShardStat records one sharded generator scan, for tracing and
+// metrics.
+type ShardStat struct {
+	// Rows is the scanned generator's element count.
+	Rows int
+	// Shards and Workers describe the chosen plan.
+	Shards  int
+	Workers int
+	// Wall is the end-to-end duration of the sharded scan, including
+	// the merge.
+	Wall time.Duration
+	// ShardMax and ShardMin are the longest and shortest single-shard
+	// processing times, exposing skew.
+	ShardMax time.Duration
+	ShardMin time.Duration
+}
+
+// EvalStats accumulates sharding telemetry across one evaluation; it
+// is safe for concurrent use (nested evaluations spawned by extent
+// unfolding may shard while an outer scan is sharded).
+type EvalStats struct {
+	mu      sync.Mutex
+	sharded []ShardStat
+}
+
+// record appends one sharded-scan record.
+func (st *EvalStats) record(s ShardStat) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.sharded = append(st.sharded, s)
+	st.mu.Unlock()
+}
+
+// Sharded returns the recorded sharded scans in completion order.
+func (st *EvalStats) Sharded() []ShardStat {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]ShardStat(nil), st.sharded...)
+}
+
+// lockedExtents serialises extent resolution across the workers of one
+// sharded scan: the underlying Extents (typically the query
+// processor's evaluation session) mutates per-query state on every
+// call and is not concurrency-safe.
+type lockedExtents struct {
+	mu  sync.Mutex
+	ext Extents
+}
+
+func (l *lockedExtents) Extent(parts []string) (Value, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ext.Extent(parts)
+}
+
+// shardable reports whether the current generator scan qualifies for
+// the sharded path: parallelism enabled, no enclosing generator loop
+// on this evaluator (a nested comprehension re-entered per element
+// must not spin up a pool per element), and enough rows for at least
+// two minimum-size shards.
+func (ctx *compCtx) shardable(rows int) bool {
+	ev := ctx.ev
+	if ev.Parallel <= 1 || ev.genDepth != 0 {
+		return false
+	}
+	min := ev.MinShardRows
+	if min <= 0 {
+		min = DefaultMinShardRows
+	}
+	return rows >= 2*min
+}
+
+// shardPlan picks worker and shard counts for an n-row scan: at most
+// parallel workers, shards of at least min rows, oversplit so the pool
+// load-balances across skewed shards.
+func shardPlan(n, parallel, min int) (workers, shards int) {
+	maxShards := n / min
+	workers = parallel
+	if workers > maxShards {
+		workers = maxShards
+	}
+	shards = workers * shardOversplit
+	if shards > maxShards {
+		shards = maxShards
+	}
+	return workers, shards
+}
+
+// shardBounds returns the half-open element range of shard s of n rows
+// split into shards contiguous, balanced pieces.
+func shardBounds(n, shards, s int) (lo, hi int) {
+	return s * n / shards, (s + 1) * n / shards
+}
+
+// runSharded evaluates the qualifier tail from next for every element
+// of els across a worker pool, appending head values to out in element
+// order. It is called in place of the serial generator loop (see
+// compCtx.run) and produces identical output.
+func (ctx *compCtx) runSharded(g *Generator, els []Value, next int, env *Env, out *[]Value) error {
+	ev := ctx.ev
+	minRows := ev.MinShardRows
+	if minRows <= 0 {
+		minRows = DefaultMinShardRows
+	}
+	workers, shards := shardPlan(len(els), ev.Parallel, minRows)
+	start := time.Now()
+
+	// Budget wiring: enforce exactly when a limit is set, count
+	// locally and flush when unlimited (see the package comment).
+	var shared *StepBudget
+	flushLocal := false
+	switch {
+	case ev.Budget != nil && ev.Budget.Max > 0:
+		shared = ev.Budget
+	case ev.Budget != nil:
+		flushLocal = true
+	case ev.MaxSteps > 0:
+		// The serial path would bound ev.steps by MaxSteps; hand the
+		// workers a budget pre-charged with the steps already spent so
+		// the bound covers the whole evaluation, not each worker.
+		shared = &StepBudget{Max: ev.MaxSteps}
+		shared.addSteps(ev.steps)
+	default:
+		flushLocal = true
+	}
+
+	ext := ev.Ext
+	if ext == nil {
+		ext = NoExtents
+	}
+	locked := &lockedExtents{ext: ext}
+
+	results := make([][]Value, shards)
+	errs := make([]error, shards)
+	shardDur := make([]time.Duration, shards)
+	var nextShard atomic.Int64
+	var localSteps atomic.Int64
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wev := &Evaluator{
+				Ext:     locked,
+				Ctx:     ev.Ctx,
+				Indexes: ev.Indexes,
+				Budget:  shared,
+				Stats:   ev.Stats,
+			}
+			// One compCtx serves all of this worker's shards: its
+			// memoised constant sources and built join indexes carry
+			// across shards, exactly as one serial invocation would.
+			wctx := wev.compCtxFor(ctx.comp)
+			defer wctx.release()
+			child := env.Child()
+			for {
+				select {
+				case <-stop:
+					if flushLocal {
+						localSteps.Add(int64(wev.steps))
+					}
+					return
+				default:
+				}
+				s := int(nextShard.Add(1)) - 1
+				if s >= shards {
+					if flushLocal {
+						localSteps.Add(int64(wev.steps))
+					}
+					return
+				}
+				lo, hi := shardBounds(len(els), shards, s)
+				shardStart := time.Now()
+				outSize := hi - lo
+				if outSize > outPrealloc {
+					outSize = outPrealloc
+				}
+				shardOut := make([]Value, 0, outSize)
+				wev.genDepth++
+				var err error
+				for _, el := range els[lo:hi] {
+					if err = wctx.runElement(g, el, next, child, &shardOut); err != nil {
+						break
+					}
+				}
+				wev.genDepth--
+				shardDur[s] = time.Since(shardStart)
+				if err != nil {
+					errs[s] = err
+					halt()
+					if flushLocal {
+						localSteps.Add(int64(wev.steps))
+					}
+					return
+				}
+				results[s] = shardOut
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Steps: flush the workers' local counts (unlimited budgets), or
+	// fold the shared budget's tally back into the serial counter so a
+	// following serial stretch continues the same count.
+	if flushLocal {
+		n := int(localSteps.Load())
+		if ev.Budget != nil {
+			ev.Budget.addSteps(n)
+		} else {
+			ev.steps += n
+		}
+	} else if ev.Budget == nil {
+		ev.steps = shared.Used()
+	}
+
+	for s := 0; s < shards; s++ {
+		if errs[s] != nil {
+			return errs[s]
+		}
+	}
+
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	if cap(*out)-len(*out) < total {
+		merged := make([]Value, len(*out), len(*out)+total)
+		copy(merged, *out)
+		*out = merged
+	}
+	for _, r := range results {
+		*out = append(*out, r...)
+	}
+
+	if ev.Stats != nil {
+		st := ShardStat{Rows: len(els), Shards: shards, Workers: workers, Wall: time.Since(start)}
+		for s, d := range shardDur {
+			if s == 0 || d > st.ShardMax {
+				st.ShardMax = d
+			}
+			if s == 0 || d < st.ShardMin {
+				st.ShardMin = d
+			}
+		}
+		ev.Stats.record(st)
+	}
+	return nil
+}

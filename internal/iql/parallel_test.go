@@ -1,0 +1,294 @@
+package iql
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parallelExtents builds extents large enough to shard: n proteins
+// with accession tuples and a hit relation joining back to proteins.
+func parallelExtents(n int) Extents {
+	prot := make([]Value, 0, n)
+	acc := make([]Value, 0, n)
+	hits := make([]Value, 0, n)
+	for i := 0; i < n; i++ {
+		prot = append(prot, Int(int64(i)))
+		acc = append(acc, Tuple(Int(int64(i)), Str(fmt.Sprintf("P%d", i%7))))
+		hits = append(hits, Tuple(Int(int64(i+1000)), Int(int64(i%n))))
+	}
+	return ExtentsFunc(func(parts []string) (Value, error) {
+		switch strings.Join(parts, ",") {
+		case "protein":
+			return BagOf(prot), nil
+		case "protein,acc":
+			return BagOf(acc), nil
+		case "hit,protein":
+			return BagOf(hits), nil
+		}
+		return Value{}, fmt.Errorf("no extent %v", parts)
+	})
+}
+
+// parallelQueries is the shard-sensitive suite: plain scans, filters,
+// projections, equi-joins (index probe path), nested comprehensions,
+// aggregates and distinct over sharded inner comps.
+var parallelQueries = []string{
+	"[k | k <- <<protein>>]",
+	"[k | k <- <<protein>>; k > 100]",
+	"[{k, k * 2} | k <- <<protein>>]",
+	"[x | {k, x} <- <<protein, acc>>; x = 'P3']",
+	"[{h, x} | {h, p} <- <<hit, protein>>; {k, x} <- <<protein, acc>>; p = k]",
+	"count([k | k <- <<protein>>; k > 10])",
+	"distinct([x | {k, x} <- <<protein, acc>>])",
+	"[count([j | j <- <<protein>>; j < k]) | k <- <<protein>>; k < 70]",
+	"sort([x | {k, x} <- <<protein, acc>>; k > 50])",
+}
+
+// TestParallelMatchesSerial asserts the sharded path returns byte-
+// identical results (element order included) to serial evaluation.
+func TestParallelMatchesSerial(t *testing.T) {
+	ext := parallelExtents(500)
+	for _, src := range parallelQueries {
+		serial := NewEvaluator(ext)
+		want, err := serial.EvalString(src)
+		if err != nil {
+			t.Fatalf("serial %q: %v", src, err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par := NewEvaluator(ext)
+			par.Parallel = workers
+			par.MinShardRows = 16 // force sharding on test-sized extents
+			got, err := par.EvalString(src)
+			if err != nil {
+				t.Fatalf("parallel(%d) %q: %v", workers, src, err)
+			}
+			if got.String() != want.String() {
+				t.Errorf("parallel(%d) %q diverged:\n  serial   %s\n  parallel %s",
+					workers, src, want, got)
+			}
+		}
+	}
+}
+
+// TestParallelStepAccounting asserts the sharded path charges exactly
+// the serial step count, through both counters: Evaluator.Used after a
+// plain run, and a shared StepBudget.
+func TestParallelStepAccounting(t *testing.T) {
+	ext := parallelExtents(300)
+	for _, src := range parallelQueries {
+		serial := NewEvaluator(ext)
+		if _, err := serial.EvalString(src); err != nil {
+			t.Fatalf("serial %q: %v", src, err)
+		}
+		wantSteps := serial.Steps()
+
+		par := NewEvaluator(ext)
+		par.Parallel = 4
+		par.MinShardRows = 16
+		if _, err := par.EvalString(src); err != nil {
+			t.Fatalf("parallel %q: %v", src, err)
+		}
+		if got := par.Steps(); got != wantSteps {
+			t.Errorf("%q: parallel used %d steps, serial %d", src, got, wantSteps)
+		}
+
+		budget := &StepBudget{}
+		withBudget := NewEvaluator(ext)
+		withBudget.Parallel = 4
+		withBudget.MinShardRows = 16
+		withBudget.Budget = budget
+		if _, err := withBudget.EvalString(src); err != nil {
+			t.Fatalf("budget parallel %q: %v", src, err)
+		}
+		if got := budget.Used(); got != wantSteps {
+			t.Errorf("%q: shared budget used %d steps, serial %d", src, got, wantSteps)
+		}
+	}
+}
+
+// TestParallelStepLimit asserts a step bound trips in sharded mode
+// with the same error text as serial, via MaxSteps and via a shared
+// budget.
+func TestParallelStepLimit(t *testing.T) {
+	ext := parallelExtents(400)
+	src := "[k | k <- <<protein>>]"
+
+	serial := &Evaluator{Ext: ext, MaxSteps: 50}
+	_, serialErr := serial.EvalString(src)
+	if serialErr == nil {
+		t.Fatal("serial under MaxSteps=50 succeeded, want step-limit error")
+	}
+
+	par := &Evaluator{Ext: ext, MaxSteps: 50, Parallel: 4, MinShardRows: 16}
+	_, err := par.EvalString(src)
+	if err == nil || err.Error() != serialErr.Error() {
+		t.Fatalf("parallel MaxSteps error = %v, want %v", err, serialErr)
+	}
+
+	par = &Evaluator{Ext: ext, Budget: &StepBudget{Max: 50}, Parallel: 4, MinShardRows: 16}
+	if _, err := par.EvalString(src); err == nil || !strings.Contains(err.Error(), "exceeded 50 steps") {
+		t.Fatalf("parallel Budget error = %v, want step-limit error", err)
+	}
+}
+
+// TestParallelCancelMidShard cancels evaluation while workers are mid-
+// scan and asserts a prompt cancellation error and no leaked worker
+// goroutines.
+func TestParallelCancelMidShard(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// A slow extent resolution inside the sharded loop gives the
+	// cancellation a wide window: the nested comprehension re-resolves
+	// <<protein>> per element through the locked extents.
+	n := 0
+	slow := ExtentsFunc(func(parts []string) (Value, error) {
+		n++
+		if n > 2 {
+			time.Sleep(200 * time.Microsecond)
+		}
+		els := make([]Value, 400)
+		for i := range els {
+			els[i] = Int(int64(i))
+		}
+		return BagOf(els), nil
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ev := NewEvaluator(slow)
+	ev.Ctx = ctx
+	ev.Parallel = 4
+	ev.MinShardRows = 16
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := ev.EvalString("[count([j | j <- <<protein>>; j < k]) | k <- <<protein>>]")
+	if err == nil {
+		// The query may legitimately finish before the cancel lands on
+		// fast machines; only a hung or silent run is a failure.
+		t.Skip("evaluation completed before cancellation landed")
+	}
+	if !strings.Contains(err.Error(), "cancel") {
+		t.Fatalf("got %v, want cancellation error", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt exit", d)
+	}
+
+	assertNoGoroutineLeak(t, before)
+}
+
+// assertNoGoroutineLeak waits for the goroutine count to return to at
+// most base (with headroom for runtime helpers), failing after 2s.
+func assertNoGoroutineLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	var now int
+	for {
+		now = runtime.NumGoroutine()
+		if now <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d before, %d after", base, now)
+}
+
+// TestParallelErrorPropagation asserts a mid-shard evaluation error
+// surfaces and halts the pool.
+func TestParallelErrorPropagation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ext := parallelExtents(400)
+	ev := NewEvaluator(ext)
+	ev.Parallel = 4
+	ev.MinShardRows = 16
+	// Adding an int to a string fails for every element.
+	_, err := ev.EvalString("[k + 'x' | k <- <<protein>>]")
+	if err == nil {
+		t.Fatal("want type error from sharded evaluation")
+	}
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestParallelSerialFallback asserts small scans and nested generator
+// loops stay serial (no pool-per-element blowup).
+func TestParallelSerialFallback(t *testing.T) {
+	ev := NewEvaluator(parallelExtents(500))
+	ev.Parallel = 4
+	ev.MinShardRows = 16
+	ev.Stats = &EvalStats{}
+	// Outer scan shards; the nested comprehension runs inside worker
+	// generator loops and must not shard again.
+	if _, err := ev.EvalString("[count([j | j <- <<protein>>; j = k]) | k <- <<protein>>]"); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range ev.Stats.Sharded() {
+		if st.Rows != 500 {
+			t.Errorf("sharded a %d-row scan; only the 500-row outer scan should shard", st.Rows)
+		}
+	}
+	if len(ev.Stats.Sharded()) == 0 {
+		t.Fatal("outer scan did not shard")
+	}
+
+	small := NewEvaluator(parallelExtents(10))
+	small.Parallel = 4
+	small.MinShardRows = 16
+	small.Stats = &EvalStats{}
+	if _, err := small.EvalString("[k | k <- <<protein>>]"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(small.Stats.Sharded()); n != 0 {
+		t.Errorf("10-row scan sharded %d times, want serial fallback", n)
+	}
+}
+
+// TestShardBoundsPartition asserts shard bounds exactly tile [0, n).
+func TestShardBoundsPartition(t *testing.T) {
+	for _, n := range []int{1, 2, 64, 100, 1000, 12345} {
+		for _, shards := range []int{1, 2, 3, 7, 16} {
+			if shards > n {
+				continue
+			}
+			prev := 0
+			for s := 0; s < shards; s++ {
+				lo, hi := shardBounds(n, shards, s)
+				if lo != prev || hi < lo {
+					t.Fatalf("shardBounds(%d, %d, %d) = [%d, %d), want lo %d", n, shards, s, lo, hi, prev)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("shardBounds(%d, %d, ...) covered [0, %d), want [0, %d)", n, shards, prev, n)
+			}
+		}
+	}
+}
+
+// TestShardPlan sanity-checks worker/shard selection.
+func TestShardPlan(t *testing.T) {
+	cases := []struct {
+		n, parallel, min        int
+		wantWorkers, wantShards int
+	}{
+		{1000, 8, 64, 8, 15},  // maxShards 15 caps the oversplit
+		{128, 8, 64, 2, 2},    // two minimum shards, two workers
+		{10000, 4, 64, 4, 16}, // full oversplit: 4 workers x 4
+		{200, 2, 64, 2, 3},
+	}
+	for _, c := range cases {
+		w, s := shardPlan(c.n, c.parallel, c.min)
+		if w != c.wantWorkers || s != c.wantShards {
+			t.Errorf("shardPlan(%d, %d, %d) = (%d, %d), want (%d, %d)",
+				c.n, c.parallel, c.min, w, s, c.wantWorkers, c.wantShards)
+		}
+	}
+}

@@ -28,14 +28,36 @@ import (
 // bounded, and cancellation of the request context stops scheduling.
 
 const (
-	// prefetchWorkers bounds concurrent wrapper fetches per query.
-	prefetchWorkers = 8
-	// prefetchMaxTasks bounds how many distinct source extents one
-	// query's prefetch may schedule.
-	prefetchMaxTasks = 64
+	// DefaultPrefetchWorkers bounds concurrent wrapper fetches per
+	// query when Processor.PrefetchWorkers is unset.
+	DefaultPrefetchWorkers = 8
+	// DefaultPrefetchMaxTasks bounds how many distinct source extents
+	// one query's prefetch may schedule when Processor.PrefetchMaxTasks
+	// is unset.
+	DefaultPrefetchMaxTasks = 64
 	// prefetchMaxDepth bounds the virtual-definition expansion depth.
 	prefetchMaxDepth = 4
+	// specDivisor caps speculative warming (if-branch arms, which may
+	// never be evaluated) to this fraction of the task budget, so cold
+	// branches cannot crowd out extents the query will certainly scan.
+	specDivisor = 4
 )
+
+// prefetchWorkerCount resolves the effective prefetch pool width.
+func (p *Processor) prefetchWorkerCount() int {
+	if p.PrefetchWorkers > 0 {
+		return p.PrefetchWorkers
+	}
+	return DefaultPrefetchWorkers
+}
+
+// prefetchTaskCap resolves the effective per-query task budget.
+func (p *Processor) prefetchTaskCap() int {
+	if p.PrefetchMaxTasks > 0 {
+		return p.PrefetchMaxTasks
+	}
+	return DefaultPrefetchMaxTasks
+}
 
 // prefetchTask names one source object to warm.
 type prefetchTask struct {
@@ -47,26 +69,65 @@ type prefetchTask struct {
 // cached source extents the expression will enumerate, fetching them
 // concurrently. It blocks until the scheduled fetches finish (so the
 // following serial evaluation hits the cache) and is a no-op when
-// fewer than two extents need fetching.
+// fewer than two extents need fetching. Speculative tasks — extents
+// referenced only inside if-branch arms, which evaluation may never
+// reach — are scheduled on the same pool but never awaited: a cold
+// branch warms in the background without stalling the query.
 func (p *Processor) prefetch(ctx context.Context, e iql.Expr, scope string) {
 	if ctx != nil && ctx.Err() != nil {
 		return
 	}
-	pf := prefetcher{p: p}
+	pf := prefetcher{p: p, taskCap: p.prefetchTaskCap()}
 	pf.visitExpr(e, scope, 0)
-	tasks := pf.tasks
-	if len(tasks) < 2 {
+	tasks, spec := pf.tasks, pf.spec
+	if len(tasks)+len(spec) < 2 {
 		return // a single fetch gains nothing from concurrency
 	}
 	// The prefetch span parents the workers' fetch spans, so traces show
 	// the parallel warm-up as one stage with overlapping children.
-	sp, ctx := obs.StartSpan(ctx, obs.StagePrefetch, "")
+	sp, sctx := obs.StartSpan(ctx, obs.StagePrefetch, "")
 	defer sp.End(nil)
-	workers := prefetchWorkers
-	if len(tasks) < workers {
-		workers = len(tasks)
+	workers := p.prefetchWorkerCount()
+	if len(tasks)+len(spec) < workers {
+		workers = len(tasks) + len(spec)
 	}
 	sem := make(chan struct{}, workers)
+	fetch := func(fctx context.Context, t prefetchTask) {
+		key := t.sc.Key()
+		ck := t.src.name + "\x00" + key
+		// Errors are not cached and not reported here: the serial
+		// evaluation re-fetches and wraps them with query context.
+		// The request context rides into context-aware (remote)
+		// wrappers so a cancelled request abandons in-flight fetches.
+		_, _, _ = p.srcExt.GetOrCompute(ck, []string{key}, func() (iql.Value, int64, error) {
+			v, err := t.src.fetch(fctx, t.sc)
+			if err != nil {
+				return iql.Value{}, 0, err
+			}
+			return v, v.Footprint(), nil
+		})
+	}
+	// Speculative branch-arm warms are detached: nothing waits for
+	// them, and they contend for pool slots with the certain tasks so
+	// the pool width stays the bound. They carry the caller's context
+	// (not the prefetch span's) because they may outlive the stage.
+	pctx := ctx
+	for _, t := range spec {
+		go func(t prefetchTask) {
+			if pctx == nil {
+				sem <- struct{}{}
+			} else {
+				select {
+				case sem <- struct{}{}:
+				case <-pctx.Done():
+					return
+				}
+			}
+			defer func() { <-sem }()
+			fetch(pctx, t)
+		}(t)
+	}
+	ctx = sctx
 	var wg sync.WaitGroup
 scheduling:
 	for _, t := range tasks {
@@ -85,19 +146,7 @@ scheduling:
 		go func(t prefetchTask) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			key := t.sc.Key()
-			ck := t.src.name + "\x00" + key
-			// Errors are not cached and not reported here: the serial
-			// evaluation re-fetches and wraps them with query context.
-			// The request context rides into context-aware (remote)
-			// wrappers so a cancelled request abandons in-flight fetches.
-			_, _, _ = p.srcExt.GetOrCompute(ck, []string{key}, func() (iql.Value, int64, error) {
-				v, err := t.src.fetch(ctx, t.sc)
-				if err != nil {
-					return iql.Value{}, 0, err
-				}
-				return v, v.Footprint(), nil
-			})
+			fetch(ctx, t)
 		}(t)
 	}
 	if ctx == nil {
@@ -129,9 +178,15 @@ scheduling:
 // the walk itself.
 type prefetcher struct {
 	p           *Processor
+	taskCap     int
 	tasks       []prefetchTask
 	seenTask    map[string]bool
 	seenVirtual map[string]bool
+	// inBranch marks the walk as inside an if-branch arm; references
+	// found there land in spec (speculative, never awaited, capped at
+	// taskCap/specDivisor) instead of tasks.
+	inBranch bool
+	spec     []prefetchTask
 }
 
 func (pf *prefetcher) addSource(src source, sc hdm.Scheme) {
@@ -143,11 +198,22 @@ func (pf *prefetcher) addSource(src source, sc hdm.Scheme) {
 		pf.seenTask = make(map[string]bool, 8)
 	}
 	pf.seenTask[ck] = true
+	if pf.inBranch {
+		pf.spec = append(pf.spec, prefetchTask{src: src, sc: sc})
+		return
+	}
 	pf.tasks = append(pf.tasks, prefetchTask{src: src, sc: sc})
 }
 
 func (pf *prefetcher) visitRef(parts []string, scope string, depth int) {
-	if len(pf.tasks) >= prefetchMaxTasks || depth > prefetchMaxDepth {
+	if depth > prefetchMaxDepth {
+		return
+	}
+	if pf.inBranch {
+		if len(pf.spec) >= pf.taskCap/specDivisor {
+			return
+		}
+	} else if len(pf.tasks) >= pf.taskCap {
 		return
 	}
 	p := pf.p
@@ -247,7 +313,14 @@ func (pf *prefetcher) visitExpr(e iql.Expr, scope string, depth int) {
 		pf.visitEnumerated(n.Val, scope, depth)
 		pf.visitExpr(n.Body, scope, depth)
 	case *iql.IfExpr:
-		// Only the condition is certain to be evaluated.
 		pf.visitExpr(n.Cond, scope, depth)
+		// Branch arms may never be evaluated: warm them speculatively
+		// (capped, never awaited) so a cold branch costs nothing when
+		// untaken yet is already in flight when taken.
+		saved := pf.inBranch
+		pf.inBranch = true
+		pf.visitEnumerated(n.Then, scope, depth)
+		pf.visitEnumerated(n.Else, scope, depth)
+		pf.inBranch = saved
 	}
 }

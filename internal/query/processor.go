@@ -30,9 +30,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dataspace/automed/internal/cache"
@@ -150,6 +152,78 @@ type Processor struct {
 	// budget is shared across every derivation a query unfolds, not per
 	// derivation.
 	MaxSteps int
+	// Parallel sets the worker count for data-parallel comprehension
+	// evaluation: 0 picks GOMAXPROCS, 1 forces serial evaluation, and
+	// larger values set the pool width explicitly. Sharded evaluation
+	// is byte-identical to serial, so this is purely a performance
+	// knob.
+	Parallel int
+	// PrefetchWorkers and PrefetchMaxTasks override the concurrent
+	// extent prefetcher's pool width and per-query task budget; 0
+	// keeps the defaults (see prefetch.go).
+	PrefetchWorkers  int
+	PrefetchMaxTasks int
+
+	statParallelEvals atomic.Uint64
+	statSerialEvals   atomic.Uint64
+	statShards        atomic.Uint64
+}
+
+// evalParallel resolves the effective sharded-evaluation width.
+func (p *Processor) evalParallel() int {
+	if p.Parallel > 0 {
+		return p.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelStats snapshots the processor's sharded-evaluation counters.
+type ParallelStats struct {
+	// ParallelEvals and SerialEvals split completed top-level
+	// evaluations by whether any generator scan sharded.
+	ParallelEvals uint64
+	SerialEvals   uint64
+	// Shards is the total number of shards executed.
+	Shards uint64
+	// Width is the effective worker-pool width for new evaluations.
+	Width int
+}
+
+// ParallelStats reports sharded-evaluation activity since startup.
+func (p *Processor) ParallelStats() ParallelStats {
+	return ParallelStats{
+		ParallelEvals: p.statParallelEvals.Load(),
+		SerialEvals:   p.statSerialEvals.Load(),
+		Shards:        p.statShards.Load(),
+		Width:         p.evalParallel(),
+	}
+}
+
+// noteEval folds one finished evaluation's sharding telemetry into the
+// processor counters and, when a span is recording, its detail field.
+func (p *Processor) noteEval(st *iql.EvalStats, sp *obs.Span) {
+	sh := st.Sharded()
+	if len(sh) == 0 {
+		p.statSerialEvals.Add(1)
+		return
+	}
+	p.statParallelEvals.Add(1)
+	shards, workers := 0, 0
+	var slowest time.Duration
+	for _, s := range sh {
+		shards += s.Shards
+		if s.Workers > workers {
+			workers = s.Workers
+		}
+		if s.ShardMax > slowest {
+			slowest = s.ShardMax
+		}
+	}
+	p.statShards.Add(uint64(shards))
+	if sp != nil {
+		sp.SetDetail(fmt.Sprintf("sharded scans=%d shards=%d workers=%d shard_max=%s",
+			len(sh), shards, workers, slowest.Round(time.Microsecond)))
+	}
 }
 
 // New returns an empty processor. Its extent caches are unbounded until
@@ -302,6 +376,34 @@ func (p *Processor) Define(sc hdm.Scheme, q iql.Expr, via, scope string) {
 	p.defs[sc.Key()] = append(p.defs[sc.Key()], Derivation{Query: q, Via: via, Scope: scope})
 	p.mu.Unlock()
 	p.InvalidateSchemes(sc.Key())
+}
+
+// ObjectDef is one derivation in a DefineAll batch.
+type ObjectDef struct {
+	Scheme hdm.Scheme
+	Query  iql.Expr
+	Via    string
+	Scope  string
+}
+
+// DefineAll installs a batch of ad-hoc derivations under a single lock
+// acquisition and one selective invalidation pass. Registering n
+// objects through Define costs n invalidation sweeps (each of which
+// also purges the join-index cache); a federation-sized batch through
+// DefineAll costs one.
+func (p *Processor) DefineAll(defs []ObjectDef) {
+	if len(defs) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(defs))
+	p.mu.Lock()
+	for _, d := range defs {
+		k := d.Scheme.Key()
+		p.defs[k] = append(p.defs[k], Derivation{Query: d.Query, Via: d.Via, Scope: d.Scope})
+		keys = append(keys, k)
+	}
+	p.mu.Unlock()
+	p.InvalidateSchemes(keys...)
 }
 
 // Derivations returns the registered derivations for an object (for
@@ -459,6 +561,25 @@ type session struct {
 	// replay the reused computation's dependencies, so the log is
 	// always the transitive touch-set of the evaluation so far.
 	depLog []string
+	// stats collects sharding telemetry across every evaluator this
+	// session spawns (it is concurrency-safe).
+	stats *iql.EvalStats
+}
+
+// evaluator builds an IQL evaluator wired to this session: shared step
+// budget, request context, the processor-wide join-index cache, and
+// the sharded-evaluation settings. Sharded workers serialise their
+// session access internally (see iql/parallel.go), so handing the
+// session itself as the extent source stays correct under parallelism.
+func (s *session) evaluator() *iql.Evaluator {
+	return &iql.Evaluator{
+		Ext:      s,
+		Budget:   s.budget,
+		Ctx:      s.ctx,
+		Indexes:  s.p.joinIdx,
+		Parallel: s.p.evalParallel(),
+		Stats:    s.stats,
+	}
 }
 
 // newSession builds an evaluation session with a fresh per-query step
@@ -470,6 +591,7 @@ func (p *Processor) newSession(ctx context.Context, scopes ...string) *session {
 		scopes:  scopes,
 		ctx:     ctx,
 		budget:  &iql.StepBudget{Max: p.MaxSteps},
+		stats:   &iql.EvalStats{},
 	}
 }
 
@@ -691,7 +813,7 @@ func (p *Processor) virtualExtent(s *session, key string, parts []string, derivs
 	var evalErr error
 	for _, d := range derivs {
 		s.scopes = append(s.scopes, d.Scope)
-		ev := &iql.Evaluator{Ext: s, Budget: s.budget, Ctx: s.ctx, Indexes: p.joinIdx}
+		ev := s.evaluator()
 		v, err := ev.Eval(d.Query, nil)
 		s.scopes = s.scopes[:len(s.scopes)-1]
 		if err != nil {
@@ -738,8 +860,9 @@ func (p *Processor) virtualExtent(s *session, key string, parts []string, derivs
 func (p *Processor) Eval(e iql.Expr) (iql.Value, error) {
 	p.prefetch(nil, e, "")
 	s := p.newSession(nil)
-	ev := &iql.Evaluator{Ext: s, Budget: s.budget, Indexes: p.joinIdx}
-	return ev.Eval(e, nil)
+	v, err := s.evaluator().Eval(e, nil)
+	p.noteEval(s.stats, nil)
+	return v, err
 }
 
 // EvalContext evaluates a parsed IQL expression under a context (for
@@ -754,8 +877,8 @@ func (p *Processor) EvalContext(ctx context.Context, e iql.Expr) (iql.Value, []s
 	sp, ctx := obs.StartSpan(ctx, obs.StageEval, "")
 	s := p.newSession(ctx)
 	s.warnings = make(map[string]bool)
-	ev := &iql.Evaluator{Ext: s, Budget: s.budget, Ctx: ctx, Indexes: p.joinIdx}
-	v, err := ev.Eval(e, nil)
+	v, err := s.evaluator().Eval(e, nil)
+	p.noteEval(s.stats, sp)
 	sp.End(err)
 	if err != nil {
 		return iql.Value{}, nil, nil, err
@@ -773,8 +896,9 @@ func (p *Processor) EvalContext(ctx context.Context, e iql.Expr) (iql.Value, []s
 func (p *Processor) EvalScoped(e iql.Expr, scope string) (iql.Value, error) {
 	p.prefetch(nil, e, scope)
 	s := p.newSession(nil, scope)
-	ev := &iql.Evaluator{Ext: s, Budget: s.budget, Indexes: p.joinIdx}
-	return ev.Eval(e, nil)
+	v, err := s.evaluator().Eval(e, nil)
+	p.noteEval(s.stats, nil)
+	return v, err
 }
 
 // Query parses and evaluates IQL source text.

@@ -1045,10 +1045,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	memo, src := s.extentStats()
 	if wantsJSONMetrics(r) {
-		writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.plans.Stats(), s.resultStats(), memo, src, s.QueueStats(), s.reg.Len()))
+		writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.plans.Stats(), s.resultStats(), memo, src, s.QueueStats(), s.reg.Len(), s.evalStats()))
 		return
 	}
-	body := s.metrics.Prometheus(s.plans.Stats(), s.resultStats(), memo, src, s.QueueStats(), s.reg.Len())
+	body := s.metrics.Prometheus(s.plans.Stats(), s.resultStats(), memo, src, s.QueueStats(), s.reg.Len(), s.evalStats())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)

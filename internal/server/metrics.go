@@ -161,7 +161,25 @@ type MetricsSnapshot struct {
 	CacheInvalidations uint64          `json:"cache_invalidations_total"`
 	Sessions           int             `json:"sessions"`
 	Queue              QueueSnapshot   `json:"queue"`
+	Eval               EvalSnapshot    `json:"eval"`
 	Sources            []SourceMetrics `json:"sources"`
+}
+
+// EvalSnapshot is the JSON shape of data-parallel evaluation activity
+// (summed across sessions) plus the effective pool settings.
+type EvalSnapshot struct {
+	// ParallelEvals and SerialEvals split completed evaluations by
+	// whether any generator scan ran sharded.
+	ParallelEvals uint64 `json:"parallel_evals_total"`
+	SerialEvals   uint64 `json:"serial_evals_total"`
+	// Shards counts shards executed across all sharded scans.
+	Shards uint64 `json:"shards_total"`
+	// Parallelism is the effective sharded-evaluation pool width.
+	Parallelism int `json:"parallelism"`
+	// PrefetchWorkers / PrefetchMaxTasks are the effective prefetch
+	// pool settings.
+	PrefetchWorkers  int `json:"prefetch_workers"`
+	PrefetchMaxTasks int `json:"prefetch_max_tasks"`
 }
 
 // QueueSnapshot is the JSON shape of the admission controller's state
@@ -188,7 +206,7 @@ func snapshotCache(s CacheStats) CacheSnapshot {
 // across the given per-session caches (plan = shared parsed plans,
 // result = per-session answers, extent = virtual-extent memos, src =
 // source extents); queue is the admission controller's current state.
-func (m *Metrics) Snapshot(plan, result, extent, src CacheStats, queue QueueStats, sessions int) MetricsSnapshot {
+func (m *Metrics) Snapshot(plan, result, extent, src CacheStats, queue QueueStats, sessions int, eval EvalSnapshot) MetricsSnapshot {
 	srcSnaps := m.sources.Snapshot()
 	sources := make([]SourceMetrics, 0, len(srcSnaps))
 	for _, s := range srcSnaps {
@@ -223,6 +241,7 @@ func (m *Metrics) Snapshot(plan, result, extent, src CacheStats, queue QueueStat
 		CacheEvictions:     plan.Evictions + result.Evictions + extent.Evictions + src.Evictions,
 		CacheInvalidations: plan.Invalidations + result.Invalidations + extent.Invalidations + src.Invalidations,
 		Sessions:           sessions,
+		Eval:               eval,
 		Queue: QueueSnapshot{
 			QueueStats:    queue,
 			Admitted:      m.queueAdmitted.Load(),

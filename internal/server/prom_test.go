@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/dataspace/automed/internal/obs"
+	"github.com/dataspace/automed/internal/query"
 )
 
 // scrape fetches a path without the JSON Accept header the testClient
@@ -75,6 +77,11 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		"automed_http_requests_total",
 		"automed_integration_iterations_total 1",
 		"automed_sessions 1",
+		"# TYPE automed_eval_parallel_total counter",
+		"automed_eval_shards_total",
+		"automed_eval_parallelism",
+		"automed_prefetch_workers",
+		"automed_prefetch_max_tasks",
 		`automed_cache_hits_total{layer="plan"} 2`,
 		`automed_cache_entries{layer="result"}`,
 		`automed_cache_misses_total{layer="source_extent"}`,
@@ -169,6 +176,40 @@ func TestMetricsScrapeUnderLoad(t *testing.T) {
 	snap := c.must("GET", "/metrics", nil, http.StatusOK)
 	if n := snap["queries_total"].(float64); n != queryWorkers*iterations {
 		t.Errorf("queries_total = %v, want %d", n, queryWorkers*iterations)
+	}
+}
+
+// TestMetricsEvalBlock: the JSON snapshot's eval block reports the
+// effective evaluation-pool settings — the configured flags when set,
+// the documented defaults (GOMAXPROCS parallelism, default prefetch
+// pool) otherwise.
+func TestMetricsEvalBlock(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EvalParallelism = 3
+	cfg.PrefetchWorkers = 5
+	cfg.PrefetchMaxTasks = 9
+	_, c := newTestClient(t, cfg)
+	eval := c.must("GET", "/metrics", nil, http.StatusOK)["eval"].(map[string]any)
+	if got := eval["parallelism"].(float64); got != 3 {
+		t.Errorf("eval.parallelism = %v, want 3", got)
+	}
+	if got := eval["prefetch_workers"].(float64); got != 5 {
+		t.Errorf("eval.prefetch_workers = %v, want 5", got)
+	}
+	if got := eval["prefetch_max_tasks"].(float64); got != 9 {
+		t.Errorf("eval.prefetch_max_tasks = %v, want 9", got)
+	}
+
+	_, c = newTestClient(t, DefaultConfig())
+	eval = c.must("GET", "/metrics", nil, http.StatusOK)["eval"].(map[string]any)
+	if got := eval["parallelism"].(float64); got != float64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("default eval.parallelism = %v, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := eval["prefetch_workers"].(float64); got != query.DefaultPrefetchWorkers {
+		t.Errorf("default eval.prefetch_workers = %v, want %d", got, query.DefaultPrefetchWorkers)
+	}
+	if got := eval["prefetch_max_tasks"].(float64); got != query.DefaultPrefetchMaxTasks {
+		t.Errorf("default eval.prefetch_max_tasks = %v, want %d", got, query.DefaultPrefetchMaxTasks)
 	}
 }
 

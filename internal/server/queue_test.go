@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -133,6 +134,78 @@ func waitForDepth(t *testing.T, a *admission, want int) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatalf("queue depth never reached %d (at %d)", want, queueDepth(a))
+}
+
+// TestAdmissionNoGoroutineLeak drives parked waiters through the three
+// ways a queued request can exit — grant, context cancellation, and
+// drain — and checks every waiter goroutine unwinds. A leaked waiter
+// would pin its request context (and, under load, the admission mutex
+// wait chain) for the life of the process.
+func TestAdmissionNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a := newAdmission(1, 32, nil)
+	release := acquireNow(t, a, "held")
+
+	// Batch 1 exits by cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r, _, err := a.acquire(ctx, "cancelled"); err == nil {
+				r()
+			}
+		}()
+	}
+	waitForDepth(t, a, 8)
+	cancel()
+	wg.Wait()
+
+	// Batch 2 is granted one by one as each holder releases.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, _, err := a.acquire(context.Background(), "granted")
+			if err != nil {
+				t.Errorf("granted batch: %v", err)
+				return
+			}
+			r()
+		}()
+	}
+	waitForDepth(t, a, 4)
+	release()
+	wg.Wait()
+
+	// Batch 3 exits when the server begins draining.
+	release = acquireNow(t, a, "held")
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := a.acquire(context.Background(), "drained"); err != errDraining {
+				t.Errorf("drained waiter = %v, want errDraining", err)
+			}
+		}()
+	}
+	waitForDepth(t, a, 8)
+	a.beginDrain()
+	wg.Wait()
+	release()
+	if err := a.waitIdle(context.Background()); err != nil {
+		t.Fatalf("waitIdle: %v", err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked through the admission queue: %d at start, %d after",
+				base, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 func TestAdmissionCancelWhileQueued(t *testing.T) {

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"sync"
 	"time"
 
 	"github.com/dataspace/automed/internal/cache"
 	"github.com/dataspace/automed/internal/obs"
+	"github.com/dataspace/automed/internal/query"
 )
 
 // Config tunes the dataspace server.
@@ -31,6 +33,14 @@ type Config struct {
 	// MaxSteps bounds IQL evaluation steps per query (a defence
 	// against runaway comprehensions); 0 means unlimited.
 	MaxSteps int
+	// EvalParallelism is the worker count for data-parallel sharded
+	// comprehension evaluation: 0 picks GOMAXPROCS, 1 forces serial
+	// evaluation, larger values set the pool width explicitly.
+	EvalParallelism int
+	// PrefetchWorkers and PrefetchMaxTasks tune the concurrent extent
+	// prefetcher per session (0 = defaults: 8 workers, 64 tasks).
+	PrefetchWorkers  int
+	PrefetchMaxTasks int
 	// SlowQuery, when > 0, traces every query and retains those at or
 	// above the threshold in the /debug/traces ring even when the
 	// client did not ask for a trace.
@@ -52,6 +62,18 @@ type Config struct {
 	// Logger receives structured access and error logs; nil discards
 	// them (library embedding and tests stay quiet).
 	Logger *slog.Logger
+}
+
+// sessionSettings projects the per-session knobs out of the config.
+func (cfg Config) sessionSettings() SessionSettings {
+	return SessionSettings{
+		ResultCapacity:   cfg.ResultCacheSize,
+		CacheBytes:       cfg.CacheBytes,
+		MaxSteps:         cfg.MaxSteps,
+		EvalParallelism:  cfg.EvalParallelism,
+		PrefetchWorkers:  cfg.PrefetchWorkers,
+		PrefetchMaxTasks: cfg.PrefetchMaxTasks,
+	}
 }
 
 // defaultTraceRingSize bounds /debug/traces when the config does not.
@@ -105,7 +127,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg: cfg,
-		reg: NewRegistry(cfg.ResultCacheSize, cfg.CacheBytes, cfg.MaxSteps),
+		reg: NewRegistry(cfg.sessionSettings()),
 		plans: cache.New[plan](cache.Options{
 			MaxEntries: cfg.PlanCacheSize,
 			MaxBytes:   cfg.CacheBytes,
@@ -222,7 +244,7 @@ func (s *Server) RestoreSessions() (int, error) {
 		return 0, err
 	}
 	for _, state := range states {
-		sess, err := sessionFromState(state, s.cfg.ResultCacheSize, s.cfg.CacheBytes, s.cfg.MaxSteps)
+		sess, err := sessionFromState(state, s.cfg.sessionSettings())
 		if err != nil {
 			return 0, err
 		}
@@ -274,7 +296,7 @@ func (s *Server) restoreSession(name string) (*Session, error) {
 	if state.Name != name {
 		return nil, fmt.Errorf("%w: %s is for session %q, not %q", errBadSnapshot, fileName(name), state.Name, name)
 	}
-	sess, err := sessionFromState(state, s.cfg.ResultCacheSize, s.cfg.CacheBytes, s.cfg.MaxSteps)
+	sess, err := sessionFromState(state, s.cfg.sessionSettings())
 	if err != nil {
 		return nil, err
 	}
@@ -333,6 +355,32 @@ func (s *Server) resultStats() CacheStats {
 		addStats(&sum, sess.ResultCacheStats())
 	}
 	return sum
+}
+
+// evalStats sums sharded-evaluation counters across all sessions and
+// attaches the effective pool settings.
+func (s *Server) evalStats() EvalSnapshot {
+	eval := EvalSnapshot{
+		Parallelism:      s.cfg.EvalParallelism,
+		PrefetchWorkers:  s.cfg.PrefetchWorkers,
+		PrefetchMaxTasks: s.cfg.PrefetchMaxTasks,
+	}
+	if eval.Parallelism <= 0 {
+		eval.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if eval.PrefetchWorkers <= 0 {
+		eval.PrefetchWorkers = query.DefaultPrefetchWorkers
+	}
+	if eval.PrefetchMaxTasks <= 0 {
+		eval.PrefetchMaxTasks = query.DefaultPrefetchMaxTasks
+	}
+	for _, sess := range s.reg.All() {
+		st := sess.ParallelStats()
+		eval.ParallelEvals += st.ParallelEvals
+		eval.SerialEvals += st.SerialEvals
+		eval.Shards += st.Shards
+	}
+	return eval
 }
 
 // extentStats sums the query processors' extent-memo and source-extent

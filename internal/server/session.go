@@ -25,6 +25,7 @@ import (
 	"github.com/dataspace/automed/internal/core"
 	"github.com/dataspace/automed/internal/iql"
 	"github.com/dataspace/automed/internal/obs"
+	"github.com/dataspace/automed/internal/query"
 	"github.com/dataspace/automed/internal/wrapper"
 )
 
@@ -41,9 +42,8 @@ type plan struct {
 // its queries via mu; queries additionally hold the integrator's read
 // lock for their whole evaluation.
 type Session struct {
-	name       string
-	maxSteps   int
-	cacheBytes int64
+	name     string
+	settings SessionSettings
 
 	mu       sync.RWMutex
 	wrappers []wrapper.Wrapper
@@ -57,15 +57,42 @@ type Session struct {
 	results *cache.Store[Answer]
 }
 
-func newSession(name string, resultCapacity int, cacheBytes int64, maxSteps int) *Session {
+// SessionSettings carries the per-session tuning knobs every new (or
+// restored) session's query processor is configured with.
+type SessionSettings struct {
+	// ResultCapacity bounds the result cache's entry count (<= 0
+	// disables the cache).
+	ResultCapacity int
+	// CacheBytes is the byte budget per cache layer (0 = unbounded).
+	CacheBytes int64
+	// MaxSteps bounds IQL evaluation steps per query (0 = unlimited).
+	MaxSteps int
+	// EvalParallelism is the sharded-evaluation worker count: 0 picks
+	// GOMAXPROCS, 1 forces serial evaluation.
+	EvalParallelism int
+	// PrefetchWorkers and PrefetchMaxTasks tune the concurrent extent
+	// prefetcher (0 = package defaults).
+	PrefetchWorkers  int
+	PrefetchMaxTasks int
+}
+
+// applyTo configures a session's query processor from the settings.
+func (cfg SessionSettings) applyTo(p *query.Processor) {
+	p.MaxSteps = cfg.MaxSteps
+	p.SetCacheBytes(cfg.CacheBytes)
+	p.Parallel = cfg.EvalParallelism
+	p.PrefetchWorkers = cfg.PrefetchWorkers
+	p.PrefetchMaxTasks = cfg.PrefetchMaxTasks
+}
+
+func newSession(name string, cfg SessionSettings) *Session {
 	return &Session{
-		name:       name,
-		maxSteps:   maxSteps,
-		cacheBytes: cacheBytes,
+		name:     name,
+		settings: cfg,
 		results: cache.New[Answer](cache.Options{
-			MaxEntries: resultCapacity,
-			MaxBytes:   cacheBytes,
-			Disabled:   resultCapacity <= 0,
+			MaxEntries: cfg.ResultCapacity,
+			MaxBytes:   cfg.CacheBytes,
+			Disabled:   cfg.ResultCapacity <= 0,
 		}),
 	}
 }
@@ -140,8 +167,7 @@ func (s *Session) Federate(name string, autoDrop bool) (*core.Integrator, error)
 		return nil, err
 	}
 	ig.SetAutoDrop(autoDrop)
-	ig.Processor().MaxSteps = s.maxSteps
-	ig.Processor().SetCacheBytes(s.cacheBytes)
+	s.settings.applyTo(ig.Processor())
 	if _, err := ig.Federate(name); err != nil {
 		return nil, err
 	}
@@ -347,15 +373,14 @@ func (s *Session) Export() (*sessionState, error) {
 // memo, source extents) is empty and warms on demand, so restore never
 // replays stale derived state — the snapshot holds definitions, not
 // materialisations.
-func sessionFromState(state *sessionState, resultCapacity int, cacheBytes int64, maxSteps int) (*Session, error) {
-	sess := newSession(state.Name, resultCapacity, cacheBytes, maxSteps)
+func sessionFromState(state *sessionState, cfg SessionSettings) (*Session, error) {
+	sess := newSession(state.Name, cfg)
 	if state.Integrator != nil {
 		ig, err := core.Import(state.Integrator)
 		if err != nil {
 			return nil, fmt.Errorf("server: restoring session %q: %w", state.Name, err)
 		}
-		ig.Processor().MaxSteps = maxSteps
-		ig.Processor().SetCacheBytes(cacheBytes)
+		cfg.applyTo(ig.Processor())
 		sess.ig = ig
 		sess.wrappers = ig.Sources()
 		return sess, nil
@@ -384,28 +409,32 @@ func (s *Session) ExtentCacheStats() (memo, src CacheStats) {
 	return ig.Processor().CacheStats()
 }
 
+// ParallelStats snapshots the session processor's sharded-evaluation
+// counters; zero before federation.
+func (s *Session) ParallelStats() query.ParallelStats {
+	ig, err := s.integrator()
+	if err != nil {
+		return query.ParallelStats{}
+	}
+	return ig.Processor().ParallelStats()
+}
+
 // PurgeResults empties the session's result cache.
 func (s *Session) PurgeResults() { s.results.Purge() }
 
 // Registry is the named-session table.
 type Registry struct {
-	mu             sync.RWMutex
-	sessions       map[string]*Session
-	resultCapacity int
-	cacheBytes     int64
-	maxSteps       int
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	settings SessionSettings
 }
 
-// NewRegistry returns an empty registry; each session's result cache
-// holds at most resultCapacity entries within a cacheBytes byte budget,
-// and each session's queries are bounded to maxSteps IQL evaluation
-// steps (0 = unlimited).
-func NewRegistry(resultCapacity int, cacheBytes int64, maxSteps int) *Registry {
+// NewRegistry returns an empty registry; every session it creates is
+// configured from the given settings.
+func NewRegistry(cfg SessionSettings) *Registry {
 	return &Registry{
-		sessions:       make(map[string]*Session),
-		resultCapacity: resultCapacity,
-		cacheBytes:     cacheBytes,
-		maxSteps:       maxSteps,
+		sessions: make(map[string]*Session),
+		settings: cfg,
 	}
 }
 
@@ -428,7 +457,7 @@ func (r *Registry) Get(name string, create bool) (*Session, error) {
 	if s, ok := r.sessions[name]; ok {
 		return s, nil
 	}
-	s = newSession(name, r.resultCapacity, r.cacheBytes, r.maxSteps)
+	s = newSession(name, r.settings)
 	r.sessions[name] = s
 	return s, nil
 }
