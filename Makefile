@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke bench-parallel bench-load metrics-smoke load-smoke run fuzz-seeds golden test-wrappers
+.PHONY: ci fmt vet build test race bench bench-smoke bench-parallel bench-load metrics-smoke load-smoke chaos-smoke run fuzz-seeds golden test-wrappers
 
 # ci is the full local gate: formatting, static checks (go vet), build,
 # tests under the race detector, the wrapper conformance suite, the
 # persistence-format guards (fuzz seed corpus + golden snapshots), a
 # one-iteration -benchmem pass over every benchmark so the bench
 # harness can't silently rot, the sharded-evaluation speedup gate, the
-# metrics exposition smoke check, and a short admission-control load
-# smoke.
-ci: fmt vet build race test-wrappers fuzz-seeds golden bench-smoke bench-parallel metrics-smoke load-smoke
+# metrics exposition smoke check, a short admission-control load
+# smoke, and the fault-tolerance chaos drill.
+ci: fmt vet build race test-wrappers fuzz-seeds golden bench-smoke bench-parallel metrics-smoke load-smoke chaos-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -60,6 +60,15 @@ metrics-smoke:
 load-smoke:
 	$(GO) run ./cmd/loadgen -smoke -sessions 4 -workers 8 -duration 2s \
 		-max-inflight 4 -max-queue 8 -mutate-every 10
+
+# chaos-smoke is the ci fault-tolerance gate: an in-process two-source
+# federation where one source goes hard-down after its extent cache is
+# warm. It fails unless queries keep answering from the stale extent
+# with a degraded warning naming the source, strict (require-fresh)
+# requests are refused with 503, /healthz reports the open circuit
+# breaker, and the breaker metric families appear in the exposition.
+chaos-smoke:
+	$(GO) run ./cmd/chaossmoke
 
 # bench-load regenerates BENCH_PR7.json, the committed load/overload
 # baseline: many more closed-loop workers than admitted slots plus an

@@ -2,6 +2,7 @@ package automed
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -426,7 +427,7 @@ func benchServerSetup(b *testing.B) *httptest.Server {
 			b.Fatal(err)
 		}
 	}
-	if _, err := sess.Federate("F", false); err != nil {
+	if _, err := sess.Federate(context.Background(), "F", false); err != nil {
 		b.Fatal(err)
 	}
 	if _, err := sess.Intersect("I1", toyMappings); err != nil {

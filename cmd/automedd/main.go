@@ -16,7 +16,8 @@
 //	GET  /sessions   live integration sessions
 //	POST /sessions/{name}/snapshot   force a durable snapshot
 //	POST /sessions/{name}/restore    reload a session from disk
-//	GET  /healthz    liveness
+//	POST /sessions/{name}/invalidate drop cached extents and answers
+//	GET  /healthz    liveness, breaker states, skipped sources
 //	GET  /metrics    Prometheus text exposition (JSON via Accept/format)
 //	GET  /debug/traces  recent query traces (requested + slow queries)
 //
@@ -47,6 +48,17 @@
 // 429 + Retry-After. On SIGTERM/SIGINT it drains gracefully within
 // -drain-timeout: /healthz flips to 503 draining, in-flight requests
 // finish, and every session is snapshotted before exit.
+//
+// Fault tolerance: every source fetch runs behind a per-source circuit
+// breaker with a -source-timeout deadline budget; while a source is
+// down, queries are answered from its last-known-good extent with a
+// structured "degraded:" warning (disable the breakers with
+// -breaker=false, or reject stale answers daemon-wide with
+// -require-fresh). -min-federated-sources lets startup federation
+// proceed with the reachable subset of sources. For chaos drills,
+// -fault-source preloads a demo source wrapped in a deterministic
+// fault injector (spec: comma-separated error-rate=0.3, latency=50ms,
+// hang, flap-up=4, flap-down=2, amplify=8, seed=7).
 package main
 
 import (
@@ -60,10 +72,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"github.com/dataspace/automed/internal/query"
+	"github.com/dataspace/automed/internal/rel"
 	"github.com/dataspace/automed/internal/server"
 	"github.com/dataspace/automed/internal/wrapper"
 )
@@ -123,14 +138,23 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 256, "max concurrently executing queries/integration steps (0 = unlimited)")
 		maxQueue    = flag.Int("max-queue", 1024, "max requests parked in the admission queue before 429s (0 = reject at the in-flight limit)")
 		drainTime   = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGTERM before exit")
+		breakerOn   = flag.Bool("breaker", true, "per-source circuit breakers with stale-extent fallback")
+		srcTimeout  = flag.Duration("source-timeout", 10*time.Second, "per-source fetch deadline budget within each query (0 = none)")
+		breakerOpen = flag.Duration("breaker-open-for", 2*time.Second, "base interval an open breaker waits before probing the source again")
+		reqFresh    = flag.Bool("require-fresh", false, "reject degraded (stale-fallback) answers with 503 instead of serving them with a warning")
+		minFedSrcs  = flag.Int("min-federated-sources", 0, "federate over the reachable subset of sources when at least this many answer a probe (0 = require all)")
+		probeEvery  = flag.Duration("probe-interval", 5*time.Second, "min interval between health-check-triggered background probes of open breakers and skipped sources")
 		preload     sourceFlags
 		preloadSQL  sourceFlags
 		preloadREST sourceFlags
+		faultSrcs   sourceFlags
 	)
 	flag.Var(&preload, "source", "preload a CSV source as name=dir into the default session (repeatable)")
 	flag.Var(&preloadSQL, "sql-source",
 		"preload a SQL source as name=driver:dialect:dsn (dialect sqlite or information_schema, empty = sqlite; the driver must be compiled into this binary; repeatable)")
 	flag.Var(&preloadREST, "rest-source", "preload a JSON/REST source as name=url (collections discovered from the endpoint root; repeatable)")
+	flag.Var(&faultSrcs, "fault-source",
+		"preload a fault-injected demo source as name=spec for chaos drills (spec: comma-separated error-rate=0.3, latency=50ms, hang, flap-up=4, flap-down=2, amplify=8, seed=7; repeatable)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -153,7 +177,15 @@ func main() {
 		TraceRingSize:    *traceRing,
 		MaxInflight:      *maxInflight,
 		MaxQueue:         *maxQueue,
-		Logger:           logger,
+		Breaker: query.BreakerConfig{
+			Enabled:       *breakerOn,
+			SourceTimeout: *srcTimeout,
+			OpenFor:       *breakerOpen,
+		},
+		RequireFresh:        *reqFresh,
+		MinFederatedSources: *minFedSrcs,
+		ProbeInterval:       *probeEvery,
+		Logger:              logger,
 	})
 	if *dataDir != "" {
 		if err := srv.OpenStore(*dataDir); err != nil {
@@ -165,7 +197,7 @@ func main() {
 		}
 		logger.Info("sessions restored", "count", n, "dir", *dataDir)
 	}
-	if err := preloadSources(srv, logger, preload, preloadSQL, preloadREST); err != nil {
+	if err := preloadSources(srv, logger, preload, preloadSQL, preloadREST, faultSrcs); err != nil {
 		fatal(logger, err)
 	}
 
@@ -212,10 +244,70 @@ func serveDebug(logger *slog.Logger, addr string) {
 	}
 }
 
-// preloadSources wraps each preloaded CSV, SQL and REST source into
-// the default session and federates so the daemon starts queryable.
-func preloadSources(srv *server.Server, logger *slog.Logger, csvSpecs, sqlSpecs, restSpecs sourceFlags) error {
-	total := len(csvSpecs) + len(sqlSpecs) + len(restSpecs)
+// parseFaultSpec splits a -fault-source value: name=k=v[,k=v...] with
+// keys error-rate, latency, hang, flap-up, flap-down, amplify, seed.
+// An empty spec ("name=" or just "name") injects nothing until POST
+// /sources or a restart reconfigures it.
+func parseFaultSpec(v string) (name string, cfg wrapper.FaultConfig, err error) {
+	name, rest, _ := strings.Cut(v, "=")
+	if name == "" {
+		return "", cfg, fmt.Errorf("want name=k=v[,k=v...], got %q", v)
+	}
+	if rest == "" {
+		return name, cfg, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		k, val, _ := strings.Cut(kv, "=")
+		var err error
+		switch k {
+		case "error-rate":
+			cfg.ErrorRate, err = strconv.ParseFloat(val, 64)
+		case "latency":
+			cfg.Latency, err = time.ParseDuration(val)
+		case "hang":
+			cfg.Hang = true
+		case "flap-up":
+			cfg.FlapUp, err = strconv.Atoi(val)
+		case "flap-down":
+			cfg.FlapDown, err = strconv.Atoi(val)
+		case "amplify":
+			cfg.Amplify, err = strconv.Atoi(val)
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(val, 10, 64)
+		default:
+			err = fmt.Errorf("unknown key %q", k)
+		}
+		if err != nil {
+			return "", wrapper.FaultConfig{}, fmt.Errorf("fault source %q: %s: %v", name, kv, err)
+		}
+	}
+	return name, cfg, nil
+}
+
+// demoFaultSource builds the inline demo table a -fault-source wraps:
+// enough rows to make degraded answers visibly non-empty.
+func demoFaultSource(name string) (wrapper.Wrapper, error) {
+	db := rel.NewDB(name)
+	t, err := db.CreateTable("items", []rel.Column{
+		{Name: "id", Type: rel.Int},
+		{Name: "label", Type: rel.String},
+	}, "id")
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i <= 8; i++ {
+		if err := t.Insert(int64(i), fmt.Sprintf("item-%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	return wrapper.NewRelational(name, db)
+}
+
+// preloadSources wraps each preloaded CSV, SQL, REST and fault-demo
+// source into the default session and federates so the daemon starts
+// queryable.
+func preloadSources(srv *server.Server, logger *slog.Logger, csvSpecs, sqlSpecs, restSpecs, faultSpecs sourceFlags) error {
+	total := len(csvSpecs) + len(sqlSpecs) + len(restSpecs) + len(faultSpecs)
 	if total == 0 {
 		return nil
 	}
@@ -263,8 +355,31 @@ func preloadSources(srv *server.Server, logger *slog.Logger, csvSpecs, sqlSpecs,
 		}
 		logger.Info("REST source preloaded", "source", name, "endpoint", endpoint)
 	}
-	if _, err := sess.Federate("F", false); err != nil {
+	for _, spec := range faultSpecs {
+		name, cfg, err := parseFaultSpec(spec)
+		if err != nil {
+			return err
+		}
+		inner, err := demoFaultSource(name)
+		if err != nil {
+			return fmt.Errorf("preloading %s: %w", spec, err)
+		}
+		w, err := wrapper.NewFault(inner, cfg)
+		if err != nil {
+			return fmt.Errorf("preloading %s: %w", spec, err)
+		}
+		if err := sess.AddSource(w); err != nil {
+			return err
+		}
+		logger.Info("fault source preloaded", "source", name, "config", cfg)
+	}
+	fctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := sess.Federate(fctx, "F", false); err != nil {
 		return err
+	}
+	if skipped := sess.Skipped(); len(skipped) > 0 {
+		logger.Warn("federated without unreachable sources", "skipped", skipped)
 	}
 	logger.Info("sources federated", "count", total, "schema", "F", "version", 0)
 	if srv.Store() != nil {

@@ -1,0 +1,242 @@
+// Command chaossmoke is the CI gate for the fault-tolerance surface:
+// it boots the daemon's server in-process on a random port, federates
+// a healthy source with a fault-injected one, takes the faulty source
+// hard-down after its extent cache is warm, and then asserts the
+// degraded-operation contract end to end over HTTP — stale answers
+// carry a degraded warning naming the source, strict requests are
+// refused with 503, /healthz reports the open breaker, and the
+// Prometheus exposition carries the breaker families. Exit status is
+// the verdict; output is only diagnostic.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/dataspace/automed/internal/obs"
+	"github.com/dataspace/automed/internal/query"
+	"github.com/dataspace/automed/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chaossmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("chaossmoke: ok")
+}
+
+func run() error {
+	cfg := server.DefaultConfig()
+	// Deterministic drill: open on the first failure, never auto-close,
+	// and keep the background probe out of the picture.
+	cfg.Breaker = query.BreakerConfig{
+		Enabled:       true,
+		Consecutive:   1,
+		OpenFor:       time.Hour,
+		SourceTimeout: 5 * time.Second,
+	}
+	cfg.ProbeInterval = time.Hour
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Two federated sources: Steady stays healthy throughout; Flaky's
+	// flap schedule serves exactly one healthy fetch (the cache warm-up)
+	// and then fails every fetch after it.
+	if err := post(base+"/sources", map[string]any{
+		"name": "Steady",
+		"tables": []map[string]any{{
+			"name":    "books",
+			"columns": []string{"isbn!pk", "title"},
+			"rows":    [][]any{{"1", "Dataspaces"}, {"2", "Schema Matching"}},
+		}},
+	}, http.StatusCreated, nil); err != nil {
+		return err
+	}
+	if err := post(base+"/sources", map[string]any{
+		"name": "Flaky",
+		"fault": map[string]any{
+			"tables": []map[string]any{{
+				"name":    "items",
+				"columns": []string{"id:int", "label"},
+				"rows":    [][]any{{0, "x"}, {1, "y"}, {2, "z"}},
+			}},
+			"config": map[string]any{"flap_up": 1, "flap_down": 1 << 20},
+		},
+	}, http.StatusCreated, nil); err != nil {
+		return err
+	}
+	if err := post(base+"/federate", map[string]any{}, http.StatusCreated, nil); err != nil {
+		return err
+	}
+
+	// Warm the Flaky extent through its single healthy slot, then force
+	// the next query back to the now-failing source.
+	var q map[string]any
+	if err := post(base+"/query", map[string]any{"query": "count(<<flaky_items>>)"}, http.StatusOK, &q); err != nil {
+		return err
+	}
+	if q["degraded"] == true {
+		return fmt.Errorf("warm-up answer already degraded: %v", q)
+	}
+	if err := post(base+"/sessions/default/invalidate", nil, http.StatusOK, nil); err != nil {
+		return err
+	}
+
+	// The source is hard-down: the answer must come from the stale
+	// extent, marked degraded, with a warning naming the source.
+	if err := post(base+"/query", map[string]any{"query": "count(<<flaky_items>>)"}, http.StatusOK, &q); err != nil {
+		return err
+	}
+	if q["value"] != float64(3) || q["degraded"] != true {
+		return fmt.Errorf("degraded answer = %v, want stale count 3 marked degraded", q)
+	}
+	named := false
+	if warns, ok := q["warnings"].([]any); ok {
+		for _, w := range warns {
+			if s, _ := w.(string); query.IsDegraded(s) && strings.Contains(s, "Flaky") {
+				named = true
+			}
+		}
+	}
+	if !named {
+		return fmt.Errorf("no degraded warning naming Flaky: %v", q["warnings"])
+	}
+
+	// Degraded federation: the healthy neighbour still answers fresh.
+	if err := post(base+"/query", map[string]any{"query": "count(<<steady_books>>)"}, http.StatusOK, &q); err != nil {
+		return err
+	}
+	if q["value"] != float64(2) || q["degraded"] == true {
+		return fmt.Errorf("healthy source answer = %v, want fresh count 2", q)
+	}
+
+	// Strict mode refuses the degraded answer.
+	if err := post(base+"/query", map[string]any{
+		"query": "count(<<flaky_items>>)", "require_fresh": true,
+	}, http.StatusServiceUnavailable, nil); err != nil {
+		return err
+	}
+
+	// /healthz reports the open breaker and an overall degraded status.
+	body, _, err := get(base+"/healthz", "application/json")
+	if err != nil {
+		return err
+	}
+	var h map[string]any
+	if err := json.Unmarshal(body, &h); err != nil {
+		return fmt.Errorf("decoding /healthz: %w", err)
+	}
+	if h["status"] != "degraded" {
+		return fmt.Errorf("healthz status = %v, want degraded", h["status"])
+	}
+	if !breakerOpen(h, "Flaky") {
+		return fmt.Errorf("healthz does not report Flaky's breaker open: %s", body)
+	}
+
+	// The exposition stays well-formed and carries the breaker families.
+	text, ct, err := get(base+"/metrics", "")
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("GET /metrics content type = %q, want text/plain exposition", ct)
+	}
+	if err := obs.ValidateExposition(text); err != nil {
+		return fmt.Errorf("invalid Prometheus exposition: %w\n%s", err, text)
+	}
+	for _, want := range []string{
+		`automed_source_breaker_open{session="default",source="Flaky"} 1`,
+		`automed_source_breaker_opens_total{session="default",source="Flaky"} 1`,
+		"automed_degraded_queries_total 2",
+		`automed_source_fallbacks_total{session="default",source="Flaky"}`,
+	} {
+		if !bytes.Contains(text, []byte(want)) {
+			return fmt.Errorf("exposition lacks %q:\n%s", want, text)
+		}
+	}
+	return nil
+}
+
+// breakerOpen reports whether /healthz lists the named source with an
+// open breaker in any session.
+func breakerOpen(h map[string]any, source string) bool {
+	sessions, _ := h["source_health"].([]any)
+	for _, e := range sessions {
+		sess, _ := e.(map[string]any)
+		sources, _ := sess["sources"].([]any)
+		for _, s := range sources {
+			m, _ := s.(map[string]any)
+			if m["source"] == source && m["state"] == "open" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func post(url string, body any, want int, out *map[string]any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	resp, err := http.Post(url, "application/json", rd)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != want {
+		return fmt.Errorf("POST %s = %d, want %d (%s)", url, resp.StatusCode, want, data)
+	}
+	if out != nil {
+		// Reset before decoding: Unmarshal merges into an existing map,
+		// which would leak omitempty fields from a previous response.
+		*out = nil
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("POST %s: decoding response: %w", url, err)
+		}
+	}
+	return nil
+}
+
+func get(url, accept string) ([]byte, string, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("GET %s = %d (%s)", url, resp.StatusCode, body)
+	}
+	return body, resp.Header.Get("Content-Type"), nil
+}

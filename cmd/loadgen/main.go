@@ -23,6 +23,14 @@
 // With -smoke the run doubles as a CI gate: it exits non-zero unless
 // queries succeeded, the exposition parsed, and (when the configured
 // limits force queuing) admission control visibly engaged.
+//
+// With -fault each session also carries a fault-injected source with a
+// seeded error rate, flaky queries join the mix, and workers
+// periodically invalidate their session's extent cache so queries keep
+// hitting the failing source instead of its warm cache. The report
+// then counts degraded (stale-fallback) answers, and -smoke
+// additionally requires that some appeared — exercising the circuit
+// breakers and stale-extent fallback under concurrency.
 package main
 
 import (
@@ -64,6 +72,9 @@ type config struct {
 	rows        int
 	out         string
 	smoke       bool
+	fault       bool
+	errorRate   float64
+	invalEvery  int
 }
 
 // report is the committed output shape; it deliberately carries no
@@ -85,6 +96,7 @@ type report struct {
 		Dropped503  uint64 `json:"dropped_503"`
 		Errors      uint64 `json:"errors"`
 		Mutations   uint64 `json:"mutations"`
+		Degraded    uint64 `json:"degraded"`
 	} `json:"totals"`
 	RejectRate    float64 `json:"reject_rate"`
 	ThroughputRPS float64 `json:"throughput_rps"`
@@ -113,6 +125,9 @@ func run() error {
 	flag.IntVar(&cfg.rows, "rows", 32, "rows per table in each session's sources")
 	flag.StringVar(&cfg.out, "out", "", "write the JSON report here (empty = stdout)")
 	flag.BoolVar(&cfg.smoke, "smoke", false, "CI mode: assert queries succeeded and admission control engaged")
+	flag.BoolVar(&cfg.fault, "fault", false, "add a fault-injected source per session and count degraded answers")
+	flag.Float64Var(&cfg.errorRate, "fault-error-rate", 0.3, "seeded per-fetch failure probability of the fault sources (with -fault)")
+	flag.IntVar(&cfg.invalEvery, "invalidate-every", 25, "every Nth worker request invalidates the session's extent cache (with -fault)")
 	flag.Parse()
 
 	base := cfg.addr
@@ -157,9 +172,9 @@ func run() error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
-		"loadgen: %d requests, %d ok, %d rejected (429), %d dropped (503), %d errors; p50 %.2fms p99 %.2fms\n",
+		"loadgen: %d requests, %d ok, %d rejected (429), %d dropped (503), %d errors, %d degraded; p50 %.2fms p99 %.2fms\n",
 		rep.Totals.Requests, rep.Totals.OK, rep.Totals.Rejected429, rep.Totals.Dropped503,
-		rep.Totals.Errors, rep.LatencyMs.P50, rep.LatencyMs.P99)
+		rep.Totals.Errors, rep.Totals.Degraded, rep.LatencyMs.P50, rep.LatencyMs.P99)
 	if cfg.smoke {
 		return g.assertSmoke(rep)
 	}
@@ -182,8 +197,10 @@ type generator struct {
 	dropped   atomic.Uint64
 	errors    atomic.Uint64
 	mutations atomic.Uint64
+	degraded  atomic.Uint64
 	mutSeq    atomic.Uint64
 	nonce     uint64
+	queries   []string
 
 	elapsed time.Duration
 }
@@ -215,9 +232,33 @@ func (g *generator) setup() error {
 		}, http.StatusCreated, http.StatusConflict); err != nil {
 			return fmt.Errorf("setting up %s: %w", sess, err)
 		}
+		if g.cfg.fault {
+			flaky := make([][]any, g.cfg.rows)
+			for r := range flaky {
+				flaky[r] = []any{r, fmt.Sprintf("part-%d", r)}
+			}
+			if err := g.post("/sources", map[string]any{
+				"session": sess, "name": "Flaky",
+				"fault": map[string]any{
+					"tables": []map[string]any{{"name": "parts", "columns": []string{"id:int", "label"}, "rows": flaky}},
+					// Per-session seeds keep the failure streams distinct
+					// but reproducible run to run.
+					"config": map[string]any{"error_rate": g.cfg.errorRate, "seed": i + 1},
+				},
+			}, http.StatusCreated, http.StatusConflict); err != nil {
+				return fmt.Errorf("setting up %s: %w", sess, err)
+			}
+		}
 		if err := g.post("/federate", map[string]any{"session": sess, "name": "F"}, http.StatusCreated, http.StatusConflict); err != nil {
 			return fmt.Errorf("federating %s: %w", sess, err)
 		}
+	}
+	g.queries = queryBodies
+	if g.cfg.fault {
+		g.queries = append(append([]string(nil), queryBodies...),
+			"count(<<flaky_parts>>)",
+			"count([x | {k, x} <- <<flaky_parts, label>>])",
+		)
 	}
 	return nil
 }
@@ -251,7 +292,11 @@ func (g *generator) drive() {
 					g.mutate(sess)
 					continue
 				}
-				g.query(sess, queryBodies[rng.IntN(len(queryBodies))], rng.IntN(4) == 0)
+				if g.cfg.fault && g.cfg.invalEvery > 0 && n%g.cfg.invalEvery == g.cfg.invalEvery-1 {
+					g.invalidate(sess)
+					continue
+				}
+				g.query(sess, g.queries[rng.IntN(len(g.queries))], rng.IntN(4) == 0)
 			}
 		}(w)
 	}
@@ -267,7 +312,7 @@ func (g *generator) drive() {
 			for time.Now().Before(deadline) {
 				<-tick.C
 				sess := g.sessionName(int(zipf.Uint64()))
-				q := queryBodies[rng.IntN(len(queryBodies))]
+				q := g.queries[rng.IntN(len(g.queries))]
 				open.Add(1)
 				go func() { // open loop: do not wait for the previous arrival
 					defer open.Done()
@@ -281,14 +326,27 @@ func (g *generator) drive() {
 	g.elapsed = time.Since(start)
 }
 
-// query sends one POST /query and records the client-observed outcome.
+// query sends one POST /query and records the client-observed outcome,
+// including whether the answer was degraded (served from a stale
+// extent while its source was unreachable).
 func (g *generator) query(sess, q string, noCache bool) {
 	body := map[string]any{"session": sess, "query": q}
 	if noCache {
 		body["no_cache"] = true
 	}
 	start := time.Now()
-	status, err := g.do("/query", body)
+	status, resp, err := g.doRead("/query", body)
+	g.record(status, err, time.Since(start))
+	if err == nil && status == http.StatusOK && bytes.Contains(resp, []byte(`"degraded":true`)) {
+		g.degraded.Add(1)
+	}
+}
+
+// invalidate drops one session's cached extents mid-flight, forcing
+// subsequent queries back to the (possibly failing) sources.
+func (g *generator) invalidate(sess string) {
+	start := time.Now()
+	status, err := g.do("/sessions/"+sess+"/invalidate", nil)
 	g.record(status, err, time.Since(start))
 }
 
@@ -369,6 +427,7 @@ func (g *generator) report() (*report, error) {
 	rep.Totals.Dropped503 = g.dropped.Load()
 	rep.Totals.Errors = g.errors.Load()
 	rep.Totals.Mutations = g.mutations.Load()
+	rep.Totals.Degraded = g.degraded.Load()
 	if rep.Totals.Requests > 0 {
 		rep.RejectRate = float64(rep.Totals.Rejected429) / float64(rep.Totals.Requests)
 	}
@@ -422,7 +481,9 @@ func (g *generator) assertSmoke(rep *report) error {
 	if rep.Totals.OK == 0 {
 		return fmt.Errorf("smoke: no request succeeded")
 	}
-	if rep.Totals.Errors > 0 {
+	// Under fault injection errors are the point: a cold extent whose
+	// fetch fails has no stale copy to fall back on and fails closed.
+	if !g.cfg.fault && rep.Totals.Errors > 0 {
 		return fmt.Errorf("smoke: %d unexpected errors", rep.Totals.Errors)
 	}
 	var q struct {
@@ -433,6 +494,9 @@ func (g *generator) assertSmoke(rep *report) error {
 	}
 	if q.Admitted == 0 {
 		return fmt.Errorf("smoke: admission control admitted nothing")
+	}
+	if g.cfg.fault && rep.Totals.Degraded == 0 {
+		return fmt.Errorf("smoke: fault injection produced no degraded answers")
 	}
 	fmt.Fprintln(os.Stderr, "loadgen: smoke ok")
 	return nil
@@ -454,17 +518,25 @@ func (g *generator) post(path string, body any, want ...int) error {
 }
 
 func (g *generator) do(path string, body any) (int, error) {
+	status, _, err := g.doRead(path, body)
+	return status, err
+}
+
+func (g *generator) doRead(path string, body any) (int, []byte, error) {
 	buf, err := json.Marshal(body)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	resp, err := g.client.Post(g.base+path, "application/json", bytes.NewReader(buf))
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
-	return resp.StatusCode, nil
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
 }
 
 func (g *generator) get(path, accept string) ([]byte, error) {

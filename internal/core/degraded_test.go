@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/wrapper"
+)
+
+// faultedShop wraps the Shop source in a fault wrapper so tests can
+// take it down (probes fail) and heal it again.
+func faultedShop(t *testing.T, cfg wrapper.FaultConfig) *wrapper.Fault {
+	t.Helper()
+	ws, err := wrapper.NewRelational("Shop", shopDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := wrapper.NewFault(ws, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func TestFederateReachableSkipsDownSource(t *testing.T) {
+	wl, err := wrapper.NewRelational("Library", libraryDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := faultedShop(t, wrapper.FaultConfig{ErrorRate: 1})
+	ig, err := New(wl, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fed, skipped, err := ig.FederateReachable(context.Background(), "F", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || skipped[0] != "Shop" {
+		t.Fatalf("skipped = %v, want [Shop]", skipped)
+	}
+	if got := ig.Skipped(); len(got) != 1 || got[0] != "Shop" {
+		t.Fatalf("Skipped() = %v, want [Shop]", got)
+	}
+	// The reachable source federated; the skipped one is absent.
+	if _, err := fed.Resolve([]string{"library_books"}); err != nil {
+		t.Errorf("library_books missing from degraded federation: %v", err)
+	}
+	if _, err := fed.Resolve([]string{"shop_items"}); err == nil {
+		t.Error("shop_items present despite Shop being unreachable")
+	}
+	res, err := ig.Query("count(<<library_books>>)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Value.Equal(iql.Int(3)) {
+		t.Errorf("count over reachable subset = %s, want 3", res.Value)
+	}
+}
+
+func TestFederateReachableEnforcesMinimum(t *testing.T) {
+	wl, err := wrapper.NewRelational("Library", libraryDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := faultedShop(t, wrapper.FaultConfig{ErrorRate: 1})
+	ig, err := New(wl, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One of two sources is down; demanding both reachable must fail
+	// and leave the integrator un-federated.
+	if _, _, err := ig.FederateReachable(context.Background(), "F", 2); err == nil {
+		t.Fatal("FederateReachable(min=2) succeeded with a source down")
+	}
+	if ig.Federated() != nil {
+		t.Fatal("failed federation left a federated schema behind")
+	}
+}
+
+func TestBackfillRecoversHealedSource(t *testing.T) {
+	wl, err := wrapper.NewRelational("Library", libraryDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := faultedShop(t, wrapper.FaultConfig{ErrorRate: 1})
+	ig, err := New(wl, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ig.FederateReachable(context.Background(), "F", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// While the source is still down, backfill is a no-op.
+	recovered, err := ig.Backfill(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("backfill recovered %v with the source still down", recovered)
+	}
+
+	// Heal it: backfill folds the source into the federation exactly
+	// as Federate would have.
+	down.Set(wrapper.FaultConfig{})
+	recovered, err = ig.Backfill(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0] != "Shop" {
+		t.Fatalf("backfill recovered %v, want [Shop]", recovered)
+	}
+	if got := ig.Skipped(); len(got) != 0 {
+		t.Fatalf("Skipped() = %v after backfill, want empty", got)
+	}
+	res, err := ig.Query("count(<<shop_items>>)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Value.Equal(iql.Int(2)) {
+		t.Errorf("count(<<shop_items>>) after backfill = %s, want 2", res.Value)
+	}
+}

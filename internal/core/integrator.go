@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -80,6 +81,12 @@ type Integrator struct {
 	versions      []SchemaVersion
 	iterations    []Iteration
 	autoDrop      bool
+	// skipped lists sources FederateReachable left out of the federated
+	// schema because they were down at federation time; Backfill folds
+	// them in once they answer a probe. Transient workflow state, not
+	// part of the durable snapshot: a restored session re-federates from
+	// its full source list.
+	skipped []string
 }
 
 // SetAutoDrop controls whether the global schemas automatically rebuilt
@@ -157,36 +164,24 @@ func (ig *Integrator) SourceNames() []string {
 // Prefix returns the federation prefix of a source schema.
 func (ig *Integrator) Prefix(source string) string { return ig.prefix[source] }
 
-// Federate builds the federated schema F = S1 ∪ … ∪ Sn: every source
-// object under its provenance prefix, with no schema or data
-// transformation (workflow step 2). F serves as the first version of
-// the global schema, so data services run immediately.
-func (ig *Integrator) Federate(name string) (*hdm.Schema, error) {
-	ig.mu.Lock()
-	defer ig.mu.Unlock()
-	if ig.fed != nil {
-		return nil, fmt.Errorf("core: already federated as %q", ig.fedName)
-	}
-	if name == "" {
-		name = "F"
-	}
-	fed := hdm.NewSchema(name)
-	var counts StepCounts
+// fedSection is one source's federated contribution: prefixed objects,
+// rename pathway, derivation batch.
+type fedSection struct {
+	objs []*hdm.Object
+	pw   *transform.Pathway
+	defs []query.ObjectDef
+}
 
-	// Each source's federated section — prefixed objects, rename
-	// pathway, derivation batch — depends only on that source's schema,
-	// so sections build concurrently; the merge below runs in source
-	// registration order, keeping the federated schema, pathway list
-	// and derivation order identical to a serial build.
-	type fedSection struct {
-		objs []*hdm.Object
-		pw   *transform.Pathway
-		defs []query.ObjectDef
-	}
-	sections := make([]fedSection, len(ig.sources))
+// fedSections builds each listed source's federated section. Each
+// section depends only on that source's schema, so sections build
+// concurrently; callers merge them in registration order, keeping the
+// federated schema, pathway list and derivation order identical to a
+// serial build.
+func (ig *Integrator) fedSections(name string, sources []wrapper.Wrapper) []fedSection {
+	sections := make([]fedSection, len(sources))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, w := range ig.sources {
+	for i, w := range sources {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, w wrapper.Wrapper) {
@@ -210,15 +205,22 @@ func (ig *Integrator) Federate(name string) (*hdm.Schema, error) {
 		}(i, w)
 	}
 	wg.Wait()
+	return sections
+}
 
+// mergeFedSections folds sections into the federated schema in order,
+// registering derivations as one batch and storing each rename
+// pathway. It returns how many objects (auto renames) were added.
+func (ig *Integrator) mergeFedSections(fed *hdm.Schema, sections []fedSection) (int, error) {
 	var pathways []*transform.Pathway
 	var defs []query.ObjectDef
+	added := 0
 	for _, sec := range sections {
 		for _, o := range sec.objs {
 			if err := fed.Add(o); err != nil {
-				return nil, fmt.Errorf("core: federate: %w", err)
+				return 0, fmt.Errorf("core: federate: %w", err)
 			}
-			counts.AutoRenames++
+			added++
 		}
 		pathways = append(pathways, sec.pw)
 		defs = append(defs, sec.defs...)
@@ -226,22 +228,137 @@ func (ig *Integrator) Federate(name string) (*hdm.Schema, error) {
 	// One batch registration: a single lock acquisition and a single
 	// selective invalidation instead of one sweep per object.
 	ig.proc.DefineAll(defs)
+	for _, pw := range pathways {
+		if err := ig.addPathway(pw); err != nil {
+			return 0, err
+		}
+	}
+	return added, nil
+}
+
+// Federate builds the federated schema F = S1 ∪ … ∪ Sn: every source
+// object under its provenance prefix, with no schema or data
+// transformation (workflow step 2). F serves as the first version of
+// the global schema, so data services run immediately.
+func (ig *Integrator) Federate(name string) (*hdm.Schema, error) {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	return ig.federateLocked(name, ig.sources, nil)
+}
+
+// FederateReachable is Federate restricted to the sources that answer
+// a liveness probe: sources implementing query.Pinger are probed under
+// ctx, unreachable ones are skipped (recorded for Backfill) rather
+// than failing federation, and sources without a Ping are assumed
+// reachable. Federation fails if fewer than min sources remain
+// (min <= 0 means at least one). The skipped source names are
+// returned alongside the schema.
+func (ig *Integrator) FederateReachable(ctx context.Context, name string, min int) (*hdm.Schema, []string, error) {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	if min <= 0 {
+		min = 1
+	}
+	var reachable []wrapper.Wrapper
+	var skipped []string
+	for _, w := range ig.sources {
+		if p, ok := w.(query.Pinger); ok {
+			if err := p.Ping(ctx); err != nil {
+				skipped = append(skipped, w.SchemaName())
+				continue
+			}
+		}
+		reachable = append(reachable, w)
+	}
+	if len(reachable) < min {
+		return nil, nil, fmt.Errorf("core: federate: only %d of %d sources reachable (need %d); down: %s",
+			len(reachable), len(ig.sources), min, strings.Join(skipped, ", "))
+	}
+	fed, err := ig.federateLocked(name, reachable, skipped)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fed, append([]string(nil), skipped...), nil
+}
+
+// federateLocked federates over the given source subset. Caller holds
+// the write lock.
+func (ig *Integrator) federateLocked(name string, sources []wrapper.Wrapper, skipped []string) (*hdm.Schema, error) {
+	if ig.fed != nil {
+		return nil, fmt.Errorf("core: already federated as %q", ig.fedName)
+	}
+	if name == "" {
+		name = "F"
+	}
+	fed := hdm.NewSchema(name)
+	var counts StepCounts
+	sections := ig.fedSections(name, sources)
 	if err := ig.repo.AddSchema(fed); err != nil {
 		return nil, err
 	}
-	for _, pw := range pathways {
-		if err := ig.addPathway(pw); err != nil {
-			return nil, err
-		}
+	added, err := ig.mergeFedSections(fed, sections)
+	if err != nil {
+		return nil, err
 	}
+	counts.AutoRenames = added
 	ig.fedName = name
 	ig.fed = fed
 	ig.global = fed
+	ig.skipped = append([]string(nil), skipped...)
 	ig.versions = append(ig.versions, SchemaVersion{Version: 0, Schema: fed})
 	ig.iterations = append(ig.iterations, Iteration{
 		Name: name, Kind: "federate", Counts: counts, GlobalSchema: name,
 	})
 	return fed, nil
+}
+
+// Skipped lists the sources left out of the federated schema by
+// FederateReachable and not yet backfilled, in registration order.
+func (ig *Integrator) Skipped() []string {
+	ig.mu.RLock()
+	defer ig.mu.RUnlock()
+	return append([]string(nil), ig.skipped...)
+}
+
+// Backfill retries every skipped source: each that now answers its
+// probe is folded into the federated schema exactly as Federate would
+// have (prefixed objects, rename pathway, scoped derivations), and
+// removed from the skipped set. It returns the names of the sources
+// recovered. Intersect is unaffected: intersections register only over
+// the sources their mappings name.
+func (ig *Integrator) Backfill(ctx context.Context) ([]string, error) {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	if ig.fed == nil || len(ig.skipped) == 0 {
+		return nil, nil
+	}
+	var recovered []string
+	var still []string
+	for _, name := range ig.skipped {
+		var w wrapper.Wrapper
+		for _, s := range ig.sources {
+			if s.SchemaName() == name {
+				w = s
+				break
+			}
+		}
+		if w == nil {
+			continue // source vanished; nothing to backfill
+		}
+		if p, ok := w.(query.Pinger); ok {
+			if err := p.Ping(ctx); err != nil {
+				still = append(still, name)
+				continue
+			}
+		}
+		sections := ig.fedSections(ig.fedName, []wrapper.Wrapper{w})
+		if _, err := ig.mergeFedSections(ig.fed, sections); err != nil {
+			return recovered, fmt.Errorf("core: backfilling source %q: %w", name, err)
+		}
+		recovered = append(recovered, name)
+	}
+	ig.skipped = still
+	return recovered, nil
 }
 
 // addPathway stores a pathway without endpoint re-derivation checks

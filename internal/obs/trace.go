@@ -31,6 +31,8 @@ const (
 	StageEval        = "eval"
 	StageRender      = "render"
 	StageBackoff     = "backoff"
+	StageBreaker     = "breaker"
+	StageFallback    = "fallback"
 )
 
 // Cache dispositions attached to spans.

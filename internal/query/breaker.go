@@ -1,0 +1,358 @@
+// Per-source circuit breakers and stale-extent fallback: the
+// fault-tolerance layer between the query processor and its wrappers.
+//
+// Every registered source gets a breaker in the classic three states.
+// Closed passes fetches through while tracking outcomes in a rolling
+// window; it opens after a run of consecutive errors or when the
+// window's failure rate crosses the threshold. Open short-circuits
+// fetches entirely (the source gets no traffic) until a jittered probe
+// interval elapses; the breaker then goes half-open and admits exactly
+// one probe fetch, closing on success and re-opening on failure.
+//
+// While a source is unreachable — breaker open, or a fetch failed —
+// the processor serves the last-known-good extent it retained from the
+// most recent successful fetch (or, failing that, the wrapper's own
+// snapshot fallback), stamping the evaluation with a structured
+// degraded warning so callers can tell a stale answer from a fresh
+// one. Strict-freshness policy lives above this layer: the server
+// turns degraded answers into errors when asked to.
+package query
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+)
+
+// BreakerConfig tunes the per-source circuit breakers and the
+// stale-extent fallback. The zero value disables the whole layer;
+// enabling it with zero thresholds applies the defaults below.
+type BreakerConfig struct {
+	// Enabled turns the fault-tolerance layer on. Off, fetches behave
+	// exactly as without breakers: failures propagate to the query.
+	Enabled bool
+	// Window is the rolling count of recent fetch outcomes consulted by
+	// the failure-rate threshold (default 16).
+	Window int
+	// FailureRate opens the breaker when the window holds at least
+	// MinSamples outcomes and the failing fraction reaches this value
+	// (default 0.5).
+	FailureRate float64
+	// MinSamples is the minimum number of windowed outcomes before the
+	// failure rate applies (default 4).
+	MinSamples int
+	// Consecutive opens the breaker immediately after this many
+	// consecutive fetch errors (default 3).
+	Consecutive int
+	// OpenFor is the base interval an open breaker waits before
+	// admitting a half-open probe; the actual wait is jittered in
+	// [0.5·OpenFor, 1.5·OpenFor) so probes across sources do not
+	// synchronise (default 2s).
+	OpenFor time.Duration
+	// SourceTimeout is the per-fetch deadline budget: each wrapper
+	// fetch runs under min(request deadline, SourceTimeout), so one
+	// slow backend cannot eat a whole query's context (0 = none).
+	SourceTimeout time.Duration
+	// DisableFallback turns off stale-extent fallback: breaker-open and
+	// failed fetches then error instead of serving last-known-good data.
+	DisableFallback bool
+	// Seed seeds the deterministic probe-jitter stream (0 = 1).
+	Seed uint64
+}
+
+// withDefaults resolves zero thresholds to the documented defaults.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.FailureRate <= 0 {
+		c.FailureRate = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 4
+	}
+	if c.Consecutive <= 0 {
+		c.Consecutive = 3
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// stateName renders a breaker state for health reports and metrics.
+func stateName(state int) string {
+	switch state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// breaker is one source's circuit breaker. All fields are guarded by
+// mu; now is a test seam.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	state     int
+	window    []bool // ring of outcomes, true = failure
+	widx      int
+	wlen      int
+	fails     int // failures currently in the window
+	consec    int // consecutive failures
+	openedAt  time.Time
+	retryAt   time.Time
+	probing   bool // a half-open probe fetch is in flight
+	opens     uint64
+	probes    uint64
+	fallbacks uint64
+	lastErr   string
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{
+		cfg:    cfg,
+		now:    time.Now,
+		rng:    rand.New(rand.NewPCG(cfg.Seed, 0xb4ea4e4)),
+		window: make([]bool, cfg.Window),
+	}
+}
+
+// allow reports whether a fetch may proceed. In the open state it
+// transitions to half-open once the jittered probe interval has
+// elapsed, admitting exactly one probe at a time; probe is true for
+// that admitted probe fetch.
+func (b *breaker) allow() (proceed, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if b.now().Before(b.retryAt) {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		b.probes++
+		return true, true
+	default: // half-open
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		b.probes++
+		return true, true
+	}
+}
+
+// probeAllow admits a fetch only when the breaker needs probing: open
+// with the interval elapsed, or half-open with no probe in flight.
+// Closed breakers are left alone.
+func (b *breaker) probeAllow() bool {
+	b.mu.Lock()
+	closed := b.state == breakerClosed
+	b.mu.Unlock()
+	if closed {
+		return false
+	}
+	proceed, _ := b.allow()
+	return proceed
+}
+
+// record folds one fetch outcome into the breaker. A success closes a
+// half-open breaker (and resets the window); a failure re-opens it, or
+// opens a closed breaker once a threshold trips.
+func (b *breaker) record(ok bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.push(false)
+		b.consec = 0
+		b.lastErr = ""
+		if b.state != breakerClosed {
+			b.state = breakerClosed
+			b.reset()
+		}
+		return
+	}
+	b.push(true)
+	b.consec++
+	b.lastErr = compactErr(err)
+	switch b.state {
+	case breakerHalfOpen:
+		b.open()
+	case breakerClosed:
+		if b.consec >= b.cfg.Consecutive ||
+			(b.wlen >= b.cfg.MinSamples && float64(b.fails) >= b.cfg.FailureRate*float64(b.wlen)) {
+			b.open()
+		}
+	}
+}
+
+// cancelProbe releases a half-open probe slot without recording an
+// outcome (the fetch was aborted by its request's own cancellation,
+// which says nothing about the source).
+func (b *breaker) cancelProbe() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// open transitions to the open state with a fresh jittered retry time.
+// Caller holds mu.
+func (b *breaker) open() {
+	b.state = breakerOpen
+	b.opens++
+	b.openedAt = b.now()
+	d := b.cfg.OpenFor
+	jittered := d/2 + time.Duration(b.rng.Int64N(int64(d)))
+	b.retryAt = b.openedAt.Add(jittered)
+}
+
+// push adds one outcome to the rolling window. Caller holds mu.
+func (b *breaker) push(fail bool) {
+	if b.wlen == len(b.window) {
+		if b.window[b.widx] {
+			b.fails--
+		}
+	} else {
+		b.wlen++
+	}
+	b.window[b.widx] = fail
+	if fail {
+		b.fails++
+	}
+	b.widx = (b.widx + 1) % len(b.window)
+}
+
+// reset clears the rolling window. Caller holds mu.
+func (b *breaker) reset() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.widx, b.wlen, b.fails = 0, 0, 0
+}
+
+// noteFallback counts one stale extent served for this source.
+func (b *breaker) noteFallback() {
+	b.mu.Lock()
+	b.fallbacks++
+	b.mu.Unlock()
+}
+
+// lastError returns the most recent failure's compact message.
+func (b *breaker) lastError() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastErr
+}
+
+// health snapshots the breaker for /healthz and metrics.
+func (b *breaker) health() SourceHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := SourceHealth{
+		State:               stateName(b.state),
+		ConsecutiveFailures: b.consec,
+		WindowSize:          b.wlen,
+		Opens:               b.opens,
+		Probes:              b.probes,
+		Fallbacks:           b.fallbacks,
+		LastError:           b.lastErr,
+	}
+	if b.wlen > 0 {
+		h.FailureRate = float64(b.fails) / float64(b.wlen)
+	}
+	if b.state == breakerOpen {
+		if d := b.retryAt.Sub(b.now()); d > 0 {
+			h.RetryInMs = d.Milliseconds()
+		}
+	}
+	return h
+}
+
+// SourceHealth is one source's breaker state, as reported by
+// Processor.SourceHealth (and surfaced in /healthz and /metrics).
+type SourceHealth struct {
+	Source              string  `json:"source"`
+	Kind                string  `json:"kind"`
+	State               string  `json:"state"`
+	ConsecutiveFailures int     `json:"consecutive_failures"`
+	FailureRate         float64 `json:"failure_rate"`
+	WindowSize          int     `json:"window"`
+	Opens               uint64  `json:"opens_total"`
+	Probes              uint64  `json:"probes_total"`
+	Fallbacks           uint64  `json:"fallbacks_total"`
+	RetryInMs           int64   `json:"retry_in_ms,omitempty"`
+	LastError           string  `json:"last_error,omitempty"`
+}
+
+// Pinger is the optional liveness extension of an extent provider:
+// wrappers over remote backends implement it so federation and
+// probe-driven recovery can test reachability without fetching data.
+type Pinger interface {
+	Ping(ctx context.Context) error
+}
+
+// FallbackSourcer is the optional stale-fallback extension of an
+// extent provider: wrappers that retain offline extents (e.g. REST and
+// SQL snapshot fallbacks) expose them so breaker-open fetches can be
+// answered from them when the processor has no fresher last-known-good
+// copy of its own.
+type FallbackSourcer interface {
+	FallbackExtent(parts []string) (iql.Value, bool)
+}
+
+// DegradedPrefix tags warnings that mark an answer as degraded:
+// evaluated over stale (last-known-good or snapshot-fallback) extents
+// because a source was unreachable. Strict-freshness callers match on
+// it to refuse such answers.
+const DegradedPrefix = "degraded: "
+
+// IsDegraded reports whether a warning marks a stale-data answer.
+func IsDegraded(warn string) bool {
+	return strings.HasPrefix(warn, DegradedPrefix)
+}
+
+// degradedWarning renders the structured degraded warning: source,
+// object, staleness age (negative = unknown) and cause.
+func degradedWarning(source string, sc hdm.Scheme, age time.Duration, cause string) string {
+	ageStr := "unknown"
+	if age >= 0 {
+		ageStr = age.Round(time.Millisecond).String()
+	}
+	return fmt.Sprintf("%ssource %s: serving stale extent for <<%s>> (age %s; cause: %s)",
+		DegradedPrefix, source, strings.Join(sc.Parts(), ", "), ageStr, cause)
+}
+
+// compactErr flattens an error to one line for warnings and health
+// reports.
+func compactErr(err error) string {
+	if err == nil {
+		return ""
+	}
+	return strings.Join(strings.Fields(err.Error()), " ")
+}

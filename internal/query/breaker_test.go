@@ -1,0 +1,376 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+)
+
+// flakySource is a controllable Sourcer: failures are toggled at will,
+// fetches are counted, and hang mode blocks until the fetch context is
+// cancelled. It optionally exposes a snapshot fallback extent.
+type flakySource struct {
+	name   string
+	schema *hdm.Schema
+	val    iql.Value
+
+	mu       sync.Mutex
+	failing  bool
+	hanging  bool
+	calls    int
+	fallback *iql.Value
+}
+
+func newFlakySource(t *testing.T, name string) *flakySource {
+	t.Helper()
+	sch := hdm.NewSchema(name)
+	sch.MustAdd(hdm.NewObject(hdm.MustScheme("<<t>>"), hdm.Nodal, "", ""))
+	return &flakySource{
+		name:   name,
+		schema: sch,
+		val:    iql.Bag(iql.Int(1), iql.Int(2), iql.Int(3)),
+	}
+}
+
+func (f *flakySource) SchemaName() string  { return f.name }
+func (f *flakySource) Schema() *hdm.Schema { return f.schema }
+
+func (f *flakySource) setFailing(v bool) {
+	f.mu.Lock()
+	f.failing = v
+	f.mu.Unlock()
+}
+
+func (f *flakySource) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func (f *flakySource) Extent(parts []string) (iql.Value, error) {
+	return f.ExtentContext(context.Background(), parts)
+}
+
+func (f *flakySource) ExtentContext(ctx context.Context, parts []string) (iql.Value, error) {
+	f.mu.Lock()
+	f.calls++
+	failing, hanging := f.failing, f.hanging
+	f.mu.Unlock()
+	if hanging {
+		<-ctx.Done()
+		return iql.Value{}, ctx.Err()
+	}
+	if failing {
+		return iql.Value{}, fmt.Errorf("flaky: source %s is down", f.name)
+	}
+	return f.val, nil
+}
+
+func (f *flakySource) FallbackExtent(parts []string) (iql.Value, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fallback == nil {
+		return iql.Value{}, false
+	}
+	return *f.fallback, true
+}
+
+// testBreakerConfig keeps probe intervals long so tests control
+// half-open transitions explicitly.
+func testBreakerConfig() BreakerConfig {
+	return BreakerConfig{Enabled: true, Consecutive: 3, OpenFor: time.Hour}
+}
+
+func newBreakerProc(t *testing.T, src *flakySource, cfg BreakerConfig) *Processor {
+	t.Helper()
+	p := New()
+	p.SetBreaker(cfg)
+	if err := p.AddSource(src); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// evalCount evaluates count(<<t>>) with a cold extent cache so every
+// call reaches the breaker (warm caches would otherwise shield it).
+func evalCount(t *testing.T, p *Processor) (iql.Value, []string, error) {
+	t.Helper()
+	p.InvalidateCache()
+	v, warns, _, err := p.EvalContext(context.Background(), iql.MustParse("count(<<t>>)"))
+	return v, warns, err
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	cfg := BreakerConfig{Enabled: true, Consecutive: 2, OpenFor: time.Minute}.withDefaults()
+	b := newBreaker(cfg)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+
+	if proceed, probe := b.allow(); !proceed || probe {
+		t.Fatalf("closed breaker: allow = (%v, %v), want (true, false)", proceed, probe)
+	}
+	b.record(false, errors.New("boom"))
+	if st := b.health().State; st != "closed" {
+		t.Fatalf("after 1 failure state = %s, want closed", st)
+	}
+	b.record(false, errors.New("boom"))
+	if st := b.health().State; st != "open" {
+		t.Fatalf("after %d consecutive failures state = %s, want open", cfg.Consecutive, st)
+	}
+	if proceed, _ := b.allow(); proceed {
+		t.Fatal("open breaker admitted a fetch before the probe interval")
+	}
+
+	// Jitter keeps the retry time within [OpenFor/2, 3*OpenFor/2).
+	if h := b.health(); h.RetryInMs < cfg.OpenFor.Milliseconds()/2 || h.RetryInMs >= 3*cfg.OpenFor.Milliseconds()/2 {
+		t.Errorf("retry_in_ms = %d, want within [%d, %d)", h.RetryInMs, cfg.OpenFor.Milliseconds()/2, 3*cfg.OpenFor.Milliseconds()/2)
+	}
+
+	// Past the probe interval: exactly one probe admitted at a time.
+	now = now.Add(2 * cfg.OpenFor)
+	proceed, probe := b.allow()
+	if !proceed || !probe {
+		t.Fatalf("elapsed open breaker: allow = (%v, %v), want (true, true)", proceed, probe)
+	}
+	if proceed, _ := b.allow(); proceed {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	b.record(false, errors.New("still down"))
+	if st := b.health().State; st != "open" {
+		t.Fatalf("failed probe left state %s, want open", st)
+	}
+
+	now = now.Add(2 * cfg.OpenFor)
+	if proceed, _ := b.allow(); !proceed {
+		t.Fatal("re-opened breaker refused the next probe after the interval")
+	}
+	b.record(true, nil)
+	h := b.health()
+	if h.State != "closed" || h.ConsecutiveFailures != 0 || h.FailureRate != 0 {
+		t.Fatalf("successful probe: health = %+v, want closed with reset window", h)
+	}
+	if h.Opens != 2 || h.Probes != 2 {
+		t.Errorf("opens = %d probes = %d, want 2 and 2", h.Opens, h.Probes)
+	}
+}
+
+func TestBreakerOpensOnFailureRate(t *testing.T) {
+	cfg := BreakerConfig{Enabled: true, Window: 8, MinSamples: 4, FailureRate: 0.5, Consecutive: 100, OpenFor: time.Hour}.withDefaults()
+	b := newBreaker(cfg)
+	// Alternate success/failure: consecutive never accumulates, but the
+	// windowed rate reaches 0.5 once MinSamples outcomes are in.
+	outcomes := []bool{true, false, true, false}
+	for _, ok := range outcomes {
+		var err error
+		if !ok {
+			err = errors.New("boom")
+		}
+		b.record(ok, err)
+	}
+	if st := b.health().State; st != "open" {
+		t.Fatalf("state after 50%% failures over %d samples = %s, want open", len(outcomes), st)
+	}
+}
+
+func TestStaleFallbackServesLastKnownGood(t *testing.T) {
+	src := newFlakySource(t, "S")
+	p := newBreakerProc(t, src, testBreakerConfig())
+
+	// Warm the last-known-good copy with a healthy fetch.
+	if _, warns, err := evalCount(t, p); err != nil || len(warns) != 0 {
+		t.Fatalf("healthy query: warns=%v err=%v", warns, err)
+	}
+
+	src.setFailing(true)
+	v, warns, err := evalCount(t, p)
+	if err != nil {
+		t.Fatalf("query with fallback available failed: %v", err)
+	}
+	if v.Kind != iql.KindInt || v.I != 3 {
+		t.Fatalf("stale answer = %s, want 3", v)
+	}
+	if len(warns) != 1 || !IsDegraded(warns[0]) {
+		t.Fatalf("warnings = %v, want one degraded warning", warns)
+	}
+	if !strings.Contains(warns[0], "source S") || !strings.Contains(warns[0], "fetch failed") {
+		t.Errorf("degraded warning %q does not name the source and cause", warns[0])
+	}
+
+	// Two more cold-cache queries trip the consecutive threshold; the
+	// breaker then short-circuits fetches entirely.
+	evalCount(t, p)
+	evalCount(t, p)
+	health := p.SourceHealth()
+	if len(health) != 1 || health[0].State != "open" {
+		t.Fatalf("health = %+v, want S open", health)
+	}
+	fetched := src.callCount()
+	v, warns, err = evalCount(t, p)
+	if err != nil || v.I != 3 || len(warns) != 1 || !IsDegraded(warns[0]) {
+		t.Fatalf("breaker-open query: v=%s warns=%v err=%v", v, warns, err)
+	}
+	if !strings.Contains(warns[0], "breaker open") {
+		t.Errorf("breaker-open warning %q does not carry the cause", warns[0])
+	}
+	if got := src.callCount(); got != fetched {
+		t.Errorf("open breaker let %d fetches through", got-fetched)
+	}
+}
+
+func TestDisableFallbackFailsClosed(t *testing.T) {
+	src := newFlakySource(t, "S")
+	cfg := testBreakerConfig()
+	cfg.DisableFallback = true
+	p := newBreakerProc(t, src, cfg)
+
+	if _, _, err := evalCount(t, p); err != nil {
+		t.Fatal(err)
+	}
+	src.setFailing(true)
+	if _, _, err := evalCount(t, p); err == nil {
+		t.Fatal("DisableFallback still served a stale answer")
+	}
+}
+
+func TestWrapperFallbackWhenNeverFetched(t *testing.T) {
+	// The source fails from the very first fetch, so there is no
+	// last-known-good copy; the wrapper's own snapshot fallback answers.
+	src := newFlakySource(t, "S")
+	fb := iql.Bag(iql.Int(9))
+	src.fallback = &fb
+	src.setFailing(true)
+	p := newBreakerProc(t, src, testBreakerConfig())
+
+	v, warns, err := evalCount(t, p)
+	if err != nil {
+		t.Fatalf("query with wrapper fallback failed: %v", err)
+	}
+	if v.I != 1 {
+		t.Fatalf("fallback answer = %s, want count 1", v)
+	}
+	if len(warns) != 1 || !IsDegraded(warns[0]) || !strings.Contains(warns[0], "age unknown") {
+		t.Fatalf("warnings = %v, want one degraded warning with unknown age", warns)
+	}
+}
+
+func TestNoFallbackAvailableErrors(t *testing.T) {
+	src := newFlakySource(t, "S")
+	src.setFailing(true)
+	p := newBreakerProc(t, src, testBreakerConfig())
+	_, _, err := evalCount(t, p)
+	if err == nil || !strings.Contains(err.Error(), "no fallback extent") {
+		t.Fatalf("err = %v, want no-fallback error", err)
+	}
+}
+
+func TestSourceTimeoutBoundsHangingFetch(t *testing.T) {
+	src := newFlakySource(t, "S")
+	cfg := testBreakerConfig()
+	cfg.SourceTimeout = 50 * time.Millisecond
+	p := newBreakerProc(t, src, cfg)
+
+	if _, _, err := evalCount(t, p); err != nil {
+		t.Fatal(err)
+	}
+	src.mu.Lock()
+	src.hanging = true
+	src.mu.Unlock()
+
+	start := time.Now()
+	v, warns, err := evalCount(t, p)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("hang with fallback available failed: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("hanging source held the query for %v; SourceTimeout did not cut it", elapsed)
+	}
+	if v.I != 3 || len(warns) != 1 || !IsDegraded(warns[0]) {
+		t.Fatalf("hang fallback: v=%s warns=%v", v, warns)
+	}
+}
+
+func TestRequestCancellationDoesNotTripBreaker(t *testing.T) {
+	src := newFlakySource(t, "S")
+	src.mu.Lock()
+	src.hanging = true
+	src.mu.Unlock()
+	p := newBreakerProc(t, src, testBreakerConfig())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, _, _, err := p.EvalContext(ctx, iql.MustParse("count(<<t>>)")); err == nil {
+		t.Fatal("hanging fetch beat its request deadline")
+	}
+	h := p.SourceHealth()
+	if len(h) != 1 || h[0].ConsecutiveFailures != 0 || h[0].State != "closed" {
+		t.Fatalf("request cancellation counted against the source: %+v", h)
+	}
+}
+
+func TestProbeOpenRecoversSource(t *testing.T) {
+	src := newFlakySource(t, "S")
+	cfg := testBreakerConfig()
+	cfg.OpenFor = time.Millisecond
+	p := newBreakerProc(t, src, cfg)
+
+	if _, _, err := evalCount(t, p); err != nil {
+		t.Fatal(err)
+	}
+	src.setFailing(true)
+	for i := 0; i < 3; i++ {
+		evalCount(t, p)
+	}
+	if h := p.SourceHealth(); h[0].State != "open" {
+		t.Fatalf("state = %s, want open", h[0].State)
+	}
+
+	// Probe while still down: the breaker must stay open.
+	time.Sleep(5 * time.Millisecond)
+	if n := p.ProbeOpen(context.Background()); n != 0 {
+		t.Fatalf("probe of a down source recovered %d", n)
+	}
+	if h := p.SourceHealth(); h[0].State != "open" {
+		t.Fatalf("state after failed probe = %s, want open", h[0].State)
+	}
+
+	// Heal and probe again: the breaker closes and the next query is
+	// fresh (no degraded warning).
+	src.setFailing(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for p.ProbeOpen(context.Background()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("probe never recovered the healed source")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if h := p.SourceHealth(); h[0].State != "closed" {
+		t.Fatalf("state after successful probe = %s, want closed", h[0].State)
+	}
+	v, warns, err := evalCount(t, p)
+	if err != nil || v.I != 3 || len(warns) != 0 {
+		t.Fatalf("post-recovery query: v=%s warns=%v err=%v", v, warns, err)
+	}
+}
+
+func TestBreakerDisabledPropagatesErrors(t *testing.T) {
+	src := newFlakySource(t, "S")
+	src.setFailing(true)
+	p := New() // zero config: no breakers
+	if err := p.AddSource(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := p.EvalContext(context.Background(), iql.MustParse("count(<<t>>)")); err == nil {
+		t.Fatal("disabled breaker layer swallowed a fetch error")
+	}
+	if h := p.SourceHealth(); h != nil {
+		t.Fatalf("SourceHealth with breakers disabled = %+v, want nil", h)
+	}
+}

@@ -68,7 +68,10 @@ type source struct {
 	schema *hdm.Schema
 	ext    iql.Extents
 	extCtx ContextSourcer
-	kind   string
+	// fb is the provider's stale-fallback path (snapshot extents held
+	// for offline use), nil when it offers none.
+	fb   FallbackSourcer
+	kind string
 }
 
 // fetch retrieves one extent, routing through the provider's
@@ -164,6 +167,20 @@ type Processor struct {
 	PrefetchWorkers  int
 	PrefetchMaxTasks int
 
+	// brCfg and breakers implement the per-source circuit breakers (see
+	// breaker.go); both are guarded by mu. Breakers are created lazily
+	// per source name on first fetch, so sources registered after
+	// SetBreaker are covered too.
+	brCfg    BreakerConfig
+	breakers map[string]*breaker
+	// lastGood retains the most recent successful fetch of every source
+	// extent for stale-extent fallback, keyed like srcExt entries. It is
+	// deliberately separate from srcExt: cache invalidation must evict
+	// cached extents (so queries refetch), but must not destroy the
+	// fallback copy a broken source will be served from.
+	lgMu     sync.Mutex
+	lastGood map[string]lastGoodEntry
+
 	statParallelEvals atomic.Uint64
 	statSerialEvals   atomic.Uint64
 	statShards        atomic.Uint64
@@ -235,7 +252,154 @@ func New() *Processor {
 		srcExt:   cache.New[iql.Value](cache.Options{}),
 		joinIdx:  iql.NewJoinIndexCache(0),
 		warnings: make(map[string]bool),
+		breakers: make(map[string]*breaker),
+		lastGood: make(map[string]lastGoodEntry),
 	}
+}
+
+// SetBreaker installs (or disables) the per-source circuit-breaker and
+// stale-fallback configuration. Existing breakers are dropped so the
+// new thresholds apply uniformly.
+func (p *Processor) SetBreaker(cfg BreakerConfig) {
+	if cfg.Enabled {
+		cfg = cfg.withDefaults()
+	}
+	p.mu.Lock()
+	p.brCfg = cfg
+	p.breakers = make(map[string]*breaker)
+	p.mu.Unlock()
+}
+
+// breakerFor returns the source's breaker, creating it on first use;
+// nil when the breaker layer is disabled.
+func (p *Processor) breakerFor(name string) *breaker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.brCfg.Enabled {
+		return nil
+	}
+	b := p.breakers[name]
+	if b == nil {
+		b = newBreaker(p.brCfg)
+		p.breakers[name] = b
+	}
+	return b
+}
+
+// lastGoodEntry is one retained last-known-good source extent.
+type lastGoodEntry struct {
+	val iql.Value
+	at  time.Time
+}
+
+// noteGood retains a successful fetch for stale-extent fallback.
+func (p *Processor) noteGood(ck string, v iql.Value) {
+	p.lgMu.Lock()
+	p.lastGood[ck] = lastGoodEntry{val: v, at: time.Now()}
+	p.lgMu.Unlock()
+}
+
+// SourceHealth reports every registered source's breaker state, in
+// registration order. Sources never fetched report closed breakers.
+func (p *Processor) SourceHealth() []SourceHealth {
+	p.mu.Lock()
+	if !p.brCfg.Enabled {
+		p.mu.Unlock()
+		return nil
+	}
+	type sb struct {
+		name, kind string
+		b          *breaker
+	}
+	list := make([]sb, 0, len(p.sources))
+	for _, s := range p.sources {
+		list = append(list, sb{name: s.name, kind: s.kind, b: p.breakers[s.name]})
+	}
+	p.mu.Unlock()
+	out := make([]SourceHealth, 0, len(list))
+	for _, e := range list {
+		h := SourceHealth{State: stateName(breakerClosed)}
+		if e.b != nil {
+			h = e.b.health()
+		}
+		h.Source, h.Kind = e.name, e.kind
+		out = append(out, h)
+	}
+	return out
+}
+
+// ProbeOpen fetches one extent through every open (or stuck half-open)
+// breaker whose probe interval has elapsed, letting recovered sources
+// close their breakers without waiting for query traffic. It returns
+// how many sources probed successfully. Healthy sources are not
+// touched.
+func (p *Processor) ProbeOpen(ctx context.Context) int {
+	p.mu.Lock()
+	type sb struct {
+		src source
+		b   *breaker
+	}
+	var due []sb
+	if p.brCfg.Enabled {
+		for _, s := range p.sources {
+			if b := p.breakers[s.name]; b != nil {
+				due = append(due, sb{src: s, b: b})
+			}
+		}
+	}
+	timeout := p.brCfg.SourceTimeout
+	p.mu.Unlock()
+	recovered := 0
+	for _, e := range due {
+		if !e.b.probeAllow() {
+			continue
+		}
+		sc, ok := probeScheme(e.src.schema)
+		if !ok {
+			e.b.cancelProbe()
+			continue
+		}
+		fctx, cancel := ctx, func() {}
+		if timeout > 0 {
+			fctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		v, err := e.src.fetch(fctx, sc)
+		cancel()
+		if err != nil && ctx.Err() != nil {
+			// The probe run itself was cancelled; that says nothing
+			// about the source.
+			e.b.cancelProbe()
+			return recovered
+		}
+		e.b.record(err == nil, err)
+		if err == nil {
+			p.noteGood(e.src.name+"\x00"+sc.Key(), v)
+			// The source is back: evict everything computed while it was
+			// down (memoised virtual extents carrying degraded warnings
+			// depend on the source's scheme keys), so the next queries
+			// recompute over fresh data.
+			keys := make([]string, 0, e.src.schema.Len())
+			for _, o := range e.src.schema.Objects() {
+				keys = append(keys, o.Scheme.Key())
+			}
+			p.InvalidateSchemes(keys...)
+			recovered++
+		}
+	}
+	return recovered
+}
+
+// probeScheme picks a deterministic probe object from a source schema:
+// its first object in scheme-key order.
+func probeScheme(sch *hdm.Schema) (hdm.Scheme, bool) {
+	var best hdm.Scheme
+	found := false
+	for _, o := range sch.Objects() {
+		if !found || o.Scheme.Key() < best.Key() {
+			best, found = o.Scheme, true
+		}
+	}
+	return best, found
 }
 
 // SetCacheBytes bounds each extent cache layer (the virtual-extent
@@ -302,6 +466,9 @@ func (p *Processor) AddExtents(name string, schema *hdm.Schema, ext iql.Extents)
 	src := source{name: name, schema: schema, ext: ext, kind: "local"}
 	if cs, ok := ext.(ContextSourcer); ok {
 		src.extCtx = cs
+	}
+	if fb, ok := ext.(FallbackSourcer); ok {
+		src.fb = fb
 	}
 	if k, ok := ext.(interface{ Kind() string }); ok {
 		src.kind = k.Kind()
@@ -756,17 +923,52 @@ func (p *Processor) resolveIn(name string, parts []string) (source, hdm.Scheme, 
 // so a fetch cancelled by its initiating request's deadline would fail
 // every waiter; a waiter whose own context is still live retries once
 // under it instead of inheriting a cancellation that was never its.
+//
+// When breakers are enabled, the fetch is additionally guarded by the
+// source's circuit breaker (an open breaker short-circuits to the
+// stale-fallback path without touching the source), bounded by the
+// per-source deadline budget, and its outcome — only real wrapper
+// calls, never cache hits — feeds the breaker. A failed fetch whose
+// requesting context is still live degrades to the last-known-good
+// extent instead of erroring.
 func (p *Processor) sourceExtent(s *session, src source, sc hdm.Scheme) (iql.Value, error) {
 	key := sc.Key()
 	s.dep(key)
 	ck := src.name + "\x00" + key
+	br := p.breakerFor(src.name)
+	if br != nil {
+		if proceed, _ := br.allow(); !proceed {
+			// Breaker open: the source gets no traffic at all.
+			if sp, _ := obs.StartSpan(s.ctx, obs.StageBreaker, src.name); sp != nil {
+				sp.SetDetail(key)
+				sp.End(nil)
+			}
+			return p.staleExtent(s, src, sc, ck, "breaker open: "+br.lastError())
+		}
+	}
 	fetched := false
 	compute := func() (iql.Value, int64, error) {
 		fetched = true
-		v, err := src.fetch(s.ctx, sc)
+		fctx := s.ctx
+		cancel := func() {}
+		if br != nil && p.brCfg.SourceTimeout > 0 && fctx != nil {
+			fctx, cancel = context.WithTimeout(fctx, p.brCfg.SourceTimeout)
+		}
+		v, err := src.fetch(fctx, sc)
+		cancel()
+		if br != nil {
+			if err != nil && s.ctx != nil && s.ctx.Err() != nil {
+				// The request itself was cancelled; that says nothing
+				// about the source's health.
+				br.cancelProbe()
+			} else {
+				br.record(err == nil, err)
+			}
+		}
 		if err != nil {
 			return iql.Value{}, 0, err
 		}
+		p.noteGood(ck, v)
 		return v, v.Footprint(), nil
 	}
 	v, shared, err := p.srcExt.GetOrCompute(ck, []string{key}, compute)
@@ -786,7 +988,52 @@ func (p *Processor) sourceExtent(s *session, src source, sc hdm.Scheme) (iql.Val
 			sp.End(err)
 		}
 	}
+	if err != nil && br != nil && (s.ctx == nil || s.ctx.Err() == nil) {
+		return p.staleExtent(s, src, sc, ck, "fetch failed: "+compactErr(err))
+	}
 	return v, err
+}
+
+// staleExtent serves the last-known-good extent of a source object (or
+// the wrapper's own snapshot fallback) when the source is unreachable,
+// stamping the evaluation with a degraded warning. With no fallback
+// available — or fallback disabled — the source's unavailability
+// surfaces as an error.
+func (p *Processor) staleExtent(s *session, src source, sc hdm.Scheme, ck, cause string) (iql.Value, error) {
+	if !p.brCfg.DisableFallback {
+		p.lgMu.Lock()
+		lg, ok := p.lastGood[ck]
+		p.lgMu.Unlock()
+		age := time.Duration(-1)
+		if ok {
+			age = time.Since(lg.at)
+		} else if src.fb != nil {
+			// No retained copy (e.g. the daemon restarted while the
+			// source was down): fall back to the wrapper's snapshot
+			// extent, whose age is unknown.
+			if v, found := src.fb.FallbackExtent(sc.Parts()); found {
+				lg, ok = lastGoodEntry{val: v}, true
+			}
+		}
+		if ok {
+			if br := p.breakerFor(src.name); br != nil {
+				br.noteFallback()
+			}
+			warn := degradedWarning(src.name, sc, age, cause)
+			p.warnIn(s, warn)
+			if sp, _ := obs.StartSpan(s.ctx, obs.StageFallback, src.name); sp != nil {
+				sp.SetDetail(sc.Key())
+				sp.SetCache(obs.CacheHit)
+				if lg.val.Kind == iql.KindBag {
+					sp.SetRows(int64(len(lg.val.Items)))
+				}
+				sp.End(nil)
+			}
+			return lg.val, nil
+		}
+	}
+	return iql.Value{}, fmt.Errorf("query: source %s unavailable for <<%s>> (%s; no fallback extent)",
+		src.name, strings.Join(sc.Parts(), ", "), cause)
 }
 
 // isCancellation reports whether err stems from context cancellation,

@@ -25,6 +25,11 @@ func (s *Server) Draining() bool { return s.adm.isDraining() }
 func (s *Server) Drain(ctx context.Context) error {
 	s.BeginDrain()
 	idleErr := s.adm.waitIdle(ctx)
+	// Background recovery probes hold live wrapper connections; wait for
+	// them too before flushing, so snapshots see quiesced sessions. The
+	// probes run under a bounded context of their own, so this wait
+	// cannot outlive ProbeInterval by much.
+	s.probeWG.Wait()
 	if err := s.FlushSnapshots(); err != nil {
 		s.log.Error("drain: snapshot flush failed", "error", err)
 		if idleErr == nil {

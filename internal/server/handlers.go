@@ -19,6 +19,7 @@ import (
 	"github.com/dataspace/automed/internal/iql"
 	"github.com/dataspace/automed/internal/match"
 	"github.com/dataspace/automed/internal/obs"
+	"github.com/dataspace/automed/internal/query"
 	"github.com/dataspace/automed/internal/rel"
 	"github.com/dataspace/automed/internal/wrapper"
 )
@@ -228,16 +229,27 @@ type restSpec struct {
 	MaxBytes  int64 `json:"max_bytes,omitempty"`
 }
 
+// faultSpec registers a fault-injection wrapper around an inline
+// relational source: the tables behave like an ordinary Tables source
+// until the fault configuration makes them misbehave. It exists for
+// chaos drills and the chaos-smoke gate — a way to point the daemon's
+// fault-tolerance machinery at a source that fails on demand.
+type faultSpec struct {
+	Tables []tableSpec         `json:"tables"`
+	Config wrapper.FaultConfig `json:"config"`
+}
+
 type sourcesReq struct {
 	Session string `json:"session,omitempty"`
 	// Name is the data source schema name.
 	Name string `json:"name"`
-	// Exactly one of CSVDir, Tables, SQL or REST selects the backend.
-	// CSVDir loads a directory of typed-header CSV files.
+	// Exactly one of CSVDir, Tables, SQL, REST or Fault selects the
+	// backend. CSVDir loads a directory of typed-header CSV files.
 	CSVDir string      `json:"csv_dir,omitempty"`
 	Tables []tableSpec `json:"tables,omitempty"`
 	SQL    *sqlSpec    `json:"sql,omitempty"`
 	REST   *restSpec   `json:"rest,omitempty"`
+	Fault  *faultSpec  `json:"fault,omitempty"`
 }
 
 type sourcesResp struct {
@@ -258,13 +270,13 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	variants := 0
-	for _, set := range []bool{req.CSVDir != "", len(req.Tables) > 0, req.SQL != nil, req.REST != nil} {
+	for _, set := range []bool{req.CSVDir != "", len(req.Tables) > 0, req.SQL != nil, req.REST != nil, req.Fault != nil} {
 		if set {
 			variants++
 		}
 	}
 	if variants != 1 {
-		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: provide exactly one of csv_dir, tables, sql or rest"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("server: provide exactly one of csv_dir, tables, sql, rest or fault"))
 		return
 	}
 	release, ok := s.admit(r.Context(), w, r, req.Session)
@@ -302,6 +314,12 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		wrap, err = wrapper.NewRESTContext(r.Context(), req.Name, cfg)
+	case req.Fault != nil:
+		var inner wrapper.Wrapper
+		inner, err = buildInlineSource(req.Name, req.Fault.Tables)
+		if err == nil {
+			wrap, err = wrapper.NewFault(inner, req.Fault.Config)
+		}
 	default:
 		wrap, err = buildInlineSource(req.Name, req.Tables)
 	}
@@ -445,6 +463,9 @@ type federateResp struct {
 	Schema  string   `json:"schema"`
 	Version int      `json:"version"`
 	Objects []string `json:"objects"`
+	// Skipped lists sources federation proceeded without (degraded
+	// federation: unreachable at probe time, backfilled later).
+	Skipped []string `json:"skipped_sources,omitempty"`
 }
 
 func (s *Server) handleFederate(w http.ResponseWriter, r *http.Request) {
@@ -463,7 +484,7 @@ func (s *Server) handleFederate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	ig, err := sess.Federate(req.Name, req.AutoDrop)
+	ig, err := sess.Federate(r.Context(), req.Name, req.AutoDrop)
 	if err != nil {
 		writeErr(w, r, errStatus(err), err)
 		return
@@ -476,6 +497,7 @@ func (s *Server) handleFederate(w http.ResponseWriter, r *http.Request) {
 		Schema:  fed.Name(),
 		Version: ig.GlobalVersion(),
 		Objects: schemeStrings(fed),
+		Skipped: ig.Skipped(),
 	})
 }
 
@@ -675,19 +697,27 @@ type queryReq struct {
 	NoCache bool `json:"no_cache,omitempty"`
 	// TimeoutMs shortens the server's query deadline for this request.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// RequireFresh rejects degraded answers (ones evaluated over stale
+	// fallback extents) with 503 instead of returning them with a
+	// warning. The X-Require-Fresh: 1 header is equivalent.
+	RequireFresh bool `json:"require_fresh,omitempty"`
 }
 
 type queryResp struct {
-	Session      string            `json:"session"`
-	Value        any               `json:"value"`
-	Rendered     string            `json:"rendered"`
-	Warnings     []string          `json:"warnings,omitempty"`
-	Version      int               `json:"version"`
-	Schema       string            `json:"schema"`
-	PlanCached   bool              `json:"plan_cached"`
-	ResultCached bool              `json:"result_cached"`
-	ElapsedUs    int64             `json:"elapsed_us"`
-	Explain      map[string]string `json:"explain,omitempty"`
+	Session      string   `json:"session"`
+	Value        any      `json:"value"`
+	Rendered     string   `json:"rendered"`
+	Warnings     []string `json:"warnings,omitempty"`
+	Version      int      `json:"version"`
+	Schema       string   `json:"schema"`
+	PlanCached   bool     `json:"plan_cached"`
+	ResultCached bool     `json:"result_cached"`
+	// Degraded marks an answer evaluated over stale fallback extents
+	// because one or more sources were unreachable; the matching
+	// warnings name the sources.
+	Degraded  bool              `json:"degraded,omitempty"`
+	ElapsedUs int64             `json:"elapsed_us"`
+	Explain   map[string]string `json:"explain,omitempty"`
 	// Trace is the per-stage span tree, present when the request set
 	// the X-Automed-Trace: 1 header.
 	Trace *obs.TraceJSON `json:"trace,omitempty"`
@@ -771,6 +801,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	degraded := false
+	for _, warn := range res.Warnings {
+		if query.IsDegraded(warn) {
+			degraded = true
+			break
+		}
+	}
+	if degraded {
+		s.metrics.DegradedQuery()
+		if req.RequireFresh || r.Header.Get("X-Require-Fresh") == "1" || s.cfg.RequireFresh {
+			writeErr(w, r, http.StatusServiceUnavailable,
+				fmt.Errorf("server: answer is degraded and the request requires fresh data: %s",
+					strings.Join(res.Warnings, "; ")))
+			return
+		}
+	}
+
 	resp := queryResp{
 		Session:      sess.Name(),
 		Value:        res.JSONValue,
@@ -780,6 +827,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Schema:       res.Schema,
 		PlanCached:   outcome.PlanCached,
 		ResultCached: outcome.ResultCached,
+		Degraded:     degraded,
 		ElapsedUs:    elapsed.Microseconds(),
 	}
 	if wantTrace {
@@ -1022,6 +1070,31 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleInvalidate drops one session's cached extents and answers, so
+// the next queries re-fetch from the sources. This is the ops lever for
+// fault drills and for forcing a freshness check: warm caches otherwise
+// shield a downed source from queries indefinitely.
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.reg.Get(r.PathValue("name"), false)
+	if err != nil {
+		writeErr(w, r, errStatus(err), err)
+		return
+	}
+	sess.InvalidateExtents()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session":     sess.Name(),
+		"invalidated": true,
+	})
+}
+
+// sessionHealth is one session's fault-tolerance state in /healthz.
+type sessionHealth struct {
+	Session string               `json:"session"`
+	Sources []query.SourceHealth `json:"sources"`
+	// Skipped lists federation-skipped sources awaiting backfill.
+	Skipped []string `json:"skipped_sources,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// During drain the health check goes unready so load balancers pull
 	// this instance out of rotation while in-flight work finishes.
@@ -1033,10 +1106,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+	// Health checks double as the recovery driver: each one may launch
+	// a rate-limited background probe of open breakers and skipped
+	// sources, so a monitored daemon heals without a dedicated timer.
+	s.maybeProbe()
+	status := "ok"
+	var health []sessionHealth
+	for _, name := range s.reg.Names() {
+		sess, err := s.reg.Get(name, false)
+		if err != nil {
+			continue
+		}
+		hs := sess.SourceHealth()
+		skipped := sess.Skipped()
+		if len(hs) == 0 && len(skipped) == 0 {
+			continue
+		}
+		for _, h := range hs {
+			if h.State != "closed" {
+				status = "degraded"
+			}
+		}
+		if len(skipped) > 0 {
+			status = "degraded"
+		}
+		health = append(health, sessionHealth{Session: name, Sources: hs, Skipped: skipped})
+	}
+	resp := map[string]any{
+		"status":   status,
 		"sessions": s.reg.Len(),
-	})
+	}
+	if health != nil {
+		resp["source_health"] = health
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics serves Prometheus text exposition by default; the JSON
@@ -1044,11 +1147,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // naming application/json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	memo, src := s.extentStats()
+	health := s.sourceHealth()
 	if wantsJSONMetrics(r) {
-		writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.plans.Stats(), s.resultStats(), memo, src, s.QueueStats(), s.reg.Len(), s.evalStats()))
+		writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.plans.Stats(), s.resultStats(), memo, src, s.QueueStats(), s.reg.Len(), s.evalStats(), health))
 		return
 	}
-	body := s.metrics.Prometheus(s.plans.Stats(), s.resultStats(), memo, src, s.QueueStats(), s.reg.Len(), s.evalStats())
+	body := s.metrics.Prometheus(s.plans.Stats(), s.resultStats(), memo, src, s.QueueStats(), s.reg.Len(), s.evalStats(), health)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)

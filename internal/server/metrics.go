@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/dataspace/automed/internal/obs"
+	"github.com/dataspace/automed/internal/query"
 )
 
 // Metrics aggregates server-wide counters: request and query volumes,
@@ -28,6 +29,9 @@ type Metrics struct {
 	queueAdmitted      atomic.Uint64 // requests admitted (immediately or after queuing)
 	queueRejected      atomic.Uint64 // 429s: queue full at the admission limit
 	queueDrainRejected atomic.Uint64 // 503s: rejected because the server is draining
+
+	panics          atomic.Uint64 // handler panics recovered by the middleware
+	degradedQueries atomic.Uint64 // answers evaluated over stale fallback extents
 
 	lat       *obs.Histogram
 	queueWait *obs.Histogram // time spent parked in the admission queue
@@ -84,6 +88,12 @@ func (m *Metrics) QueueRejected() { m.queueRejected.Add(1) }
 
 // QueueDrainRejected counts one request rejected during drain.
 func (m *Metrics) QueueDrainRejected() { m.queueDrainRejected.Add(1) }
+
+// Panic counts one handler panic recovered by the middleware.
+func (m *Metrics) Panic() { m.panics.Add(1) }
+
+// DegradedQuery counts one answer served over stale fallback extents.
+func (m *Metrics) DegradedQuery() { m.degradedQueries.Add(1) }
 
 // Query records one query's outcome and latency.
 func (m *Metrics) Query(d time.Duration, err error, timedOut bool) {
@@ -160,9 +170,21 @@ type MetricsSnapshot struct {
 	CacheEvictions     uint64          `json:"cache_evictions_total"`
 	CacheInvalidations uint64          `json:"cache_invalidations_total"`
 	Sessions           int             `json:"sessions"`
+	Panics             uint64          `json:"panics_total"`
+	DegradedQueries    uint64          `json:"degraded_queries_total"`
 	Queue              QueueSnapshot   `json:"queue"`
 	Eval               EvalSnapshot    `json:"eval"`
 	Sources            []SourceMetrics `json:"sources"`
+	// SourceHealth is every session's per-source breaker state; empty
+	// when the fault-tolerance layer is disabled.
+	SourceHealth []SessionSourceHealth `json:"source_health,omitempty"`
+}
+
+// SessionSourceHealth is one source's breaker state qualified by its
+// session, the metrics-endpoint shape of query.SourceHealth.
+type SessionSourceHealth struct {
+	Session string `json:"session"`
+	query.SourceHealth
 }
 
 // EvalSnapshot is the JSON shape of data-parallel evaluation activity
@@ -206,7 +228,7 @@ func snapshotCache(s CacheStats) CacheSnapshot {
 // across the given per-session caches (plan = shared parsed plans,
 // result = per-session answers, extent = virtual-extent memos, src =
 // source extents); queue is the admission controller's current state.
-func (m *Metrics) Snapshot(plan, result, extent, src CacheStats, queue QueueStats, sessions int, eval EvalSnapshot) MetricsSnapshot {
+func (m *Metrics) Snapshot(plan, result, extent, src CacheStats, queue QueueStats, sessions int, eval EvalSnapshot, health []SessionSourceHealth) MetricsSnapshot {
 	srcSnaps := m.sources.Snapshot()
 	sources := make([]SourceMetrics, 0, len(srcSnaps))
 	for _, s := range srcSnaps {
@@ -241,7 +263,10 @@ func (m *Metrics) Snapshot(plan, result, extent, src CacheStats, queue QueueStat
 		CacheEvictions:     plan.Evictions + result.Evictions + extent.Evictions + src.Evictions,
 		CacheInvalidations: plan.Invalidations + result.Invalidations + extent.Invalidations + src.Invalidations,
 		Sessions:           sessions,
+		Panics:             m.panics.Load(),
+		DegradedQueries:    m.degradedQueries.Load(),
 		Eval:               eval,
+		SourceHealth:       health,
 		Queue: QueueSnapshot{
 			QueueStats:    queue,
 			Admitted:      m.queueAdmitted.Load(),

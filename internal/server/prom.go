@@ -7,8 +7,8 @@ import (
 // Prometheus renders the metrics in text exposition format 0.0.4 — the
 // counterpart of Snapshot for scrape-based collection. Histogram
 // buckets follow the cumulative `le` convention with bounds in seconds.
-func (m *Metrics) Prometheus(plan, result, extent, src CacheStats, queue QueueStats, sessions int, eval EvalSnapshot) []byte {
-	snap := m.Snapshot(plan, result, extent, src, queue, sessions, eval)
+func (m *Metrics) Prometheus(plan, result, extent, src CacheStats, queue QueueStats, sessions int, eval EvalSnapshot, health []SessionSourceHealth) []byte {
+	snap := m.Snapshot(plan, result, extent, src, queue, sessions, eval, health)
 	w := obs.NewPromWriter()
 
 	w.Gauge("automed_uptime_seconds", "Seconds since the server started.", snap.UptimeSeconds)
@@ -74,6 +74,20 @@ func (m *Metrics) Prometheus(plan, result, extent, src CacheStats, queue QueueSt
 		w.Counter("automed_source_rows_total", "Extent rows fetched per data source.", float64(s.Rows), lbl...)
 		w.Counter("automed_source_bytes_total", "Bytes fetched per data source.", float64(s.Bytes), lbl...)
 		w.Histogram("automed_source_fetch_duration_seconds", "Wrapper fetch latency per data source.", s.Latency, lbl...)
+	}
+
+	w.Counter("automed_panics_total", "Handler panics recovered by the middleware.", float64(snap.Panics))
+	w.Counter("automed_degraded_queries_total", "Answers evaluated over stale fallback extents.", float64(snap.DegradedQueries))
+	for _, h := range snap.SourceHealth {
+		lbl := []string{"session", h.Session, "source", h.Source}
+		open := 0.0
+		if h.State == "open" {
+			open = 1
+		}
+		w.Gauge("automed_source_breaker_open", "1 while the source's circuit breaker is open.", open, lbl...)
+		w.Counter("automed_source_breaker_opens_total", "Times the source's circuit breaker opened.", float64(h.Opens), lbl...)
+		w.Counter("automed_source_breaker_probes_total", "Half-open probe fetches admitted for the source.", float64(h.Probes), lbl...)
+		w.Counter("automed_source_fallbacks_total", "Stale extents served for the source while unreachable.", float64(h.Fallbacks), lbl...)
 	}
 
 	return w.Bytes()

@@ -1,13 +1,17 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dataspace/automed/internal/cache"
@@ -59,6 +63,24 @@ type Config struct {
 	// TraceRingSize bounds the /debug/traces ring of recent query
 	// traces; <= 0 means the default (256).
 	TraceRingSize int
+	// Breaker configures per-source circuit breakers and stale-extent
+	// fallback on every session's query processor; the zero value
+	// disables the fault-tolerance layer.
+	Breaker query.BreakerConfig
+	// RequireFresh makes every degraded answer (one evaluated over
+	// stale fallback extents because a source was unreachable) an error
+	// instead of a warning, server-wide. Individual requests opt in
+	// with require_fresh / the X-Require-Fresh header.
+	RequireFresh bool
+	// MinFederatedSources, when > 0, lets /federate proceed with the
+	// reachable subset of a session's sources as long as at least this
+	// many answer a liveness probe; skipped sources are backfilled by
+	// later probes. 0 requires every source (strict federation).
+	MinFederatedSources int
+	// ProbeInterval rate-limits the background recovery probe (open
+	// breakers, skipped federation sources) that health checks trigger;
+	// <= 0 means the default (5s).
+	ProbeInterval time.Duration
 	// Logger receives structured access and error logs; nil discards
 	// them (library embedding and tests stay quiet).
 	Logger *slog.Logger
@@ -67,14 +89,20 @@ type Config struct {
 // sessionSettings projects the per-session knobs out of the config.
 func (cfg Config) sessionSettings() SessionSettings {
 	return SessionSettings{
-		ResultCapacity:   cfg.ResultCacheSize,
-		CacheBytes:       cfg.CacheBytes,
-		MaxSteps:         cfg.MaxSteps,
-		EvalParallelism:  cfg.EvalParallelism,
-		PrefetchWorkers:  cfg.PrefetchWorkers,
-		PrefetchMaxTasks: cfg.PrefetchMaxTasks,
+		ResultCapacity:      cfg.ResultCacheSize,
+		CacheBytes:          cfg.CacheBytes,
+		MaxSteps:            cfg.MaxSteps,
+		EvalParallelism:     cfg.EvalParallelism,
+		PrefetchWorkers:     cfg.PrefetchWorkers,
+		PrefetchMaxTasks:    cfg.PrefetchMaxTasks,
+		Breaker:             cfg.Breaker,
+		MinFederatedSources: cfg.MinFederatedSources,
 	}
 }
+
+// defaultProbeInterval rate-limits health-check-triggered recovery
+// probes when the config does not.
+const defaultProbeInterval = 5 * time.Second
 
 // defaultTraceRingSize bounds /debug/traces when the config does not.
 const defaultTraceRingSize = 256
@@ -87,6 +115,11 @@ func DefaultConfig() Config {
 		CacheBytes:      256 << 20,
 		QueryTimeout:    30 * time.Second,
 		TraceRingSize:   defaultTraceRingSize,
+		Breaker: query.BreakerConfig{
+			Enabled:       true,
+			SourceTimeout: 10 * time.Second,
+		},
+		ProbeInterval: defaultProbeInterval,
 	}
 }
 
@@ -113,6 +146,11 @@ type Server struct {
 	// endpoint autosaves, and the snapshot/restore endpoints are live.
 	// Guarded by persistMu.
 	store *Store
+	// probeWG tracks in-flight background recovery probes so Drain can
+	// wait for them; probeGate (unix nanos of the last probe) rate-limits
+	// their launch to one per ProbeInterval.
+	probeWG   sync.WaitGroup
+	probeGate atomic.Int64
 }
 
 // New builds a server.
@@ -155,6 +193,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /sessions", s.handleSessions)
 	s.mux.HandleFunc("POST /sessions/{name}/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /sessions/{name}/restore", s.handleRestore)
+	s.mux.HandleFunc("POST /sessions/{name}/invalidate", s.handleInvalidate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
@@ -164,7 +203,9 @@ func (s *Server) routes() {
 // middleware: request accounting, a per-request ID (inbound
 // X-Request-ID or generated) echoed in the X-Request-ID response
 // header and error bodies, the per-source metrics registry on the
-// context, and a structured access log.
+// context, panic recovery (a handler panic is logged with its stack,
+// counted, and answered with a 500 JSON error instead of a dropped
+// connection), and a structured access log.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Request()
@@ -177,26 +218,90 @@ func (s *Server) Handler() http.Handler {
 		ctx = obs.WithSources(ctx, s.metrics.Sources())
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		defer func() {
+			rec := recover()
+			if rec != nil {
+				if rec == http.ErrAbortHandler {
+					// The deliberate connection-abort sentinel; let
+					// net/http handle it.
+					panic(rec)
+				}
+				s.metrics.Panic()
+				s.log.Error("panic in handler",
+					"method", r.Method,
+					"path", r.URL.Path,
+					"request_id", rid,
+					"panic", fmt.Sprint(rec),
+					"stack", string(debug.Stack()),
+				)
+				if !sw.wrote {
+					sw.Header().Set("Content-Type", "application/json")
+					sw.WriteHeader(http.StatusInternalServerError)
+					json.NewEncoder(sw).Encode(apiError{
+						Error:     "internal server error",
+						RequestID: rid,
+					})
+				}
+			}
+			s.log.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"dur_ms", float64(time.Since(start).Microseconds())/1000,
+				"request_id", rid,
+			)
+		}()
 		s.mux.ServeHTTP(sw, r.WithContext(ctx))
-		s.log.Info("request",
-			"method", r.Method,
-			"path", r.URL.Path,
-			"status", sw.status,
-			"dur_ms", float64(time.Since(start).Microseconds())/1000,
-			"request_id", rid,
-		)
 	})
 }
 
-// statusWriter captures the response status for the access log.
+// statusWriter captures the response status for the access log and
+// whether anything was written yet (so panic recovery knows if a 500
+// can still be sent).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// maybeProbe launches one background recovery probe — open breakers
+// get a probe fetch, federation-skipped sources are backfilled — if
+// none ran in the last ProbeInterval. Health checks call it, so any
+// monitoring loop doubles as the recovery driver without a dedicated
+// timer goroutine; Drain waits for in-flight probes via probeWG.
+func (s *Server) maybeProbe() {
+	interval := s.cfg.ProbeInterval
+	if interval <= 0 {
+		interval = defaultProbeInterval
+	}
+	now := time.Now().UnixNano()
+	last := s.probeGate.Load()
+	if now-last < int64(interval) || !s.probeGate.CompareAndSwap(last, now) {
+		return
+	}
+	sessions := s.reg.All()
+	s.probeWG.Add(1)
+	go func() {
+		defer s.probeWG.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), interval)
+		defer cancel()
+		for _, sess := range sessions {
+			if n := sess.Probe(ctx); n > 0 {
+				s.log.Info("sources recovered", "session", sess.Name(), "count", n)
+			}
+		}
+	}()
 }
 
 // newRequestID returns a 16-hex-char random request identifier.
@@ -347,6 +452,22 @@ func (s *Server) Sessions() *Registry { return s.reg }
 // PurgePlans empties the shared plan cache (used by benchmarks to
 // measure cold-plan query cost).
 func (s *Server) PurgePlans() { s.plans.Purge() }
+
+// sourceHealth collects every session's per-source breaker state for
+// the metrics endpoint, in stable (session, source) order.
+func (s *Server) sourceHealth() []SessionSourceHealth {
+	var out []SessionSourceHealth
+	for _, name := range s.reg.Names() {
+		sess, err := s.reg.Get(name, false)
+		if err != nil {
+			continue
+		}
+		for _, h := range sess.SourceHealth() {
+			out = append(out, SessionSourceHealth{Session: name, SourceHealth: h})
+		}
+	}
+	return out
+}
 
 // resultStats sums result-cache stats across all sessions.
 func (s *Server) resultStats() CacheStats {

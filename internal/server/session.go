@@ -74,6 +74,14 @@ type SessionSettings struct {
 	// prefetcher (0 = package defaults).
 	PrefetchWorkers  int
 	PrefetchMaxTasks int
+	// Breaker configures the per-source circuit breakers and stale
+	// fallback; the zero value disables the layer.
+	Breaker query.BreakerConfig
+	// MinFederatedSources, when > 0, makes Federate probe each source
+	// and proceed with the reachable subset as long as at least this
+	// many answer; skipped sources backfill later via Probe. 0 keeps
+	// the strict all-sources federation.
+	MinFederatedSources int
 }
 
 // applyTo configures a session's query processor from the settings.
@@ -83,6 +91,7 @@ func (cfg SessionSettings) applyTo(p *query.Processor) {
 	p.Parallel = cfg.EvalParallelism
 	p.PrefetchWorkers = cfg.PrefetchWorkers
 	p.PrefetchMaxTasks = cfg.PrefetchMaxTasks
+	p.SetBreaker(cfg.Breaker)
 }
 
 func newSession(name string, cfg SessionSettings) *Session {
@@ -151,9 +160,12 @@ func (s *Session) AddSource(w wrapper.Wrapper) error {
 // Federate builds the integrator over the registered sources and
 // publishes the federated schema (version 0). autoDrop elects
 // redundant-object dropping for the global schemas rebuilt after each
-// subsequent iteration. The session is mutated only if federation
+// subsequent iteration. When the session's MinFederatedSources setting
+// is > 0, sources are probed first and federation proceeds over the
+// reachable subset (at least that many), recording the skipped sources
+// for probe-driven backfill. The session is mutated only if federation
 // succeeds.
-func (s *Session) Federate(name string, autoDrop bool) (*core.Integrator, error) {
+func (s *Session) Federate(ctx context.Context, name string, autoDrop bool) (*core.Integrator, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.ig != nil {
@@ -168,13 +180,71 @@ func (s *Session) Federate(name string, autoDrop bool) (*core.Integrator, error)
 	}
 	ig.SetAutoDrop(autoDrop)
 	s.settings.applyTo(ig.Processor())
-	if _, err := ig.Federate(name); err != nil {
+	if min := s.settings.MinFederatedSources; min > 0 {
+		if _, _, err := ig.FederateReachable(ctx, name, min); err != nil {
+			return nil, err
+		}
+	} else if _, err := ig.Federate(name); err != nil {
 		return nil, err
 	}
 	// No result-cache purge: queries need a federated integrator, so
 	// the cache is necessarily empty here.
 	s.ig = ig
 	return ig, nil
+}
+
+// Skipped lists the sources federation skipped as unreachable and has
+// not yet backfilled.
+func (s *Session) Skipped() []string {
+	ig, err := s.integrator()
+	if err != nil {
+		return nil
+	}
+	return ig.Skipped()
+}
+
+// SourceHealth reports the per-source breaker states of the session's
+// query processor; nil before federation or with breakers disabled.
+func (s *Session) SourceHealth() []query.SourceHealth {
+	ig, err := s.integrator()
+	if err != nil {
+		return nil
+	}
+	return ig.Processor().SourceHealth()
+}
+
+// Probe drives the session's recovery paths once: open breakers get a
+// probe fetch (closing on success), and federation-skipped sources are
+// re-probed and backfilled into the federated schema. It returns the
+// number of sources that recovered. Safe to call concurrently with
+// queries; a no-op before federation.
+func (s *Session) Probe(ctx context.Context) int {
+	ig, err := s.integrator()
+	if err != nil {
+		return 0
+	}
+	n := ig.Processor().ProbeOpen(ctx)
+	if len(ig.Skipped()) > 0 {
+		recovered, err := ig.Backfill(ctx)
+		n += len(recovered)
+		if err == nil && len(recovered) > 0 {
+			// Backfilled sources extend the federated schema; cached
+			// answers were computed without them.
+			s.results.Purge()
+		}
+	}
+	return n
+}
+
+// InvalidateExtents drops every cached extent and answer, forcing the
+// next queries to re-fetch from the sources. This is the ops lever for
+// fault drills: cached extents otherwise shield a downed source from
+// queries indefinitely.
+func (s *Session) InvalidateExtents() {
+	if ig, err := s.integrator(); err == nil {
+		ig.Processor().InvalidateCache()
+	}
+	s.results.Purge()
 }
 
 // integrator returns the session's integrator, or an error before

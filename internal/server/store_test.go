@@ -317,7 +317,7 @@ func TestOrphanedSessionDoesNotAutosave(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.persist(cur)
-	if m := s.Metrics().Snapshot(CacheStats{}, CacheStats{}, CacheStats{}, CacheStats{}, QueueStats{}, 0, EvalSnapshot{}); m.SnapshotErrs != 0 {
+	if m := s.Metrics().Snapshot(CacheStats{}, CacheStats{}, CacheStats{}, CacheStats{}, QueueStats{}, 0, EvalSnapshot{}, nil); m.SnapshotErrs != 0 {
 		t.Fatalf("snapshot errors: %d", m.SnapshotErrs)
 	}
 }

@@ -438,6 +438,13 @@ func (w *REST) get(ctx context.Context, path string) (io.Reader, error) {
 	return bytes.NewReader(data), nil
 }
 
+// restDrainBudget bounds how much of an unwanted response body getBody
+// drains before closing: enough to let typical error and oversize
+// remainders finish so the keep-alive connection is reused, small
+// enough that a huge body is abandoned (closing then resets the
+// connection, which is the right trade).
+const restDrainBudget = 256 << 10
+
 func (w *REST) getBody(ctx context.Context, url string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
@@ -448,9 +455,14 @@ func (w *REST) getBody(ctx context.Context, url string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	// Every exit drains the rest of the body (bounded) before closing:
+	// a connection closed with unread data cannot go back in the
+	// keep-alive pool, and the retry path immediately redials it.
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, restDrainBudget))
+		resp.Body.Close()
+	}()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
 		return nil, &restStatusError{
 			code:       resp.StatusCode,
 			url:        url,
@@ -466,6 +478,30 @@ func (w *REST) getBody(ctx context.Context, url string) ([]byte, error) {
 		return nil, fmt.Errorf("GET %s: response exceeds the %d-byte budget", url, w.cfg.MaxBytes)
 	}
 	return data, nil
+}
+
+// Ping probes the endpoint with one bounded GET of the first
+// collection, reporting reachability without decoding the payload. It
+// is the federation-time liveness probe (query.Pinger).
+func (w *REST) Ping(ctx context.Context) error {
+	path := ""
+	if len(w.order) > 0 {
+		path = w.colls[w.order[0]].path
+	}
+	_, err := w.get(ctx, path)
+	return err
+}
+
+// FallbackExtent serves the snapshot-materialised extent of one object,
+// if this wrapper carries one (restored wrappers do). It implements the
+// processor's stale-fallback extension (query.FallbackSourcer).
+func (w *REST) FallbackExtent(parts []string) (iql.Value, bool) {
+	obj, err := w.schema.Resolve(parts)
+	if err != nil {
+		return iql.Value{}, false
+	}
+	v, ok := w.fallback[obj.Scheme.Key()]
+	return v, ok
 }
 
 // decodeStrict decodes exactly one JSON document within the byte

@@ -2,6 +2,7 @@ package wrapper_test
 
 import (
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -332,5 +333,43 @@ func TestRESTRetryHonors429RetryAfter(t *testing.T) {
 	}
 	if g > 5*time.Second {
 		t.Errorf("retry after %v was not capped at the fetch timeout", g)
+	}
+}
+
+// TestRESTErrorResponsesReuseConnection counts TCP connections across
+// repeated failing fetches: getBody drains error bodies before closing,
+// so the keep-alive connection goes back in the pool instead of being
+// redialled for every attempt.
+func TestRESTErrorResponsesReuseConnection(t *testing.T) {
+	var conns, calls atomic.Int32
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error": "not found", "detail": "`+strings.Repeat("x", 512)+`"}`, http.StatusNotFound)
+	}))
+	srv.Config.ConnState = func(_ net.Conn, state http.ConnState) {
+		if state == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	srv.Start()
+	defer srv.Close()
+
+	w, err := wrapper.NewREST("R", wrapper.RESTConfig{
+		Endpoint:    srv.URL,
+		Collections: []wrapper.RESTCollection{{Name: "books", Fields: []string{"id"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := w.Extent([]string{"books"}); err == nil {
+			t.Fatal("404 fetch succeeded")
+		}
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d requests, want 4", got)
+	}
+	if got := conns.Load(); got != 1 {
+		t.Errorf("4 failing fetches used %d connections, want 1 (error bodies not drained?)", got)
 	}
 }

@@ -27,7 +27,7 @@ type Snapshotter interface {
 // Snapshot is the JSON form of a serialisable wrapper. Exactly one of
 // the kind-specific payloads is populated, selected by Kind.
 type Snapshot struct {
-	// Kind is "relational", "static", "sql" or "rest".
+	// Kind is "relational", "static", "sql", "rest" or "fault".
 	Kind string `json:"kind"`
 	// Name is the data source schema name.
 	Name string `json:"name"`
@@ -42,6 +42,15 @@ type Snapshot struct {
 	// REST is the JSON/REST payload: endpoint configuration plus the
 	// collection schema and materialised fallback extents.
 	REST *RESTSnapshot `json:"rest,omitempty"`
+	// Fault is the fault-injection payload: the injected-fault
+	// configuration plus the wrapped source's own snapshot.
+	Fault *FaultSnapshot `json:"fault,omitempty"`
+}
+
+// FaultSnapshot is the durable form of a fault-injection wrapper.
+type FaultSnapshot struct {
+	Config FaultConfig `json:"config"`
+	Inner  *Snapshot   `json:"inner"`
 }
 
 // TableSnapshot serialises one relational table.
@@ -267,6 +276,11 @@ var restorers = map[string]func(*Snapshot) (Wrapper, error){
 	"sql":        restoreSQL,
 	"rest":       restoreREST,
 }
+
+// The fault kind registers in init: restoreFault recursively calls
+// Restore for the wrapped source, which a map-literal entry would turn
+// into an initialization cycle.
+func init() { restorers["fault"] = restoreFault }
 
 // RestoreKinds returns the snapshot kinds Restore understands, sorted.
 func RestoreKinds() []string {

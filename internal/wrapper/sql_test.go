@@ -157,7 +157,7 @@ func TestRestoreUnknownKindNamesKinds(t *testing.T) {
 			t.Errorf("error %q does not list registered kind %q", msg, kind)
 		}
 	}
-	if want := "relational, rest, sql, static"; strings.Join(wrapper.RestoreKinds(), ", ") != want {
+	if want := "fault, relational, rest, sql, static"; strings.Join(wrapper.RestoreKinds(), ", ") != want {
 		t.Errorf("RestoreKinds() = %v, want %s", wrapper.RestoreKinds(), want)
 	}
 }

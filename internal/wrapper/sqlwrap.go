@@ -159,6 +159,30 @@ func (w *SQL) Kind() string { return "sql" }
 // restored wrappers whose driver is absent from the binary).
 func (w *SQL) Offline() bool { return w.db == nil }
 
+// Ping probes the backend connection, reporting reachability without
+// fetching data. It is the federation-time liveness probe
+// (query.Pinger). An offline wrapper reports unreachable.
+func (w *SQL) Ping(ctx context.Context) error {
+	if w.db == nil {
+		return fmt.Errorf("wrapper: sql: source %q is offline", w.name)
+	}
+	ctx, cancel := context.WithTimeout(ctx, w.cfg.Timeout)
+	defer cancel()
+	return w.db.PingContext(ctx)
+}
+
+// FallbackExtent serves the snapshot-materialised extent of one object,
+// if this wrapper carries one (restored wrappers do). It implements the
+// processor's stale-fallback extension (query.FallbackSourcer).
+func (w *SQL) FallbackExtent(parts []string) (iql.Value, bool) {
+	obj, err := w.schema.Resolve(parts)
+	if err != nil {
+		return iql.Value{}, false
+	}
+	v, ok := w.fallback[obj.Scheme.Key()]
+	return v, ok
+}
+
 // Extent implements Wrapper.
 func (w *SQL) Extent(parts []string) (iql.Value, error) {
 	return w.ExtentContext(context.Background(), parts)
