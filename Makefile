@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke bench-parallel bench-load metrics-smoke load-smoke chaos-smoke run fuzz-seeds golden test-wrappers
+.PHONY: ci fmt vet build test race bench bench-smoke bench-parallel bench-load metrics-smoke load-smoke chaos-smoke stream-smoke run fuzz-seeds golden test-wrappers
 
 # ci is the full local gate: formatting, static checks (go vet), build,
 # tests under the race detector, the wrapper conformance suite, the
@@ -8,8 +8,9 @@ GO ?= go
 # one-iteration -benchmem pass over every benchmark so the bench
 # harness can't silently rot, the sharded-evaluation speedup gate, the
 # metrics exposition smoke check, a short admission-control load
-# smoke, and the fault-tolerance chaos drill.
-ci: fmt vet build race test-wrappers fuzz-seeds golden bench-smoke bench-parallel metrics-smoke load-smoke chaos-smoke
+# smoke, the fault-tolerance chaos drill, and the streaming
+# bounded-memory gate.
+ci: fmt vet build race test-wrappers fuzz-seeds golden bench-smoke bench-parallel metrics-smoke load-smoke chaos-smoke stream-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -28,12 +29,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the tier benchmarks at full fidelity and writes the parsed
-# results (ns/op, B/op, allocs/op per benchmark) to BENCH_PR8.json, the
-# committed perf baseline of the current PR. Diff against the previous
-# baseline with: go run ./cmd/benchjson -compare BENCH_PR4.json
+# bench runs the tier benchmarks at full fidelity, writes the parsed
+# results (ns/op, B/op, allocs/op per benchmark) to BENCH_PR10.json —
+# the committed perf baseline of the current PR — and prints the diff
+# against the previous baseline.
 bench:
-	$(GO) run ./cmd/benchjson -out BENCH_PR8.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR10.json -compare BENCH_PR8.json
 
 # bench-smoke is the ci benchmark gate: one iteration of everything,
 # with allocation accounting compiled in.
@@ -69,6 +70,13 @@ load-smoke:
 # breaker, and the breaker metric families appear in the exposition.
 chaos-smoke:
 	$(GO) run ./cmd/chaossmoke
+
+# stream-smoke is the ci bounded-memory gate for the streaming extent
+# pipeline: a 1.2M-row sqlmem-backed SQL source queried twice through
+# the in-process daemon must leave the post-GC live heap essentially
+# flat (a materialised extent would cost hundreds of megabytes).
+stream-smoke:
+	$(GO) run ./cmd/streamsmoke
 
 # bench-load regenerates BENCH_PR7.json, the committed load/overload
 # baseline: many more closed-loop workers than admitted slots plus an

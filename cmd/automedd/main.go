@@ -130,6 +130,8 @@ func main() {
 		evalPar     = flag.Int("eval-parallelism", 0, "worker count for data-parallel sharded comprehension evaluation (0 = GOMAXPROCS, 1 = serial)")
 		pfWorkers   = flag.Int("prefetch-workers", 0, "concurrent extent-prefetch pool width per query (0 = default 8)")
 		pfMaxTasks  = flag.Int("prefetch-max-tasks", 0, "max distinct source extents one query's prefetch may schedule (0 = default 64)")
+		scanBuffer  = flag.Int("scan-buffer", 0, "streaming extent pipeline row window: extents above it stream through a bounded buffer instead of materialising (0 = default 4096, negative disables streaming)")
+		fetchPage   = flag.Int("fetch-page-rows", 0, "LIMIT/OFFSET page size for SQL source fetches (0 = default 4096, negative disables paging)")
 		dataDir     = flag.String("data-dir", "", "directory for durable session snapshots (empty = in-memory only)")
 		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
 		slowQuery   = flag.Duration("slow-query", 0, "trace queries at or above this duration into /debug/traces (0 = only explicitly requested traces)")
@@ -151,7 +153,7 @@ func main() {
 	)
 	flag.Var(&preload, "source", "preload a CSV source as name=dir into the default session (repeatable)")
 	flag.Var(&preloadSQL, "sql-source",
-		"preload a SQL source as name=driver:dialect:dsn (dialect sqlite or information_schema, empty = sqlite; the driver must be compiled into this binary; repeatable)")
+		"preload a SQL source as name=driver:dialect:dsn (dialect sqlite, information_schema or postgres, empty = sqlite; the driver must be compiled into this binary; repeatable)")
 	flag.Var(&preloadREST, "rest-source", "preload a JSON/REST source as name=url (collections discovered from the endpoint root; repeatable)")
 	flag.Var(&faultSrcs, "fault-source",
 		"preload a fault-injected demo source as name=spec for chaos drills (spec: comma-separated error-rate=0.3, latency=50ms, hang, flap-up=4, flap-down=2, amplify=8, seed=7; repeatable)")
@@ -173,6 +175,8 @@ func main() {
 		EvalParallelism:  *evalPar,
 		PrefetchWorkers:  *pfWorkers,
 		PrefetchMaxTasks: *pfMaxTasks,
+		ScanBuffer:       *scanBuffer,
+		FetchPageRows:    *fetchPage,
 		SlowQuery:        *slowQuery,
 		TraceRingSize:    *traceRing,
 		MaxInflight:      *maxInflight,
@@ -197,7 +201,7 @@ func main() {
 		}
 		logger.Info("sessions restored", "count", n, "dir", *dataDir)
 	}
-	if err := preloadSources(srv, logger, preload, preloadSQL, preloadREST, faultSrcs); err != nil {
+	if err := preloadSources(srv, logger, *fetchPage, preload, preloadSQL, preloadREST, faultSrcs); err != nil {
 		fatal(logger, err)
 	}
 
@@ -306,7 +310,7 @@ func demoFaultSource(name string) (wrapper.Wrapper, error) {
 // preloadSources wraps each preloaded CSV, SQL, REST and fault-demo
 // source into the default session and federates so the daemon starts
 // queryable.
-func preloadSources(srv *server.Server, logger *slog.Logger, csvSpecs, sqlSpecs, restSpecs, faultSpecs sourceFlags) error {
+func preloadSources(srv *server.Server, logger *slog.Logger, fetchPageRows int, csvSpecs, sqlSpecs, restSpecs, faultSpecs sourceFlags) error {
 	total := len(csvSpecs) + len(sqlSpecs) + len(restSpecs) + len(faultSpecs)
 	if total == 0 {
 		return nil
@@ -335,6 +339,7 @@ func preloadSources(srv *server.Server, logger *slog.Logger, csvSpecs, sqlSpecs,
 		if err != nil {
 			return err
 		}
+		cfg.FetchPageRows = fetchPageRows
 		w, err := wrapper.NewSQL(name, cfg)
 		if err != nil {
 			return fmt.Errorf("preloading %s: %w", spec, err)

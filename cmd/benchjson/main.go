@@ -30,9 +30,11 @@ import (
 
 // defaultBench selects the tier benchmarks: the serving-path
 // benchmarks the perf acceptance gates on (including the serial vs
-// sharded Table 1 pairs) plus the value-runtime microbenchmarks.
+// sharded Table 1 pairs), the value-runtime microbenchmarks, and the
+// REST discovery allocation benchmark guarding the per-object decode
+// path.
 const defaultBench = "BenchmarkIQLEval|BenchmarkTable1$|BenchmarkTable1Parallel|BenchmarkFederationScaling|BenchmarkServerQuery" +
-	"|BenchmarkValueHash|BenchmarkDistinct$|BenchmarkMemberFilter|BenchmarkJoinIndexBuild"
+	"|BenchmarkValueHash|BenchmarkDistinct$|BenchmarkMemberFilter|BenchmarkJoinIndexBuild|BenchmarkRESTDiscovery"
 
 // Result is one parsed benchmark line.
 type Result struct {

@@ -366,6 +366,11 @@ func (ctx *compCtx) run(i int, env *Env, out *[]Value) error {
 		return ctx.run(i+1, env, out)
 
 	case *Generator:
+		if rs, ok, err := ctx.stream(i, q); err != nil {
+			return err
+		} else if ok {
+			return ctx.runStream(q, rs, i+1, env, out)
+		}
 		els, err := ctx.source(i, q, env)
 		if err != nil {
 			return err
@@ -426,6 +431,67 @@ func (ctx *compCtx) run(i int, env *Env, out *[]Value) error {
 		return nil
 	}
 	return fmt.Errorf("iql: unknown qualifier %T", ctx.comp.Quals[i])
+}
+
+// stream decides whether generator i can pull its source as a
+// RowStream instead of materialising it. Only a top-level
+// (genDepth 0) scan of a bare scheme reference qualifies: joins need
+// the whole extent for their index, memoised sources are already
+// materialised, and nested generators re-run per enclosing binding,
+// where re-streaming would multiply backend fetches. The extent
+// provider has the final say via ExtentStream's ok result.
+func (ctx *compCtx) stream(i int, g *Generator) (RowStream, bool, error) {
+	ev := ctx.ev
+	qs := &ctx.quals[i]
+	if ev.genDepth != 0 || len(qs.joins) > 0 || qs.srcSet {
+		return nil, false, nil
+	}
+	ref, ok := g.Src.(*SchemeRef)
+	if !ok {
+		return nil, false, nil
+	}
+	se, ok := ev.Ext.(StreamExtents)
+	if !ok {
+		return nil, false, nil
+	}
+	rs, ok, err := se.ExtentStream(ref.Parts)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	// The materialised path charges one step evaluating the scheme
+	// reference; charge the same here so step budgets are path-
+	// independent.
+	if err := ev.step(); err != nil {
+		rs.Close()
+		return nil, false, err
+	}
+	return rs, true, nil
+}
+
+// runStream drives one streamed generator: rows are pulled, bound and
+// evaluated exactly as the materialised loop in run does, so results
+// are byte-identical; only the residency differs. Sharding never
+// applies (the row count is unknown up front), and the stream is
+// always closed, including on early error returns.
+func (ctx *compCtx) runStream(q *Generator, rs RowStream, next int, env *Env, out *[]Value) (err error) {
+	defer func() {
+		if cerr := rs.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	ev := ctx.ev
+	child := env.Child()
+	ev.genDepth++
+	defer func() { ev.genDepth-- }()
+	for rs.Next() {
+		if err := ctx.runElement(q, rs.Row(), next, child, out); err != nil {
+			return err
+		}
+	}
+	if serr := rs.Err(); serr != nil {
+		return fmt.Errorf("iql: generator source %s: %w", q.Src, serr)
+	}
+	return nil
 }
 
 // runElement binds one generator element into the reused child scope

@@ -1,0 +1,27 @@
+package iql
+
+// RowStream is a pull-based extent: Next advances to the next row and
+// reports false at the end or on failure, Row returns the current row
+// after a true Next, Err distinguishes exhaustion from failure, and
+// Close releases whatever the producer holds (it is safe to call at
+// any point, including mid-stream). The evaluator consumes a stream
+// through a comprehension generator, so only the producer's buffering
+// window is resident instead of the whole extent.
+type RowStream interface {
+	Next() bool
+	Row() Value
+	Err() error
+	Close() error
+}
+
+// StreamExtents is the streaming extension of Extents: ExtentStream
+// serves an extent as a RowStream when streaming the referenced object
+// is both possible and worthwhile, signalled by ok. An ok=false return
+// (with nil error) means the caller should materialise through
+// Extents.Extent instead — sources below the spill threshold, cached
+// extents, and non-streaming wrappers all take that path, keeping
+// their existing semantics byte-identical.
+type StreamExtents interface {
+	Extents
+	ExtentStream(parts []string) (rs RowStream, ok bool, err error)
+}

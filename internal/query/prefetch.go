@@ -187,9 +187,22 @@ type prefetcher struct {
 	// taskCap/specDivisor) instead of tasks.
 	inBranch bool
 	spec     []prefetchTask
+	// streamPos marks the next reference visited as a comprehension's
+	// first generator source — the position the evaluator streams when
+	// the source supports it (see stream.go). Warming such an extent
+	// would pin it whole in the cache and defeat streaming's bounded
+	// memory, so addSource skips it. The flag is consumed (cleared) by
+	// whichever visit sees it first.
+	streamPos bool
 }
 
-func (pf *prefetcher) addSource(src source, sc hdm.Scheme) {
+func (pf *prefetcher) addSource(src source, sc hdm.Scheme, streamPos bool) {
+	if streamPos && src.streams && src.scan != nil && pf.p.effectiveScanBuffer() > 0 {
+		// Evaluation will stream this scan (or materialise it itself if
+		// it turns out small); warming it here would force the whole
+		// extent resident.
+		return
+	}
 	ck := src.name + "\x00" + sc.Key()
 	if pf.seenTask[ck] || pf.p.srcExt.Peek(ck) {
 		return
@@ -206,6 +219,12 @@ func (pf *prefetcher) addSource(src source, sc hdm.Scheme) {
 }
 
 func (pf *prefetcher) visitRef(parts []string, scope string, depth int) {
+	// Consume the stream-position mark: it applies to source
+	// resolutions of this reference only, not to the derivation bodies
+	// a virtual reference expands into (each body's own comprehension
+	// re-marks its first generator below).
+	streamPos := pf.streamPos
+	pf.streamPos = false
 	if depth > prefetchMaxDepth {
 		return
 	}
@@ -221,7 +240,7 @@ func (pf *prefetcher) visitRef(parts []string, scope string, depth int) {
 	// references (mirrors extentIn).
 	if scope != "" {
 		if src, sc, ok := p.resolveIn(scope, parts); ok {
-			pf.addSource(src, sc)
+			pf.addSource(src, sc, streamPos)
 			return
 		}
 	}
@@ -239,6 +258,15 @@ func (pf *prefetcher) visitRef(parts []string, scope string, depth int) {
 			pf.seenVirtual = make(map[string]bool, 8)
 		}
 		pf.seenVirtual[key] = true
+		// A sole full-extent bare-rename derivation keeps the stream
+		// position: extentStream chases exactly this shape to the
+		// underlying source, so warming that source here would put its
+		// extent in the cache and defeat the stream.
+		if streamPos && len(derivs) == 1 && !derivs[0].Lower {
+			if _, bare := derivs[0].Query.(*iql.SchemeRef); bare {
+				pf.streamPos = true
+			}
+		}
 		for _, d := range derivs {
 			pf.visitExpr(d.Query, d.Scope, depth+1)
 		}
@@ -247,7 +275,7 @@ func (pf *prefetcher) visitRef(parts []string, scope string, depth int) {
 	// 3. Unambiguous global source resolution (ambiguous references
 	// will fail evaluation; there is nothing useful to warm for them).
 	if hits := p.resolveGlobal(parts); len(hits) == 1 {
-		pf.addSource(hits[0].src, hits[0].sc)
+		pf.addSource(hits[0].src, hits[0].sc, streamPos)
 	}
 }
 
@@ -258,6 +286,7 @@ func (pf *prefetcher) visitEnumerated(e iql.Expr, scope string, depth int) {
 		pf.visitRef(ref.Parts, scope, depth)
 		return
 	}
+	pf.streamPos = false // only a direct scheme reference can stream
 	pf.visitExpr(e, scope, depth)
 }
 
@@ -275,10 +304,28 @@ func (pf *prefetcher) visitExpr(e iql.Expr, scope string, depth int) {
 		// body) is enumerated directly.
 		pf.visitRef(n.Parts, scope, depth)
 	case *iql.Comp:
+		// The evaluator streams only a comprehension's first generator,
+		// and only when the plan has no joins. Joins need a second
+		// generator, so a sole generator is the statically-certain
+		// stream position; multi-generator comprehensions are warmed as
+		// before (their equi-joins materialise every source anyway, and
+		// skipping the warm would serialise overlappable fetches).
+		gens := 0
+		for _, q := range n.Quals {
+			if _, ok := q.(*iql.Generator); ok {
+				gens++
+			}
+		}
+		first := true
 		for _, q := range n.Quals {
 			switch qq := q.(type) {
 			case *iql.Generator:
+				if first && gens == 1 {
+					pf.streamPos = true
+				}
+				first = false
 				pf.visitEnumerated(qq.Src, scope, depth)
+				pf.streamPos = false
 			case *iql.Filter:
 				pf.visitExpr(qq.Cond, scope, depth)
 			}

@@ -72,6 +72,12 @@ type source struct {
 	// for offline use), nil when it offers none.
 	fb   FallbackSourcer
 	kind string
+	// scan is the provider's pull-based row-scanner path, nil when it
+	// offers none; streams reports whether its scans actually page from
+	// the backend (a materialised-scan adapter sets scan but not
+	// streams, and the pipeline never streams it).
+	scan    ScanSourcer
+	streams bool
 }
 
 // fetch retrieves one extent, routing through the provider's
@@ -166,6 +172,12 @@ type Processor struct {
 	// keeps the defaults (see prefetch.go).
 	PrefetchWorkers  int
 	PrefetchMaxTasks int
+	// ScanBuffer sets the streaming pipeline's row window (see
+	// stream.go): extents at or below it materialise and cache as
+	// before, larger ones stream through a bounded prefetch buffer of
+	// this many rows. 0 picks DefaultScanBufferRows; negative disables
+	// streaming so every extent materialises.
+	ScanBuffer int
 
 	// brCfg and breakers implement the per-source circuit breakers (see
 	// breaker.go); both are guarded by mu. Breakers are created lazily
@@ -472,6 +484,12 @@ func (p *Processor) AddExtents(name string, schema *hdm.Schema, ext iql.Extents)
 	}
 	if k, ok := ext.(interface{ Kind() string }); ok {
 		src.kind = k.Kind()
+	}
+	if sc, ok := ext.(ScanSourcer); ok {
+		src.scan = sc
+		if st, ok := ext.(interface{ StreamingScans() bool }); ok {
+			src.streams = st.StreamingScans()
+		}
 	}
 	p.sources = append(p.sources, src)
 	return nil

@@ -1,0 +1,222 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/dataspace/automed/internal/hdm"
+	"github.com/dataspace/automed/internal/iql"
+	"github.com/dataspace/automed/internal/rel"
+	"github.com/dataspace/automed/internal/sqlmem"
+	"github.com/dataspace/automed/internal/wrapper"
+)
+
+// newStreamSQLSource registers a sqlmem-backed SQL wrapper serving an
+// "items" table of rows (id i, v i%10) with the given fetch page size.
+func newStreamSQLSource(t *testing.T, dsn string, rows, pageRows int) *wrapper.SQL {
+	t.Helper()
+	db := rel.NewDB("S")
+	tb := db.MustCreateTable("items", []rel.Column{
+		{Name: "id", Type: rel.Int},
+		{Name: "v", Type: rel.Int},
+	}, "id")
+	for i := 0; i < rows; i++ {
+		tb.MustInsert(int64(i), int64(i%10))
+	}
+	sqlmem.Register(dsn, db)
+	w, err := wrapper.NewSQL("S", wrapper.SQLConfig{
+		Driver:        sqlmem.DriverName,
+		DSN:           dsn,
+		FetchPageRows: pageRows,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestStreamedQueryMatchesMaterialised is the byte-identity guard for
+// the streaming pipeline: the same single-generator query over an
+// extent far above the spill threshold must return exactly the same
+// value streamed as materialised, and streaming must not leave the
+// whole extent resident in the source-extent cache.
+func TestStreamedQueryMatchesMaterialised(t *testing.T) {
+	const rows = 10000
+	// A non-equality filter: "v = 3" would be planned as an indexed
+	// const-key lookup, which (like any join) materialises its source.
+	q := iql.MustParse(`[x | {x, v} <- <<items, v>>; v < 1]`)
+
+	run := func(dsn string, scanBuffer int) (*Processor, iql.Value) {
+		w := newStreamSQLSource(t, dsn, rows, 256)
+		p := New()
+		p.ScanBuffer = scanBuffer
+		if err := p.AddSource(w); err != nil {
+			t.Fatal(err)
+		}
+		v, _, _, err := p.EvalContext(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, v
+	}
+
+	streamed, vs := run("stream-eq-s", 128)
+	materialised, vm := run("stream-eq-m", -1)
+	if vs.String() != vm.String() {
+		t.Fatalf("streamed result diverges from materialised:\n  streamed:     %s\n  materialised: %s", vs, vm)
+	}
+	if vs.Len() != rows/10 {
+		t.Fatalf("result has %d elements, want %d", vs.Len(), rows/10)
+	}
+
+	const ck = "S\x00items|v"
+	if streamed.srcExt.Peek(ck) {
+		t.Error("streamed evaluation cached the full extent; streaming should bypass the source-extent cache")
+	}
+	if !materialised.srcExt.Peek(ck) {
+		t.Error("materialised evaluation did not cache the extent")
+	}
+}
+
+// TestStreamSpillThresholdMaterialisesSmallExtents: an extent at or
+// below the scan buffer is read once through the scanner, materialised
+// and cached, so repeated queries serve it from the cache exactly as
+// the non-streaming pipeline would.
+func TestStreamSpillThresholdMaterialisesSmallExtents(t *testing.T) {
+	w := newStreamSQLSource(t, "stream-small", 32, 16)
+	p := New()
+	p.ScanBuffer = 128 // 32 rows < 128: below the spill threshold
+	if err := p.AddSource(w); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _, err := p.EvalContext(context.Background(), iql.MustParse(`count([x | {x, v} <- <<items, v>>])`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != iql.KindInt || v.I != 32 {
+		t.Fatalf("count = %s, want 32", v)
+	}
+	if !p.srcExt.Peek("S\x00items|v") {
+		t.Error("small extent was not materialised into the source-extent cache")
+	}
+}
+
+// TestStreamDeadlineCutsMidStream: a request deadline expiring while a
+// streamed scan is in flight must surface as a deadline error through
+// the generator, not hang or return a truncated result.
+func TestStreamDeadlineCutsMidStream(t *testing.T) {
+	const dsn = "stream-deadline"
+	w := newStreamSQLSource(t, dsn, 5000, 64)
+	sqlmem.SetDelay(dsn, 20*time.Millisecond) // per page round trip
+	p := New()
+	p.ScanBuffer = 64
+	if err := p.AddSource(w); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Millisecond)
+	defer cancel()
+	_, _, _, err := p.EvalContext(ctx, iql.MustParse(`count([x | {x, v} <- <<items, v>>])`))
+	if err == nil {
+		t.Fatal("query over a 5000-row source with 20ms/page delay beat a 90ms deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error = %v, want deadline exceeded", err)
+	}
+}
+
+// TestStreamDisabledNeverScans: ScanBuffer < 0 must route every extent
+// through the materialised path even when the wrapper could stream.
+func TestStreamDisabledNeverScans(t *testing.T) {
+	w := newStreamSQLSource(t, "stream-off", 2000, 128)
+	p := New()
+	p.ScanBuffer = -1
+	if err := p.AddSource(w); err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Query(`count([x | {x, v} <- <<items, v>>])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != iql.KindInt || v.I != 2000 {
+		t.Fatalf("count = %s, want 2000", v)
+	}
+	if !p.srcExt.Peek("S\x00items|v") {
+		t.Error("with streaming disabled the extent should be fetched and cached whole")
+	}
+}
+
+// TestStreamParallelShardingEquivalence: a streamed serial scan and a
+// sharded data-parallel scan over the materialised extent must produce
+// identical results — streaming must not perturb the parallel
+// pipeline's byte-identity guarantee.
+func TestStreamParallelShardingEquivalence(t *testing.T) {
+	const rows = 8000
+	build := func(dsn string, parallel, scanBuffer int) iql.Value {
+		w := newStreamSQLSource(t, dsn, rows, 512)
+		p := New()
+		p.Parallel = parallel
+		p.ScanBuffer = scanBuffer
+		if err := p.AddSource(w); err != nil {
+			t.Fatal(err)
+		}
+		v, err := p.Query(fmt.Sprintf(`[x | {x, v} <- <<items, v>>; v < %d]`, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	streamed := build("stream-par-1", 1, 512)
+	sharded := build("stream-par-8", 8, -1)
+	if streamed.String() != sharded.String() {
+		t.Fatal("streamed serial evaluation diverges from sharded materialised evaluation")
+	}
+}
+
+// TestStreamRenameChase covers the federation shape: a virtual object
+// defined as a bare scheme-reference rename of a streaming source
+// object must stream exactly like the source object itself (same
+// result, no full extent in the source-extent cache), while a virtual
+// object with a computed body must keep materialising.
+func TestStreamRenameChase(t *testing.T) {
+	const rows = 10000
+	w := newStreamSQLSource(t, "stream-rename", rows, 256)
+	p := New()
+	p.ScanBuffer = 128
+	if err := p.AddSource(w); err != nil {
+		t.Fatal(err)
+	}
+	// big_items renames the source object, as /federate's include
+	// transforms do; computed derives it through a comprehension.
+	p.Define(hdm.MustScheme("<<big_items, v>>"), iql.MustParse("<<items, v>>"), "rename", "S")
+	p.Define(hdm.MustScheme("<<computed, v>>"), iql.MustParse("[r | r <- <<items, v>>]"), "comp", "S")
+
+	v, _, _, err := p.EvalContext(context.Background(), iql.MustParse(`[x | {x, v} <- <<big_items, v>>; v < 1]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != rows/10 {
+		t.Fatalf("renamed stream returned %d elements, want %d", v.Len(), rows/10)
+	}
+	const ck = "S\x00items|v"
+	if p.srcExt.Peek(ck) {
+		t.Error("rename chase cached the full extent; the chased stream should bypass the source-extent cache")
+	}
+
+	// The computed virtual cannot be chased: its unfolding materialises
+	// into the memo as before (the body's own evaluation may still
+	// stream its generator internally, which is why srcExt is not
+	// asserted here).
+	v, _, _, err = p.EvalContext(context.Background(), iql.MustParse(`[x | {x, v} <- <<computed, v>>; v < 1]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != rows/10 {
+		t.Fatalf("computed virtual returned %d elements, want %d", v.Len(), rows/10)
+	}
+	if !p.memo.Peek("computed|v") {
+		t.Error("computed virtual was not memoised; its unfolding should materialise as before")
+	}
+}

@@ -297,10 +297,11 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		wrap, err = wrapper.NewCSVDir(req.Name, req.CSVDir)
 	case req.SQL != nil:
 		wrap, err = wrapper.NewSQLContext(r.Context(), req.Name, wrapper.SQLConfig{
-			Driver:  req.SQL.Driver,
-			DSN:     req.SQL.DSN,
-			Dialect: req.SQL.Dialect,
-			Timeout: time.Duration(req.SQL.TimeoutMs) * time.Millisecond,
+			Driver:        req.SQL.Driver,
+			DSN:           req.SQL.DSN,
+			Dialect:       req.SQL.Dialect,
+			Timeout:       time.Duration(req.SQL.TimeoutMs) * time.Millisecond,
+			FetchPageRows: s.cfg.FetchPageRows,
 		})
 	case req.REST != nil:
 		cfg := wrapper.RESTConfig{

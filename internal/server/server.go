@@ -45,6 +45,15 @@ type Config struct {
 	// prefetcher per session (0 = defaults: 8 workers, 64 tasks).
 	PrefetchWorkers  int
 	PrefetchMaxTasks int
+	// ScanBuffer is the streaming extent pipeline's row window per
+	// session: source extents above it stream through a bounded buffer
+	// of this many rows instead of materialising. 0 picks the package
+	// default (4096 rows); negative disables streaming.
+	ScanBuffer int
+	// FetchPageRows is the LIMIT/OFFSET page size SQL sources created
+	// through /sources fetch with; 0 picks the wrapper default (4096
+	// rows), negative disables paging for those sources.
+	FetchPageRows int
 	// SlowQuery, when > 0, traces every query and retains those at or
 	// above the threshold in the /debug/traces ring even when the
 	// client did not ask for a trace.
@@ -95,6 +104,7 @@ func (cfg Config) sessionSettings() SessionSettings {
 		EvalParallelism:     cfg.EvalParallelism,
 		PrefetchWorkers:     cfg.PrefetchWorkers,
 		PrefetchMaxTasks:    cfg.PrefetchMaxTasks,
+		ScanBuffer:          cfg.ScanBuffer,
 		Breaker:             cfg.Breaker,
 		MinFederatedSources: cfg.MinFederatedSources,
 	}

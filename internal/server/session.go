@@ -74,6 +74,9 @@ type SessionSettings struct {
 	// prefetcher (0 = package defaults).
 	PrefetchWorkers  int
 	PrefetchMaxTasks int
+	// ScanBuffer is the streaming extent pipeline's row window (0 =
+	// package default, negative disables streaming).
+	ScanBuffer int
 	// Breaker configures the per-source circuit breakers and stale
 	// fallback; the zero value disables the layer.
 	Breaker query.BreakerConfig
@@ -91,6 +94,7 @@ func (cfg SessionSettings) applyTo(p *query.Processor) {
 	p.Parallel = cfg.EvalParallelism
 	p.PrefetchWorkers = cfg.PrefetchWorkers
 	p.PrefetchMaxTasks = cfg.PrefetchMaxTasks
+	p.ScanBuffer = cfg.ScanBuffer
 	p.SetBreaker(cfg.Breaker)
 }
 

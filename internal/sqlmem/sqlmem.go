@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -45,6 +46,7 @@ var (
 type entry struct {
 	db    *rel.DB
 	delay time.Duration
+	noPK  map[string]bool
 }
 
 // Register installs (or replaces) the database served for a DSN.
@@ -65,6 +67,25 @@ func SetDelay(dsn string, d time.Duration) {
 	}
 }
 
+// SetNoPK makes the introspection queries report no primary key for
+// the named tables, as catalogs do for keyless tables. The wrapper
+// then falls back to keying on the first column, which (unlike a rel
+// primary key) admits NULLs — how tests stage NULL-key rows.
+// Registering the DSN again resets the set.
+func SetNoPK(dsn string, tables ...string) {
+	mu.Lock()
+	defer mu.Unlock()
+	e, ok := sources[dsn]
+	if !ok {
+		return
+	}
+	m := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		m[t] = true
+	}
+	e.noPK = m
+}
+
 // Unregister removes a DSN; live connections start failing, which is
 // how tests simulate a vanished backend.
 func Unregister(dsn string) {
@@ -73,14 +94,16 @@ func Unregister(dsn string) {
 	delete(sources, dsn)
 }
 
-func lookup(dsn string) (*rel.DB, time.Duration, error) {
+func lookup(dsn string) (*rel.DB, time.Duration, map[string]bool, error) {
 	mu.Lock()
 	defer mu.Unlock()
 	e, ok := sources[dsn]
 	if !ok {
-		return nil, 0, fmt.Errorf("sqlmem: no database registered for DSN %q", dsn)
+		return nil, 0, nil, fmt.Errorf("sqlmem: no database registered for DSN %q", dsn)
 	}
-	return e.db, e.delay, nil
+	// e.noPK is replaced wholesale by SetNoPK, never mutated, so the
+	// reference is safe to use outside the lock.
+	return e.db, e.delay, e.noPK, nil
 }
 
 type drv struct{}
@@ -88,7 +111,7 @@ type drv struct{}
 // Open implements driver.Driver. The DSN is resolved per query, so a
 // database registered (or replaced) after sql.Open is still picked up.
 func (drv) Open(dsn string) (driver.Conn, error) {
-	if _, _, err := lookup(dsn); err != nil {
+	if _, _, _, err := lookup(dsn); err != nil {
 		return nil, err
 	}
 	return &conn{dsn: dsn}, nil
@@ -128,7 +151,7 @@ func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
 }
 
 func (c *conn) query(ctx context.Context, q string, args []driver.Value) (driver.Rows, error) {
-	db, delay, err := lookup(c.dsn)
+	db, delay, noPK, err := lookup(c.dsn)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +165,7 @@ func (c *conn) query(ctx context.Context, q string, args []driver.Value) (driver
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return dispatch(db, q, args)
+	return dispatch(db, q, args, noPK)
 }
 
 // normalize collapses runs of whitespace so statement matching is
@@ -153,18 +176,22 @@ func normalize(q string) string {
 
 // The introspection statements the wrapper dialects emit, normalized.
 // sqlmem hosts a single database per DSN, so the DATABASE() scoping of
-// the information_schema dialect is trivially satisfied.
+// the information_schema dialect and the current_schema() scoping of
+// the postgres dialect are trivially satisfied.
 const (
 	qSQLiteTables = `SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name`
 	qInfoTables   = `SELECT table_name FROM information_schema.tables WHERE table_type = 'BASE TABLE' AND table_schema = DATABASE() ORDER BY table_name`
 	qInfoColumns  = `SELECT column_name FROM information_schema.columns WHERE table_schema = DATABASE() AND table_name = ? ORDER BY ordinal_position`
 	qInfoPK       = `SELECT kcu.column_name FROM information_schema.table_constraints tc JOIN information_schema.key_column_usage kcu ON kcu.constraint_name = tc.constraint_name AND kcu.table_schema = tc.table_schema AND kcu.table_name = tc.table_name WHERE tc.constraint_type = 'PRIMARY KEY' AND tc.table_schema = DATABASE() AND tc.table_name = ? ORDER BY kcu.ordinal_position`
+	qPGTables     = `SELECT table_name FROM information_schema.tables WHERE table_type = 'BASE TABLE' AND table_schema = current_schema() ORDER BY table_name`
+	qPGColumns    = `SELECT column_name FROM information_schema.columns WHERE table_schema = current_schema() AND table_name = $1 ORDER BY ordinal_position`
+	qPGPK         = `SELECT kcu.column_name FROM information_schema.table_constraints tc JOIN information_schema.key_column_usage kcu ON kcu.constraint_name = tc.constraint_name AND kcu.table_schema = tc.table_schema AND kcu.table_name = tc.table_name WHERE tc.constraint_type = 'PRIMARY KEY' AND tc.table_schema = current_schema() AND tc.table_name = $1 ORDER BY kcu.ordinal_position`
 )
 
-func dispatch(db *rel.DB, rawQ string, args []driver.Value) (driver.Rows, error) {
+func dispatch(db *rel.DB, rawQ string, args []driver.Value, noPK map[string]bool) (driver.Rows, error) {
 	q := normalize(rawQ)
 	switch q {
-	case qSQLiteTables, qInfoTables:
+	case qSQLiteTables, qInfoTables, qPGTables:
 		names := db.TableNames()
 		sort.Strings(names)
 		rows := make([][]driver.Value, len(names))
@@ -172,7 +199,7 @@ func dispatch(db *rel.DB, rawQ string, args []driver.Value) (driver.Rows, error)
 			rows[i] = []driver.Value{n}
 		}
 		return &memRows{cols: []string{"name"}, data: rows}, nil
-	case qInfoColumns:
+	case qInfoColumns, qPGColumns:
 		t, err := argTable(db, args)
 		if err != nil {
 			return nil, err
@@ -182,15 +209,16 @@ func dispatch(db *rel.DB, rawQ string, args []driver.Value) (driver.Rows, error)
 			rows = append(rows, []driver.Value{c.Name})
 		}
 		return &memRows{cols: []string{"column_name"}, data: rows}, nil
-	case qInfoPK:
+	case qInfoPK, qPGPK:
 		t, err := argTable(db, args)
 		if err != nil {
 			return nil, err
 		}
-		return &memRows{
-			cols: []string{"column_name"},
-			data: [][]driver.Value{{t.PrimaryKey()}},
-		}, nil
+		data := [][]driver.Value{{t.PrimaryKey()}}
+		if noPK[t.Name()] {
+			data = nil
+		}
+		return &memRows{cols: []string{"column_name"}, data: data}, nil
 	}
 	if name, ok := strings.CutPrefix(q, "PRAGMA table_info("); ok {
 		name = strings.TrimSuffix(name, ")")
@@ -201,7 +229,7 @@ func dispatch(db *rel.DB, rawQ string, args []driver.Value) (driver.Rows, error)
 		var rows [][]driver.Value
 		for i, c := range t.Columns() {
 			pk := int64(0)
-			if c.Name == t.PrimaryKey() {
+			if c.Name == t.PrimaryKey() && !noPK[t.Name()] {
 				pk = 1
 			}
 			rows = append(rows, []driver.Value{
@@ -231,17 +259,35 @@ func argTable(db *rel.DB, args []driver.Value) (*rel.Table, error) {
 	return t, nil
 }
 
-// selectRows serves `SELECT <idents> FROM <table>` projections, the
-// only data statements the wrapper emits. Identifiers may be
-// double-quoted.
+// selectRows serves `SELECT <idents> FROM <table>` projections with an
+// optional trailing `LIMIT n OFFSET m`, the only data statements the
+// wrapper emits. Identifiers may be double-quoted. The window is
+// sliced off the table's row slice before any driver values are
+// materialised, so a paged scan over a large table stays O(page), not
+// O(table), per round trip.
 func selectRows(db *rel.DB, q string) (driver.Rows, error) {
 	rest, ok := strings.CutPrefix(q, "SELECT ")
 	if !ok {
 		return nil, fmt.Errorf("sqlmem: unsupported statement %q", q)
 	}
 	colPart, table, ok := strings.Cut(rest, " FROM ")
-	if !ok || strings.ContainsAny(table, " ") {
+	if !ok {
 		return nil, fmt.Errorf("sqlmem: unsupported statement %q", q)
+	}
+	limit, offset := -1, 0
+	if name, clause, paged := strings.Cut(table, " "); paged {
+		f := strings.Fields(clause)
+		if len(f) != 4 || f[0] != "LIMIT" || f[2] != "OFFSET" {
+			return nil, fmt.Errorf("sqlmem: unsupported statement %q", q)
+		}
+		var err error
+		if limit, err = strconv.Atoi(f[1]); err != nil || limit < 0 {
+			return nil, fmt.Errorf("sqlmem: unsupported statement %q", q)
+		}
+		if offset, err = strconv.Atoi(f[3]); err != nil || offset < 0 {
+			return nil, fmt.Errorf("sqlmem: unsupported statement %q", q)
+		}
+		table = name
 	}
 	t, found := db.Table(unquoteIdent(table))
 	if !found {
@@ -259,8 +305,18 @@ func selectRows(db *rel.DB, q string) (driver.Rows, error) {
 		}
 		idx[i] = j
 	}
-	data := make([][]driver.Value, t.Len())
-	for rn, row := range t.Rows() {
+	rows := t.Rows()
+	if limit >= 0 {
+		if offset > len(rows) {
+			offset = len(rows)
+		}
+		rows = rows[offset:]
+		if limit < len(rows) {
+			rows = rows[:limit]
+		}
+	}
+	data := make([][]driver.Value, len(rows))
+	for rn, row := range rows {
 		out := make([]driver.Value, len(idx))
 		for i, j := range idx {
 			out[i] = row[j] // rel cells are int64/float64/string/bool/nil: all driver.Values

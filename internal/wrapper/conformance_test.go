@@ -87,7 +87,7 @@ func TestWrapperConformanceXML(t *testing.T) {
 var conformanceDSN atomic.Int64
 
 func TestWrapperConformanceSQL(t *testing.T) {
-	for _, dialect := range []string{wrapper.DialectSQLite, wrapper.DialectInformationSchema} {
+	for _, dialect := range []string{wrapper.DialectSQLite, wrapper.DialectInformationSchema, wrapper.DialectPostgres} {
 		t.Run(dialect, func(t *testing.T) {
 			// One DSN per dialect run: the suite's factories must agree on
 			// the backing database but stay isolated from other tests.
@@ -105,6 +105,79 @@ func TestWrapperConformanceSQL(t *testing.T) {
 				return w
 			})
 		})
+	}
+}
+
+// TestWrapperConformanceSQLPaged runs the suite with a page size
+// smaller than every table, so extents and scans cross LIMIT/OFFSET
+// page boundaries (including a NULL-bearing row mid-page).
+func TestWrapperConformanceSQLPaged(t *testing.T) {
+	dsn := fmt.Sprintf("conformance-%d", conformanceDSN.Add(1))
+	sqlmem.Register(dsn, conformanceDB())
+	wrappertest.Run(t, func(t *testing.T) wrapper.Wrapper {
+		w, err := wrapper.NewSQL("S", wrapper.SQLConfig{
+			Driver:        sqlmem.DriverName,
+			DSN:           dsn,
+			FetchPageRows: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	})
+}
+
+// TestWrapperConformanceSQLNullKeys covers tables without a declared
+// primary key whose fallback key column contains NULLs: a table's
+// extent is the bag of its key values, NULL is not a key, so rows with
+// NULL keys are absent from both arities — through Extent and through
+// the scanner alike (the suite's ScannerMatchesExtent enforces the
+// latter).
+func TestWrapperConformanceSQLNullKeys(t *testing.T) {
+	db := rel.NewDB("N")
+	m := db.MustCreateTable("m", []rel.Column{
+		{Name: "a", Type: rel.Int},
+		{Name: "b", Type: rel.String},
+	}, "b")
+	m.MustInsert(nil, "x")
+	m.MustInsert(int64(1), "y")
+	m.MustInsert(int64(2), "z")
+	dsn := fmt.Sprintf("conformance-%d", conformanceDSN.Add(1))
+	sqlmem.Register(dsn, db)
+	// Hide the declared key from introspection: the wrapper falls back
+	// to the first column, "a", which holds a NULL.
+	sqlmem.SetNoPK(dsn, "m")
+	factory := func(t *testing.T) wrapper.Wrapper {
+		w, err := wrapper.NewSQL("N", wrapper.SQLConfig{
+			Driver:        sqlmem.DriverName,
+			DSN:           dsn,
+			FetchPageRows: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	wrappertest.Run(t, factory)
+
+	w := factory(t)
+	nodal, err := w.Extent([]string{"m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := iql.Bag(iql.Int(1), iql.Int(2)); !nodal.Equal(want) {
+		t.Errorf("<<m>> = %s, want %s (NULL key skipped)", nodal, want)
+	}
+	link, err := w.Extent([]string{"m", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := iql.Bag(
+		iql.Tuple(iql.Int(1), iql.Str("y")),
+		iql.Tuple(iql.Int(2), iql.Str("z")),
+	)
+	if !link.Equal(want) {
+		t.Errorf("<<m, b>> = %s, want %s (NULL-keyed row skipped in both arities)", link, want)
 	}
 }
 
@@ -143,4 +216,117 @@ func TestWrapperConformanceREST(t *testing.T) {
 		}
 		return w
 	})
+}
+
+// pagedRESTBackend serves the same records as restBackend but one per
+// response, chained with Link rel="next" headers (relative targets, so
+// resolution against the final request URL is exercised too).
+func pagedRESTBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	pages := map[string][]string{
+		"books": {
+			`[{"id": 1, "title": "Dataspaces", "price": 10.5, "instock": true}]`,
+			`[{"id": 2, "price": 20, "instock": false}]`,
+			`[{"id": 1152921504606846983, "title": "Precision"}]`,
+		},
+		"loans": {
+			`[{"id": "L1", "book": 1}]`,
+			`[{"id": "L2"}]`,
+		},
+	}
+	mux := http.NewServeMux()
+	for name, ps := range pages {
+		mux.HandleFunc("GET /"+name, func(w http.ResponseWriter, r *http.Request) {
+			page := 0
+			if q := r.URL.Query().Get("page"); q != "" {
+				fmt.Sscanf(q, "%d", &page)
+			}
+			if page >= len(ps) {
+				http.NotFound(w, r)
+				return
+			}
+			if page < len(ps)-1 {
+				w.Header().Set("Link", fmt.Sprintf(`</%s?page=%d>; rel="next"`, name, page+1))
+			}
+			fmt.Fprint(w, ps[page])
+		})
+	}
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestWrapperConformanceRESTPaginated runs the suite against a backend
+// that splits every collection across Link-chained pages: extents and
+// scans must be byte-identical to the single-page serving.
+func TestWrapperConformanceRESTPaginated(t *testing.T) {
+	srv := pagedRESTBackend(t)
+	factory := func(t *testing.T) wrapper.Wrapper {
+		w, err := wrapper.NewREST("R", wrapper.RESTConfig{
+			Endpoint: srv.URL,
+			Collections: []wrapper.RESTCollection{
+				{Name: "books", Fields: []string{"id", "instock", "price", "title"}},
+				{Name: "loans", Fields: []string{"book", "id"}},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	wrappertest.Run(t, factory)
+
+	// Paginated and single-page servings must agree byte for byte.
+	flat := restBackend(t)
+	wf, err := wrapper.NewREST("R", wrapper.RESTConfig{
+		Endpoint: flat.URL,
+		Collections: []wrapper.RESTCollection{
+			{Name: "books", Fields: []string{"id", "instock", "price", "title"}},
+			{Name: "loans", Fields: []string{"book", "id"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := factory(t)
+	for _, o := range wf.Schema().Objects() {
+		want, err := wf.Extent(o.Scheme.Parts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := wp.Extent(o.Scheme.Parts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("paginated extent of %s = %s, want %s", o.Scheme, got, want)
+		}
+	}
+}
+
+// BenchmarkRESTDiscovery guards the discovery path's allocation
+// profile: decoding each collection's raw JSON must not copy the body
+// (bytes.NewReader over the RawMessage, not a string round trip).
+func BenchmarkRESTDiscovery(b *testing.B) {
+	var records strings.Builder
+	records.WriteString(`{"items": [`)
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			records.WriteString(",")
+		}
+		fmt.Fprintf(&records, `{"id": %d, "v": "value-%d"}`, i, i)
+	}
+	records.WriteString(`]}`)
+	body := records.String()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, body)
+	}))
+	defer srv.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wrapper.NewREST("R", wrapper.RESTConfig{Endpoint: srv.URL}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

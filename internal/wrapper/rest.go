@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	neturl "net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -187,7 +188,7 @@ func (w *REST) discover(ctx context.Context) ([]restColl, error) {
 	sort.Strings(names)
 	out := make([]restColl, 0, len(names))
 	for _, n := range names {
-		rows, err := decodeRESTRows(strings.NewReader(string(root[n])), w.cfg.MaxBytes)
+		rows, err := decodeRESTRows(bytes.NewReader(root[n]), w.cfg.MaxBytes)
 		if err != nil {
 			return nil, fmt.Errorf("wrapper: rest: source %q: collection %q: %w", w.name, n, err)
 		}
@@ -292,68 +293,223 @@ func (w *REST) ExtentContext(ctx context.Context, parts []string) (iql.Value, er
 
 // extentFromRows projects fetched records onto one object's extent.
 func extentFromRows(sc hdm.Scheme, c restColl, rows []map[string]iql.Value) (iql.Value, error) {
-	items := make([]iql.Value, 0, len(rows))
-	switch sc.Arity() {
-	case 1:
-		for i, r := range rows {
-			k, ok := r[c.key]
-			if !ok || k.IsNull() {
-				return iql.Value{}, fmt.Errorf("wrapper: rest: collection %q record %d has no key field %q", c.name, i, c.key)
-			}
-			items = append(items, k)
-		}
-	case 2:
-		field := sc.Part(1)
-		for i, r := range rows {
-			k, ok := r[c.key]
-			if !ok || k.IsNull() {
-				return iql.Value{}, fmt.Errorf("wrapper: rest: collection %q record %d has no key field %q", c.name, i, c.key)
-			}
-			v, ok := r[field]
-			if !ok || v.IsNull() {
-				continue // absent/null fields are absent from the extent, like relational NULLs
-			}
-			items = append(items, iql.Tuple(k, v))
-		}
-	default:
+	if sc.Arity() > 2 {
 		return iql.Value{}, fmt.Errorf("wrapper: rest: unsupported scheme %s", sc)
+	}
+	items := make([]iql.Value, 0, len(rows))
+	for i, r := range rows {
+		item, ok, err := rowItem(sc, c, r, i)
+		if err != nil {
+			return iql.Value{}, err
+		}
+		if ok {
+			items = append(items, item)
+		}
 	}
 	return iql.BagOf(items), nil
 }
 
-// fetchRows GETs a collection and decodes it, retrying exactly once on
+// rowItem projects one fetched record onto an extent item; i is the
+// record's position within the collection, used in error messages. A
+// false return (arity 2 only) means the record has no value for the
+// field: absent/null fields are absent from the extent, like
+// relational NULLs. The materialised and scanner paths share this
+// projection, so scanner rows are byte-identical to extent rows.
+func rowItem(sc hdm.Scheme, c restColl, r map[string]iql.Value, i int) (iql.Value, bool, error) {
+	k, ok := r[c.key]
+	if !ok || k.IsNull() {
+		return iql.Value{}, false, fmt.Errorf("wrapper: rest: collection %q record %d has no key field %q", c.name, i, c.key)
+	}
+	if sc.Arity() == 1 {
+		return k, true, nil
+	}
+	v, ok := r[sc.Part(1)]
+	if !ok || v.IsNull() {
+		return iql.Value{}, false, nil
+	}
+	return iql.Tuple(k, v), true, nil
+}
+
+// restMaxPages bounds how many pages one extent fetch follows; a
+// pagination chain this long is a misbehaving (or cyclic) endpoint.
+const restMaxPages = 10000
+
+// collURL resolves a collection's absolute first-page URL.
+func (w *REST) collURL(c restColl) string {
+	return strings.TrimSuffix(w.cfg.Endpoint, "/") + c.path
+}
+
+// fetchRows GETs a collection and decodes it, following rel="next"
+// Link headers page by page until the chain ends, so the materialised
+// extent is the concatenation of exactly the pages a scanner would
+// stream. Unpaginated endpoints (no Link header) cost one GET, as
+// before.
+func (w *REST) fetchRows(ctx context.Context, c restColl) ([]map[string]iql.Value, error) {
+	url := w.collURL(c)
+	rows, next, err := w.fetchPage(ctx, url, c.path)
+	if err != nil {
+		return nil, err
+	}
+	for pages := 1; next != ""; pages++ {
+		if pages >= restMaxPages {
+			return nil, fmt.Errorf("GET %s: pagination exceeds %d pages", w.collURL(c), restMaxPages)
+		}
+		if next == url {
+			return nil, fmt.Errorf("GET %s: next link points at itself", url)
+		}
+		url = next
+		var more []map[string]iql.Value
+		more, next, err = w.fetchPage(ctx, url, url)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, more...)
+	}
+	return rows, nil
+}
+
+// StreamingScans reports that ExtentScanner pages records from the
+// wire rather than adapting a materialised extent.
+func (w *REST) StreamingScans() bool { return true }
+
+// ExtentScanner implements ScanSourcer: it follows the collection's
+// pagination chain page by page, holding one decoded page at a time.
+// Endpoints that don't paginate stream their single response, which
+// still spares the caller the materialised extent copy.
+func (w *REST) ExtentScanner(ctx context.Context, parts []string) (Scanner, error) {
+	obj, err := w.schema.Resolve(parts)
+	if err != nil {
+		return nil, err
+	}
+	sc := obj.Scheme
+	c, ok := w.colls[sc.Part(0)]
+	if !ok {
+		return nil, fmt.Errorf("wrapper: rest: source %q: no collection %q", w.name, sc.Part(0))
+	}
+	return &restScanner{w: w, sc: sc, c: c, next: w.collURL(c), detail: c.path}, nil
+}
+
+// restScanner pages one collection's extent through its pagination
+// chain. Each page is one bounded GET (with the wrapper's usual retry
+// policy); between pages no connection is held.
+type restScanner struct {
+	w      *REST
+	sc     hdm.Scheme
+	c      restColl
+	next   string // next page URL; "" once the chain ends
+	detail string // trace-span label for the next fetch
+	prev   string // last fetched URL, for the self-link guard
+	pages  int
+
+	buf    []iql.Value
+	i      int
+	rec    int // absolute record index across pages, for error parity
+	cur    iql.Value
+	err    error
+	closed bool
+}
+
+func (s *restScanner) Next(ctx context.Context) bool {
+	if s.closed || s.err != nil {
+		return false
+	}
+	for s.i >= len(s.buf) {
+		if s.next == "" {
+			return false
+		}
+		if err := ctx.Err(); err != nil {
+			s.err = err
+			return false
+		}
+		// NULL-field skipping can empty a page, so keep following the
+		// chain until rows arrive or it ends.
+		if err := s.fetchNext(ctx); err != nil {
+			s.err = err
+			return false
+		}
+	}
+	s.cur = s.buf[s.i]
+	s.i++
+	return true
+}
+
+// fetchNext fetches the next page of the chain and projects its
+// records, replacing the buffer.
+func (s *restScanner) fetchNext(ctx context.Context) error {
+	if s.pages >= restMaxPages {
+		return fmt.Errorf("wrapper: rest: source %q: fetching %s: GET %s: pagination exceeds %d pages",
+			s.w.name, s.sc, s.w.collURL(s.c), restMaxPages)
+	}
+	if s.next == s.prev {
+		return fmt.Errorf("wrapper: rest: source %q: fetching %s: GET %s: next link points at itself",
+			s.w.name, s.sc, s.prev)
+	}
+	url := s.next
+	rows, next, err := s.w.fetchPage(ctx, url, s.detail)
+	if err != nil {
+		return fmt.Errorf("wrapper: rest: source %q: fetching %s: %w", s.w.name, s.sc, err)
+	}
+	s.prev, s.next, s.detail = url, next, next
+	s.pages++
+	items := make([]iql.Value, 0, len(rows))
+	for _, r := range rows {
+		item, ok, err := rowItem(s.sc, s.c, r, s.rec)
+		if err != nil {
+			return err
+		}
+		s.rec++
+		if ok {
+			items = append(items, item)
+		}
+	}
+	s.buf, s.i = items, 0
+	return nil
+}
+
+func (s *restScanner) Row() iql.Value { return s.cur }
+func (s *restScanner) Err() error     { return s.err }
+
+func (s *restScanner) Close() error {
+	s.closed = true
+	s.buf = nil
+	return nil
+}
+
+// fetchPage GETs one page and decodes it, retrying exactly once on
 // transport errors, 5xx responses and 429s — after a backoff, so a
 // fleet of concurrent fetches against a struggling endpoint does not
 // immediately re-send every failed request. Other 4xx responses fail
-// immediately: retrying a rejected request cannot help.
-func (w *REST) fetchRows(ctx context.Context, c restColl) ([]map[string]iql.Value, error) {
+// immediately: retrying a rejected request cannot help. next is the
+// URL of the following page per the response's Link header, empty on
+// the last page.
+func (w *REST) fetchPage(ctx context.Context, url, detail string) (rows []map[string]iql.Value, next string, err error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		if attempt > 0 {
 			if err := w.backoff(ctx, lastErr); err != nil {
-				return nil, fmt.Errorf("after failed fetch: %w", err)
+				return nil, "", fmt.Errorf("after failed fetch: %w", err)
 			}
 			obs.AddFetchRetry(ctx)
 		}
-		body, err := w.get(ctx, c.path)
+		data, next, err := w.getPage(ctx, url, detail)
 		if err != nil {
 			lastErr = err
 			var re *restStatusError
 			if errors.As(err, &re) && re.code < 500 && re.code != http.StatusTooManyRequests {
-				return nil, err
+				return nil, "", err
 			}
 			continue
 		}
-		rows, err := decodeRESTRows(body, w.cfg.MaxBytes)
+		rows, err := decodeRESTRows(bytes.NewReader(data), w.cfg.MaxBytes)
 		if err != nil {
-			return nil, err // a malformed payload is not transient; don't re-download it
+			return nil, "", err // a malformed payload is not transient; don't re-download it
 		}
-		return rows, nil
+		return rows, next, nil
 	}
-	return nil, fmt.Errorf("after retry: %w", lastErr)
+	return nil, "", fmt.Errorf("after retry: %w", lastErr)
 }
 
 // backoff sleeps before a retry: the server's Retry-After when the
@@ -421,21 +577,32 @@ func parseRetryAfter(h string) time.Duration {
 	return 0
 }
 
-// get performs one bounded GET and returns the response body reader
-// (already wrapped in the byte budget). The caller owns decoding.
+// get performs one bounded GET of an endpoint-relative path and
+// returns the response body reader (already within the byte budget).
+// The caller owns decoding; pagination headers are ignored.
 func (w *REST) get(ctx context.Context, path string) (io.Reader, error) {
-	url := strings.TrimSuffix(w.cfg.Endpoint, "/") + path
-	sp, ctx := obs.StartSpan(ctx, "http", path)
-	ctx, cancel := context.WithTimeout(ctx, w.cfg.Timeout)
-	defer cancel()
-	data, err := w.getBody(ctx, url)
-	obs.AddFetchBytes(ctx, int64(len(data)))
-	sp.SetBytes(int64(len(data)))
-	sp.End(err)
+	data, _, err := w.getPage(ctx, strings.TrimSuffix(w.cfg.Endpoint, "/")+path, path)
 	if err != nil {
 		return nil, err
 	}
 	return bytes.NewReader(data), nil
+}
+
+// getPage performs one bounded GET of an absolute URL, returning the
+// body and the next-page URL from the response's Link header (empty
+// when there is none). detail labels the fetch's trace span.
+func (w *REST) getPage(ctx context.Context, url, detail string) ([]byte, string, error) {
+	sp, ctx := obs.StartSpan(ctx, "http", detail)
+	ctx, cancel := context.WithTimeout(ctx, w.cfg.Timeout)
+	defer cancel()
+	data, next, err := w.getBody(ctx, url)
+	obs.AddFetchBytes(ctx, int64(len(data)))
+	sp.SetBytes(int64(len(data)))
+	sp.End(err)
+	if err != nil {
+		return nil, "", err
+	}
+	return data, next, nil
 }
 
 // restDrainBudget bounds how much of an unwanted response body getBody
@@ -445,15 +612,15 @@ func (w *REST) get(ctx context.Context, path string) (io.Reader, error) {
 // connection, which is the right trade).
 const restDrainBudget = 256 << 10
 
-func (w *REST) getBody(ctx context.Context, url string) ([]byte, error) {
+func (w *REST) getBody(ctx context.Context, url string) ([]byte, string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	req.Header.Set("Accept", "application/json")
 	resp, err := w.client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	// Every exit drains the rest of the body (bounded) before closing:
 	// a connection closed with unread data cannot go back in the
@@ -463,7 +630,7 @@ func (w *REST) getBody(ctx context.Context, url string) ([]byte, error) {
 		resp.Body.Close()
 	}()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return nil, &restStatusError{
+		return nil, "", &restStatusError{
 			code:       resp.StatusCode,
 			url:        url,
 			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
@@ -472,12 +639,52 @@ func (w *REST) getBody(ctx context.Context, url string) ([]byte, error) {
 	// Read fully inside the request deadline; the +1 detects overflow.
 	data, err := io.ReadAll(io.LimitReader(resp.Body, w.cfg.MaxBytes+1))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if int64(len(data)) > w.cfg.MaxBytes {
-		return nil, fmt.Errorf("GET %s: response exceeds the %d-byte budget", url, w.cfg.MaxBytes)
+		return nil, "", fmt.Errorf("GET %s: response exceeds the %d-byte budget", url, w.cfg.MaxBytes)
 	}
-	return data, nil
+	// resp.Request is the final request after redirects, so relative
+	// next links resolve against where the page actually came from.
+	return data, parseNextLink(resp.Header.Get("Link"), resp.Request.URL), nil
+}
+
+// parseNextLink extracts the rel="next" target from a Link header (RFC
+// 8288), resolved against the fetched page's URL since targets may be
+// relative. Empty when the header carries no next relation.
+func parseNextLink(h string, base *neturl.URL) string {
+	for _, part := range strings.Split(h, ",") {
+		segs := strings.Split(part, ";")
+		target := strings.TrimSpace(segs[0])
+		if !strings.HasPrefix(target, "<") || !strings.HasSuffix(target, ">") {
+			continue
+		}
+		isNext := false
+		for _, p := range segs[1:] {
+			k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+			if !ok || !strings.EqualFold(strings.TrimSpace(k), "rel") {
+				continue
+			}
+			// rel is a space-separated relation list, optionally quoted.
+			for _, r := range strings.Fields(strings.Trim(strings.TrimSpace(v), `"`)) {
+				if strings.EqualFold(r, "next") {
+					isNext = true
+				}
+			}
+		}
+		if !isNext {
+			continue
+		}
+		u, err := neturl.Parse(strings.TrimSuffix(strings.TrimPrefix(target, "<"), ">"))
+		if err != nil {
+			continue
+		}
+		if base != nil {
+			u = base.ResolveReference(u)
+		}
+		return u.String()
+	}
+	return ""
 }
 
 // Ping probes the endpoint with one bounded GET of the first

@@ -1,0 +1,124 @@
+package wrapper
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/dataspace/automed/internal/iql"
+)
+
+// Scanner streams one object's extent row by row. It is the pull-based
+// alternative to Wrapper.Extent: callers drive the iteration, so only a
+// bounded window of the extent is resident at a time, which is what
+// lets one daemon host million-row remote tables with flat memory.
+//
+// The protocol follows database/sql.Rows: Next advances to the next row
+// (fetching more data from the backend as needed) and reports false at
+// the end of the extent or on error; Row returns the current row after
+// a true Next; Err distinguishes exhaustion from failure after Next
+// returns false; Close releases backend resources and is safe to call
+// at any point, including mid-stream. Next observes ctx, so a cancelled
+// request abandons the remaining pages instead of draining them.
+//
+// A Scanner is single-use and not safe for concurrent use.
+type Scanner interface {
+	Next(ctx context.Context) bool
+	Row() iql.Value
+	Err() error
+	Close() error
+}
+
+// ScanSourcer is the streaming extension of a wrapper: ExtentScanner
+// returns a Scanner over the extent of the object referenced by parts.
+// Every wrapper in this package implements it; wrappers over remote
+// backends (SQL, REST) stream pages from the wire, while local wrappers
+// adapt their materialised extents. The scanner yields exactly the rows
+// Extent would return, in the same order — the conformance suite
+// enforces this byte-for-byte.
+type ScanSourcer interface {
+	ExtentScanner(ctx context.Context, parts []string) (Scanner, error)
+}
+
+// sliceScanner adapts a materialised extent to the Scanner interface.
+type sliceScanner struct {
+	items  []iql.Value
+	i      int
+	cur    iql.Value
+	err    error
+	closed bool
+}
+
+// NewSliceScanner returns a Scanner over an already-materialised row
+// slice. Local wrappers (relational, static, XML) use it to satisfy
+// ScanSourcer; it is also the degraded path of remote wrappers serving
+// snapshot-fallback extents.
+func NewSliceScanner(items []iql.Value) Scanner {
+	return &sliceScanner{items: items}
+}
+
+func (s *sliceScanner) Next(ctx context.Context) bool {
+	if s.closed || s.err != nil || s.i >= len(s.items) {
+		return false
+	}
+	if err := ctx.Err(); err != nil {
+		s.err = err
+		return false
+	}
+	s.cur = s.items[s.i]
+	s.i++
+	return true
+}
+
+func (s *sliceScanner) Row() iql.Value { return s.cur }
+func (s *sliceScanner) Err() error     { return s.err }
+func (s *sliceScanner) Close() error {
+	s.closed = true
+	s.items = nil
+	return nil
+}
+
+// materialisedScanner serves a wrapper's extent through the Scanner
+// interface by fetching it whole first. It is how wrappers whose
+// backends cannot page (in-memory tables, parsed documents) satisfy
+// ScanSourcer.
+func materialisedScanner(w Wrapper, ctx context.Context, parts []string) (Scanner, error) {
+	var v iql.Value
+	var err error
+	if cw, ok := w.(interface {
+		ExtentContext(ctx context.Context, parts []string) (iql.Value, error)
+	}); ok {
+		v, err = cw.ExtentContext(ctx, parts)
+	} else {
+		v, err = w.Extent(parts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	els, err := v.Elements()
+	if err != nil {
+		return nil, fmt.Errorf("wrapper: %s: extent of <<%s>> is not a collection: %w",
+			w.SchemaName(), joinParts(parts), err)
+	}
+	return NewSliceScanner(els), nil
+}
+
+func joinParts(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}
+
+// ExtentScanner implements ScanSourcer over the in-memory database.
+func (w *Relational) ExtentScanner(ctx context.Context, parts []string) (Scanner, error) {
+	return materialisedScanner(w, ctx, parts)
+}
+
+// ExtentScanner implements ScanSourcer over the fixed extents.
+func (w *Static) ExtentScanner(ctx context.Context, parts []string) (Scanner, error) {
+	return materialisedScanner(w, ctx, parts)
+}

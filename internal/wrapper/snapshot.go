@@ -96,6 +96,7 @@ type SQLSnapshot struct {
 	DSN       string             `json:"dsn"`
 	Dialect   string             `json:"dialect,omitempty"`
 	TimeoutMs int64              `json:"timeout_ms,omitempty"`
+	PageRows  int                `json:"page_rows,omitempty"`
 	Tables    []SQLTableSnapshot `json:"tables"`
 	Extents   []ExtentSnapshot   `json:"extents,omitempty"`
 }
@@ -196,6 +197,7 @@ func (w *SQL) Snapshot() (*Snapshot, error) {
 		DSN:       w.cfg.DSN,
 		Dialect:   w.cfg.Dialect,
 		TimeoutMs: w.cfg.Timeout.Milliseconds(),
+		PageRows:  w.cfg.FetchPageRows,
 	}
 	for _, t := range w.sortedTables() {
 		sqlSnap.Tables = append(sqlSnap.Tables, SQLTableSnapshot{
@@ -443,7 +445,7 @@ func restoreSQL(snap *Snapshot) (Wrapper, error) {
 	if _, err := sqlDialectFor(s.Dialect); err != nil {
 		return nil, fmt.Errorf("wrapper: source %q: %w", snap.Name, err)
 	}
-	cfg := SQLConfig{Driver: s.Driver, DSN: s.DSN, Dialect: s.Dialect, Timeout: time.Duration(s.TimeoutMs) * time.Millisecond}
+	cfg := SQLConfig{Driver: s.Driver, DSN: s.DSN, Dialect: s.Dialect, Timeout: time.Duration(s.TimeoutMs) * time.Millisecond, FetchPageRows: s.PageRows}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = defaultSQLTimeout
 	}

@@ -28,9 +28,19 @@ type SQLConfig struct {
 	// combines with (never extends) the caller's context. Defaults to
 	// 30s.
 	Timeout time.Duration
+	// FetchPageRows bounds how many rows each paged scanner SELECT
+	// fetches per round trip (LIMIT/OFFSET). 0 uses
+	// DefaultFetchPageRows; negative disables paging, so scanners
+	// degrade to one unbounded SELECT adapted to the Scanner interface.
+	// Materialised Extent fetches are never paged.
+	FetchPageRows int
 }
 
 const defaultSQLTimeout = 30 * time.Second
+
+// DefaultFetchPageRows is the scanner page size when
+// SQLConfig.FetchPageRows is unset.
+const DefaultFetchPageRows = 4096
 
 // sqlTable is the introspected shape of one table.
 type sqlTable struct {
@@ -214,23 +224,143 @@ func (w *SQL) ExtentContext(ctx context.Context, parts []string) (iql.Value, err
 	return v, nil
 }
 
-// fetch streams one object's extent from the backend.
-func (w *SQL) fetch(ctx context.Context, sc hdm.Scheme) (iql.Value, error) {
+// pageRows resolves the configured scanner page size: 0 means
+// DefaultFetchPageRows, negative disables paging. The config itself is
+// never normalised, so snapshots round-trip the user's setting.
+func (w *SQL) pageRows() int {
+	switch {
+	case w.cfg.FetchPageRows > 0:
+		return w.cfg.FetchPageRows
+	case w.cfg.FetchPageRows < 0:
+		return 0
+	}
+	return DefaultFetchPageRows
+}
+
+// StreamingScans reports whether ExtentScanner pages rows incrementally
+// from the backend rather than adapting a materialised extent. The
+// query pipeline streams only such sources — local wrappers gain
+// nothing from the streaming path and would lose parallel sharding.
+func (w *SQL) StreamingScans() bool { return w.db != nil && w.pageRows() > 0 }
+
+// ExtentScanner implements ScanSourcer: it pages the extent SELECT
+// through LIMIT/OFFSET so only one page of rows is resident at a time.
+// Offline wrappers (and paging disabled via FetchPageRows < 0) degrade
+// to scanning the materialised extent.
+func (w *SQL) ExtentScanner(ctx context.Context, parts []string) (Scanner, error) {
+	if !w.StreamingScans() {
+		return materialisedScanner(w, ctx, parts)
+	}
+	obj, err := w.schema.Resolve(parts)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := w.extentStmt(obj.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	return &sqlScanner{w: w, sc: obj.Scheme, stmt: stmt, pageRows: w.pageRows()}, nil
+}
+
+// sqlScanner pages one extent SELECT through LIMIT/OFFSET. Each page
+// is one bounded round trip under the wrapper's Timeout; between pages
+// no backend resources are held. Paging carries no ORDER BY, matching
+// the unordered SELECT of the materialised path — backends whose
+// unordered scans are stable across statements (sqlmem, single-writer
+// SQLite) therefore yield byte-identical rows; concurrently mutated
+// backends can tear across page boundaries just as two materialised
+// fetches can differ.
+type sqlScanner struct {
+	w        *SQL
+	sc       hdm.Scheme
+	stmt     string
+	pageRows int
+
+	offset int         // raw rows consumed so far (NULL-skipped rows included)
+	buf    []iql.Value // current page, NULL rows already dropped
+	i      int
+	cur    iql.Value
+	err    error
+	done   bool // backend returned a short page: no more rows
+	closed bool
+}
+
+func (s *sqlScanner) Next(ctx context.Context) bool {
+	if s.closed || s.err != nil {
+		return false
+	}
+	for s.i >= len(s.buf) {
+		if s.done {
+			return false
+		}
+		if err := ctx.Err(); err != nil {
+			s.err = err
+			return false
+		}
+		// NULL skipping can empty a page, so keep fetching until rows
+		// arrive or the backend reports a short (final) page.
+		if err := s.fetchPage(ctx); err != nil {
+			s.err = err
+			return false
+		}
+	}
+	s.cur = s.buf[s.i]
+	s.i++
+	return true
+}
+
+// fetchPage runs one LIMIT/OFFSET round trip, replacing the buffer.
+func (s *sqlScanner) fetchPage(ctx context.Context) error {
+	stmt := fmt.Sprintf("%s LIMIT %d OFFSET %d", s.stmt, s.pageRows, s.offset)
+	ctx, cancel := context.WithTimeout(ctx, s.w.cfg.Timeout)
+	defer cancel()
+	sp, ctx := obs.StartSpan(ctx, "sql", stmt)
+	items, scanned, err := s.w.selectItems(ctx, stmt, s.sc)
+	sp.End(err)
+	if err != nil {
+		return err
+	}
+	s.offset += scanned
+	s.buf, s.i = items, 0
+	if scanned < s.pageRows {
+		s.done = true
+	}
+	return nil
+}
+
+func (s *sqlScanner) Row() iql.Value { return s.cur }
+func (s *sqlScanner) Err() error     { return s.err }
+
+func (s *sqlScanner) Close() error {
+	s.closed = true
+	s.buf = nil
+	return nil
+}
+
+// extentStmt builds the SELECT serving one object's extent (without
+// any paging clause).
+func (w *SQL) extentStmt(sc hdm.Scheme) (string, error) {
 	t, ok := w.tables[sc.Part(0)]
 	if !ok {
-		return iql.Value{}, fmt.Errorf("wrapper: sql: source %q: no table %q", w.name, sc.Part(0))
+		return "", fmt.Errorf("wrapper: sql: source %q: no table %q", w.name, sc.Part(0))
 	}
-	var stmt string
 	switch sc.Arity() {
 	case 1:
-		stmt = fmt.Sprintf("SELECT %s FROM %s", quoteIdent(t.pk), quoteIdent(t.name))
+		return fmt.Sprintf("SELECT %s FROM %s", quoteIdent(t.pk), quoteIdent(t.name)), nil
 	case 2:
 		if !contains(t.cols, sc.Part(1)) {
-			return iql.Value{}, fmt.Errorf("wrapper: sql: source %q table %q: no column %q", w.name, t.name, sc.Part(1))
+			return "", fmt.Errorf("wrapper: sql: source %q table %q: no column %q", w.name, t.name, sc.Part(1))
 		}
-		stmt = fmt.Sprintf("SELECT %s, %s FROM %s", quoteIdent(t.pk), quoteIdent(sc.Part(1)), quoteIdent(t.name))
-	default:
-		return iql.Value{}, fmt.Errorf("wrapper: sql: source %q: unsupported scheme %s", w.name, sc)
+		return fmt.Sprintf("SELECT %s, %s FROM %s", quoteIdent(t.pk), quoteIdent(sc.Part(1)), quoteIdent(t.name)), nil
+	}
+	return "", fmt.Errorf("wrapper: sql: source %q: unsupported scheme %s", w.name, sc)
+}
+
+// fetch streams one object's extent from the backend.
+func (w *SQL) fetch(ctx context.Context, sc hdm.Scheme) (iql.Value, error) {
+	stmt, err := w.extentStmt(sc)
+	if err != nil {
+		return iql.Value{}, err
 	}
 	ctx, cancel := context.WithTimeout(ctx, w.cfg.Timeout)
 	defer cancel()
@@ -242,34 +372,61 @@ func (w *SQL) fetch(ctx context.Context, sc hdm.Scheme) (iql.Value, error) {
 
 // query runs one extent SELECT and scans its rows.
 func (w *SQL) query(ctx context.Context, stmt string, sc hdm.Scheme) (iql.Value, error) {
-	rows, err := w.db.QueryContext(ctx, stmt)
+	items, _, err := w.selectItems(ctx, stmt, sc)
 	if err != nil {
-		return iql.Value{}, fmt.Errorf("wrapper: sql: source %q: fetching %s: %w", w.name, sc, err)
-	}
-	defer rows.Close()
-	var items []iql.Value
-	for rows.Next() {
-		if sc.Arity() == 1 {
-			var key any
-			if err := rows.Scan(&key); err != nil {
-				return iql.Value{}, fmt.Errorf("wrapper: sql: source %q: scanning %s: %w", w.name, sc, err)
-			}
-			items = append(items, sqlCell(key))
-			continue
-		}
-		var key, val any
-		if err := rows.Scan(&key, &val); err != nil {
-			return iql.Value{}, fmt.Errorf("wrapper: sql: source %q: scanning %s: %w", w.name, sc, err)
-		}
-		if val == nil {
-			continue // match the relational wrapper: NULL cells are absent from column extents
-		}
-		items = append(items, iql.Tuple(sqlCell(key), sqlCell(val)))
-	}
-	if err := rows.Err(); err != nil {
-		return iql.Value{}, fmt.Errorf("wrapper: sql: source %q: streaming %s: %w", w.name, sc, err)
+		return iql.Value{}, err
 	}
 	return iql.BagOf(items), nil
+}
+
+// selectItems runs one SELECT and maps its rows onto extent items
+// through sqlRow; scanned is the raw row count before NULL skipping,
+// which paged fetches use to detect the final page.
+func (w *SQL) selectItems(ctx context.Context, stmt string, sc hdm.Scheme) (items []iql.Value, scanned int, err error) {
+	rows, err := w.db.QueryContext(ctx, stmt)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wrapper: sql: source %q: fetching %s: %w", w.name, sc, err)
+	}
+	defer rows.Close()
+	pair := sc.Arity() == 2
+	for rows.Next() {
+		scanned++
+		var key, val any
+		if pair {
+			err = rows.Scan(&key, &val)
+		} else {
+			err = rows.Scan(&key)
+		}
+		if err != nil {
+			return nil, scanned, fmt.Errorf("wrapper: sql: source %q: scanning %s: %w", w.name, sc, err)
+		}
+		if item, ok := sqlRow(pair, key, val); ok {
+			items = append(items, item)
+		}
+	}
+	if err := rows.Err(); err != nil {
+		return nil, scanned, fmt.Errorf("wrapper: sql: source %q: streaming %s: %w", w.name, sc, err)
+	}
+	return items, scanned, nil
+}
+
+// sqlRow maps one scanned row onto an extent item. Rows with NULL keys
+// are absent from both arities (a table's extent is the bag of its
+// key values, and NULL is not a key), and NULL values are absent from
+// column extents — both matching the relational wrapper, which never
+// yields them. The materialised and scanner paths share this mapping,
+// so scanner rows are byte-identical to extent rows.
+func sqlRow(pair bool, key, val any) (iql.Value, bool) {
+	if key == nil {
+		return iql.Value{}, false
+	}
+	if !pair {
+		return sqlCell(key), true
+	}
+	if val == nil {
+		return iql.Value{}, false
+	}
+	return iql.Tuple(sqlCell(key), sqlCell(val)), true
 }
 
 // sqlCell maps a scanned database cell to an IQL value without losing
@@ -330,11 +487,12 @@ type sqlDialect interface {
 	tables(ctx context.Context, db *sql.DB) ([]sqlTable, error)
 }
 
-// DialectSQLite and DialectInformationSchema are the supported values
-// of SQLConfig.Dialect.
+// DialectSQLite, DialectInformationSchema and DialectPostgres are the
+// supported values of SQLConfig.Dialect.
 const (
 	DialectSQLite            = "sqlite"
 	DialectInformationSchema = "information_schema"
+	DialectPostgres          = "postgres"
 )
 
 func sqlDialectFor(name string) (sqlDialect, error) {
@@ -343,8 +501,11 @@ func sqlDialectFor(name string) (sqlDialect, error) {
 		return sqliteDialect{}, nil
 	case DialectInformationSchema:
 		return infoSchemaDialect{}, nil
+	case DialectPostgres:
+		return postgresDialect{}, nil
 	}
-	return nil, fmt.Errorf("unknown dialect %q (want %s or %s)", name, DialectSQLite, DialectInformationSchema)
+	return nil, fmt.Errorf("unknown dialect %q (want %s, %s or %s)",
+		name, DialectSQLite, DialectInformationSchema, DialectPostgres)
 }
 
 // sqliteDialect introspects through sqlite_master and PRAGMA
@@ -392,8 +553,8 @@ func (sqliteDialect) tables(ctx context.Context, db *sql.DB) ([]sqlTable, error)
 }
 
 // infoSchemaDialect introspects through the standard
-// information_schema views with ? placeholders (MySQL-compatible; a
-// $1-placeholder variant would cover PostgreSQL). Every query is
+// information_schema views with ? placeholders (MySQL-compatible; see
+// postgresDialect for the $1-placeholder variant). Every query is
 // scoped to the connected database — DATABASE() on MySQL — so
 // same-named tables in other databases on the server don't bleed in,
 // and the primary-key join matches key_column_usage rows on table as
@@ -405,26 +566,54 @@ type infoSchemaDialect struct{}
 func (infoSchemaDialect) name() string { return DialectInformationSchema }
 
 func (infoSchemaDialect) tables(ctx context.Context, db *sql.DB) ([]sqlTable, error) {
-	names, err := stringColumn(ctx, db,
-		`SELECT table_name FROM information_schema.tables WHERE table_type = 'BASE TABLE' AND table_schema = DATABASE() ORDER BY table_name`)
+	return infoSchemaTables(ctx, db,
+		`SELECT table_name FROM information_schema.tables WHERE table_type = 'BASE TABLE' AND table_schema = DATABASE() ORDER BY table_name`,
+		`SELECT column_name FROM information_schema.columns WHERE table_schema = DATABASE() AND table_name = ? ORDER BY ordinal_position`,
+		`SELECT kcu.column_name FROM information_schema.table_constraints tc
+		 JOIN information_schema.key_column_usage kcu
+		   ON kcu.constraint_name = tc.constraint_name
+		  AND kcu.table_schema = tc.table_schema
+		  AND kcu.table_name = tc.table_name
+		 WHERE tc.constraint_type = 'PRIMARY KEY' AND tc.table_schema = DATABASE() AND tc.table_name = ?
+		 ORDER BY kcu.ordinal_position`)
+}
+
+// postgresDialect is the information_schema strategy with PostgreSQL's
+// $1 ordinal placeholders and current_schema() scoping (PostgreSQL
+// scopes namespaces per schema within one database, where MySQL scopes
+// per database).
+type postgresDialect struct{}
+
+func (postgresDialect) name() string { return DialectPostgres }
+
+func (postgresDialect) tables(ctx context.Context, db *sql.DB) ([]sqlTable, error) {
+	return infoSchemaTables(ctx, db,
+		`SELECT table_name FROM information_schema.tables WHERE table_type = 'BASE TABLE' AND table_schema = current_schema() ORDER BY table_name`,
+		`SELECT column_name FROM information_schema.columns WHERE table_schema = current_schema() AND table_name = $1 ORDER BY ordinal_position`,
+		`SELECT kcu.column_name FROM information_schema.table_constraints tc
+		 JOIN information_schema.key_column_usage kcu
+		   ON kcu.constraint_name = tc.constraint_name
+		  AND kcu.table_schema = tc.table_schema
+		  AND kcu.table_name = tc.table_name
+		 WHERE tc.constraint_type = 'PRIMARY KEY' AND tc.table_schema = current_schema() AND tc.table_name = $1
+		 ORDER BY kcu.ordinal_position`)
+}
+
+// infoSchemaTables introspects through the standard information_schema
+// views, parameterised by the dialect-specific query text (placeholder
+// style and schema-scoping function differ across backends).
+func infoSchemaTables(ctx context.Context, db *sql.DB, tablesQ, colsQ, pkQ string) ([]sqlTable, error) {
+	names, err := stringColumn(ctx, db, tablesQ)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]sqlTable, 0, len(names))
 	for _, n := range names {
-		cols, err := stringColumn(ctx, db,
-			`SELECT column_name FROM information_schema.columns WHERE table_schema = DATABASE() AND table_name = ? ORDER BY ordinal_position`, n)
+		cols, err := stringColumn(ctx, db, colsQ, n)
 		if err != nil {
 			return nil, fmt.Errorf("table %q: %w", n, err)
 		}
-		pks, err := stringColumn(ctx, db,
-			`SELECT kcu.column_name FROM information_schema.table_constraints tc
-			 JOIN information_schema.key_column_usage kcu
-			   ON kcu.constraint_name = tc.constraint_name
-			  AND kcu.table_schema = tc.table_schema
-			  AND kcu.table_name = tc.table_name
-			 WHERE tc.constraint_type = 'PRIMARY KEY' AND tc.table_schema = DATABASE() AND tc.table_name = ?
-			 ORDER BY kcu.ordinal_position`, n)
+		pks, err := stringColumn(ctx, db, pkQ, n)
 		if err != nil {
 			return nil, fmt.Errorf("table %q: %w", n, err)
 		}

@@ -19,7 +19,11 @@
 //     already-cancelled context;
 //   - serialisable wrappers (wrapper.Snapshotter) survive a snapshot →
 //     JSON → restore round trip with an identical schema, byte-
-//     identical extents, and a byte-identical re-snapshot.
+//     identical extents, and a byte-identical re-snapshot;
+//   - scanning wrappers (wrapper.ScanSourcer) serve every extent
+//     through a scanner byte-identically to Extent, in the same order
+//     on every scan (page boundaries must not perturb it), and release
+//     their resources on mid-stream cancellation.
 package wrappertest
 
 import (
@@ -54,6 +58,9 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("ConcurrentExtent", func(t *testing.T) { testConcurrent(t, factory(t)) })
 	t.Run("ContextCancellation", func(t *testing.T) { testContextCancellation(t, factory(t)) })
 	t.Run("SnapshotRestore", func(t *testing.T) { testSnapshotRestore(t, factory(t)) })
+	t.Run("ScannerMatchesExtent", func(t *testing.T) { testScannerMatchesExtent(t, factory(t)) })
+	t.Run("ScannerDeterminism", func(t *testing.T) { testScannerDeterminism(t, factory(t)) })
+	t.Run("ScannerCancellation", func(t *testing.T) { testScannerCancellation(t, factory(t)) })
 }
 
 // testSchemaAgreement checks the schema and the extent server agree:
@@ -186,6 +193,135 @@ func testContextCancellation(t *testing.T, w wrapper.Wrapper) {
 			t.Errorf("ExtentContext(%s) with a cancelled context succeeded", o.Scheme)
 		}
 		break // one object suffices
+	}
+}
+
+// drainScanner collects every row of a fresh scanner for one object.
+func drainScanner(t *testing.T, ss wrapper.ScanSourcer, sc hdm.Scheme) []iql.Value {
+	t.Helper()
+	ctx := context.Background()
+	scn, err := ss.ExtentScanner(ctx, sc.Parts())
+	if err != nil {
+		t.Fatalf("ExtentScanner(%s): %v", sc, err)
+	}
+	var rows []iql.Value
+	for scn.Next(ctx) {
+		rows = append(rows, scn.Row())
+	}
+	if err := scn.Err(); err != nil {
+		t.Fatalf("scanner over %s failed: %v", sc, err)
+	}
+	if err := scn.Close(); err != nil {
+		t.Errorf("Close after scanning %s: %v", sc, err)
+	}
+	return rows
+}
+
+// testScannerMatchesExtent checks the scanner protocol serves every
+// object byte-identically to the materialised Extent; wrappers without
+// the extension skip.
+func testScannerMatchesExtent(t *testing.T, w wrapper.Wrapper) {
+	ss, ok := w.(wrapper.ScanSourcer)
+	if !ok {
+		t.Skipf("%T does not implement ExtentScanner", w)
+	}
+	for _, o := range w.Schema().Objects() {
+		want, err := w.Extent(o.Scheme.Parts())
+		if err != nil {
+			t.Fatalf("Extent(%s): %v", o.Scheme, err)
+		}
+		got := iql.BagOf(drainScanner(t, ss, o.Scheme))
+		wantJSON, err := json.Marshal(iql.EncodeValue(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := json.Marshal(iql.EncodeValue(got))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("scanned extent of %s is not byte-identical to Extent:\n%s\nvs\n%s", o.Scheme, gotJSON, wantJSON)
+		}
+	}
+	// A scanner over an unknown object must fail (at open or on first
+	// advance), never panic.
+	if scn, err := ss.ExtentScanner(context.Background(), []string{"no-such-object-d41d8cd9"}); err == nil {
+		if scn.Next(context.Background()) {
+			t.Error("scanner over an unknown object produced a row")
+		}
+		if scn.Err() == nil {
+			t.Error("scanner over an unknown object reported no error")
+		}
+		_ = scn.Close()
+	}
+}
+
+// testScannerDeterminism checks two independent scans of the same
+// object yield the same rows in the same order — page boundaries and
+// refetches must not perturb the sequence.
+func testScannerDeterminism(t *testing.T, w wrapper.Wrapper) {
+	ss, ok := w.(wrapper.ScanSourcer)
+	if !ok {
+		t.Skipf("%T does not implement ExtentScanner", w)
+	}
+	for _, o := range w.Schema().Objects() {
+		first := drainScanner(t, ss, o.Scheme)
+		second := drainScanner(t, ss, o.Scheme)
+		if len(first) != len(second) {
+			t.Errorf("scans of %s disagree on length: %d then %d", o.Scheme, len(first), len(second))
+			continue
+		}
+		for i := range first {
+			if !first[i].Equal(second[i]) {
+				t.Errorf("scans of %s diverge at row %d: %s then %s", o.Scheme, i, first[i], second[i])
+				break
+			}
+		}
+	}
+}
+
+// testScannerCancellation checks cancellation stops a scan promptly
+// and that Close mid-stream releases the scanner cleanly.
+func testScannerCancellation(t *testing.T, w wrapper.Wrapper) {
+	ss, ok := w.(wrapper.ScanSourcer)
+	if !ok {
+		t.Skipf("%T does not implement ExtentScanner", w)
+	}
+	objs := w.Schema().Objects()
+	sc := objs[0].Scheme
+
+	// A context cancelled before the first advance: the scanner either
+	// refuses to open or stops before producing a page.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if scn, err := ss.ExtentScanner(ctx, sc.Parts()); err == nil {
+		if scn.Next(ctx) {
+			t.Error("Next succeeded under an already-cancelled context")
+		}
+		if scn.Err() == nil {
+			t.Error("Err() is nil after a cancelled scan")
+		}
+		if err := scn.Close(); err != nil {
+			t.Errorf("Close after cancellation: %v", err)
+		}
+	}
+
+	// Close mid-stream (after at most one row) must succeed and make
+	// further advances return false.
+	lctx := context.Background()
+	scn, err := ss.ExtentScanner(lctx, sc.Parts())
+	if err != nil {
+		t.Fatalf("ExtentScanner(%s): %v", sc, err)
+	}
+	scn.Next(lctx)
+	if err := scn.Close(); err != nil {
+		t.Errorf("mid-stream Close: %v", err)
+	}
+	if scn.Next(lctx) {
+		t.Error("Next succeeded after Close")
+	}
+	if err := scn.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
 	}
 }
 

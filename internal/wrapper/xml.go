@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -160,4 +161,9 @@ func (w *XML) Extent(parts []string) (iql.Value, error) {
 		return iql.Value{}, err
 	}
 	return iql.BagOf(append([]iql.Value(nil), w.extents[obj.Scheme.Key()]...)), nil
+}
+
+// ExtentScanner implements ScanSourcer over the parsed document.
+func (w *XML) ExtentScanner(ctx context.Context, parts []string) (Scanner, error) {
+	return materialisedScanner(w, ctx, parts)
 }
